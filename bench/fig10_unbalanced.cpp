@@ -1,0 +1,117 @@
+//===- bench/fig10_unbalanced.cpp - Figure 10: unbalanced trees -----------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 10 (a-d): speedups of Cilk-SYNCHED, Tascell and
+/// AdaptiveTC on the unbalanced trees — Sudoku input1/input2 (the Fig. 8
+/// tree and its mirror) and the Table-3 trees Tree1L/R .. Tree3L/R — for
+/// 1..8 threads. Also prints the Section 5.3.2 waiting diagnostics
+/// (Tascell waits 8.08% on Tree3L vs 51.99% on Tree3R; AdaptiveTC's
+/// Tree3L steal-fail starvation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "sim/SimEngine.h"
+#include "sim/TreeGen.h"
+#include "support/Options.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace atc;
+
+int main(int argc, char **argv) {
+  long long Scale = 2'000'000;
+  std::string CsvPath;
+  bool Quick = false;
+  OptionSet Opts("Figure 10: speedup on unbalanced trees");
+  Opts.addInt("scale", &Scale, "tree size in nodes");
+  Opts.addFlag("quick", &Quick, "thread counts {1,2,4,8} only");
+  Opts.addString("csv", &CsvPath, "also write results as CSV to this file");
+  Opts.parse(argc, argv);
+
+  struct Panel {
+    const char *Title;
+    const char *Left;
+    const char *Right;
+  };
+  const Panel Panels[] = {
+      {"(a) Sudoku input1 / input2", "input1", "input2"},
+      {"(b) Random unbalanced tree1L / tree1R", "tree1l", "tree1r"},
+      {"(c) Random unbalanced tree2L / tree2R", "tree2l", "tree2r"},
+      {"(d) Random unbalanced tree3L / tree3R", "tree3l", "tree3r"},
+  };
+  const SchedulerKind Systems[] = {SchedulerKind::CilkSynched,
+                                   SchedulerKind::Tascell,
+                                   SchedulerKind::AdaptiveTC};
+
+  TextTable Csv;
+  Csv.setHeader({"panel", "tree", "system", "threads", "speedup",
+                 "wait_children_pct", "idle_pct"});
+
+  for (const Panel &P : Panels) {
+    std::printf("=== Figure 10 %s ===\n", P.Title);
+    TextTable Table;
+    {
+      std::vector<std::string> Header = {"threads"};
+      for (SchedulerKind K : Systems) {
+        Header.push_back(std::string(schedulerKindName(K)) + "_" + P.Left);
+        Header.push_back(std::string(schedulerKindName(K)) + "_" + P.Right);
+      }
+      Table.setHeader(Header);
+    }
+
+    for (int T = 1; T <= 8; ++T) {
+      if (Quick && T != 1 && T != 2 && T != 4 && T != 8)
+        continue;
+      std::vector<std::string> Row = {std::to_string(T)};
+      for (SchedulerKind K : Systems) {
+        for (const char *TreeName : {P.Left, P.Right}) {
+          SimTree Tree(SimTree::preset(TreeName, Scale));
+          SimOptions SimOpts;
+          SimOpts.Kind = K;
+          SimOpts.NumWorkers = T;
+          CostModel Costs;
+          SimReport R = simulate(Tree, SimOpts, Costs);
+          Row.push_back(TextTable::fmt(R.speedup(), 2));
+          double Busy = R.Total.totalNs();
+          Csv.addRow({P.Title, TreeName, schedulerKindName(K),
+                      std::to_string(T), TextTable::fmt(R.speedup(), 4),
+                      TextTable::fmt(100.0 * R.Total.WaitChildrenNs / Busy, 2),
+                      TextTable::fmt(100.0 * R.Total.IdleNs / Busy, 2)});
+        }
+      }
+      Table.addRow(Row);
+    }
+    Table.print();
+    std::printf("\n");
+  }
+
+  // Section 5.3.2 diagnostics at 8 threads on Tree3.
+  std::printf("=== Section 5.3.2: waiting diagnostics on Tree3 (8 threads) "
+              "===\n");
+  for (const char *TreeName : {"tree3l", "tree3r"}) {
+    SimTree Tree(SimTree::preset(TreeName, Scale));
+    for (SchedulerKind K :
+         {SchedulerKind::Tascell, SchedulerKind::AdaptiveTC}) {
+      SimOptions SimOpts;
+      SimOpts.Kind = K;
+      SimOpts.NumWorkers = 8;
+      CostModel Costs;
+      SimReport R = simulate(Tree, SimOpts, Costs);
+      double Busy = R.Total.totalNs();
+      std::printf("%-10s %-11s wait_children=%5.2f%%  steal-fail idle="
+                  "%5.2f%%  speedup=%.2f\n",
+                  schedulerKindName(K), TreeName,
+                  100.0 * R.Total.WaitChildrenNs / Busy,
+                  100.0 * R.Total.IdleNs / Busy, R.speedup());
+    }
+  }
+
+  atc::bench::maybeWriteCsv(CsvPath, Csv.renderCsv());
+  return 0;
+}

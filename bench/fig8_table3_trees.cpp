@@ -1,0 +1,80 @@
+//===- bench/fig8_table3_trees.cpp - Figure 8 / Table 3 tree stats --------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 8 and Table 3: the unbalanced experiment trees.
+/// For each preset it regenerates the tree at the chosen scale and prints
+/// the published columns — size, leaf count, depth, and the depth-1
+/// subtree percentages (Table 3's "percent numbers") — plus Figure 8's
+/// nested heavy-path percentages.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/TreeGen.h"
+#include "support/Options.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace atc;
+
+int main(int argc, char **argv) {
+  long long Scale = 2'000'000;
+  std::string CsvPath;
+  OptionSet Opts("Figure 8 / Table 3: unbalanced tree statistics");
+  Opts.addInt("scale", &Scale,
+              "tree size in nodes (paper: 1,961,025,791 for Table 3)");
+  Opts.addString("csv", &CsvPath, "also write results as CSV to this file");
+  Opts.parse(argc, argv);
+
+  std::printf("=== Table 3: randomly generated unbalanced trees "
+              "(scale %lld nodes; paper scale 1,961,025,791) ===\n",
+              Scale);
+  TextTable Table;
+  Table.setHeader({"input", "size", "leaves", "depth", "depth-1 shares (%)"});
+
+  for (const char *Name : {"tree1l", "tree1r", "tree2l", "tree2r", "tree3l",
+                           "tree3r"}) {
+    SimTree Tree(SimTree::preset(Name, Scale));
+    auto Stats = Tree.walk();
+    std::string Shares;
+    for (double S : Tree.depth1SharePercent()) {
+      if (!Shares.empty())
+        Shares += ", ";
+      Shares += TextTable::fmt(S, 3);
+    }
+    Table.addRow({Name, TextTable::fmt(static_cast<long long>(Stats.Nodes)),
+                  TextTable::fmt(static_cast<long long>(Stats.Leaves)),
+                  std::to_string(Stats.MaxDepth), Shares});
+  }
+  Table.print();
+
+  std::printf("\n=== Figure 8: the Sudoku-derived unbalanced tree (input1) "
+              "===\n");
+  SimTree Fig8(SimTree::preset("fig8", Scale));
+  auto Stats = Fig8.walk();
+  std::printf("size=%lld; depth=%d; leaves=%lld\n", Stats.Nodes,
+              Stats.MaxDepth, Stats.Leaves);
+  std::printf("heavy-path subtree share per depth (paper: 61.04%%, 46.2%%, "
+              "22.6%%, 17.74%% ...):\n");
+  SimTreeNode Node = Fig8.root();
+  std::vector<SimTreeNode> Kids;
+  for (int Depth = 1; Depth <= 6; ++Depth) {
+    Fig8.children(Node, Kids);
+    if (Kids.empty())
+      break;
+    SimTreeNode Heavy = Kids[0];
+    for (const SimTreeNode &K : Kids)
+      if (K.Size > Heavy.Size)
+        Heavy = K;
+    std::printf("  depth%d  %.2f%%\n", Depth,
+                100.0 * static_cast<double>(Heavy.Size) /
+                    static_cast<double>(Stats.Nodes));
+    Node = Heavy;
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- bench/micro_deque.cpp - deque micro-benchmarks ---------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark micro-benchmarks of the two deque implementations:
+/// the fixed-array THE-protocol deque (Cilk 5.4.6 / AdaptiveTC) and the
+/// growable lock-free Chase-Lev deque (the related-work overflow-free
+/// alternative). These are the unit costs the simulator's CostModel is
+/// calibrated against.
+///
+//===----------------------------------------------------------------------===//
+
+#include "deque/ChaseLevDeque.h"
+#include "deque/TheDeque.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace atc;
+
+static void BM_TheDequePushPop(benchmark::State &State) {
+  TheDeque D(1024);
+  int Dummy = 0;
+  for (auto _ : State) {
+    D.tryPush(&Dummy);
+    benchmark::DoNotOptimize(D.pop());
+  }
+}
+BENCHMARK(BM_TheDequePushPop);
+
+static void BM_TheDequePushStealBatch(benchmark::State &State) {
+  TheDeque D(1024);
+  int Dummy = 0;
+  for (auto _ : State) {
+    for (int I = 0; I < 64; ++I)
+      D.tryPush(&Dummy);
+    for (int I = 0; I < 64; ++I)
+      benchmark::DoNotOptimize(D.steal());
+    D.reset();
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_TheDequePushStealBatch);
+
+static void BM_TheDequeSpecialRoundTrip(benchmark::State &State) {
+  // The AdaptiveTC check-version pattern: push special, push child, steal
+  // child via H += 2, pop special (failure path with H = T reset).
+  TheDeque D(1024);
+  int Special = 0, Child = 0;
+  for (auto _ : State) {
+    D.tryPush(&Special, /*Special=*/true);
+    D.tryPush(&Child);
+    benchmark::DoNotOptimize(D.steal());
+    benchmark::DoNotOptimize(D.pop());
+    benchmark::DoNotOptimize(D.popSpecial());
+    D.reset();
+  }
+}
+BENCHMARK(BM_TheDequeSpecialRoundTrip);
+
+static void BM_ChaseLevPushPop(benchmark::State &State) {
+  ChaseLevDeque D(1024);
+  int Dummy = 0;
+  for (auto _ : State) {
+    D.push(&Dummy);
+    benchmark::DoNotOptimize(D.pop());
+  }
+}
+BENCHMARK(BM_ChaseLevPushPop);
+
+static void BM_ChaseLevPushStealBatch(benchmark::State &State) {
+  ChaseLevDeque D(1024);
+  int Dummy = 0;
+  for (auto _ : State) {
+    for (int I = 0; I < 64; ++I)
+      D.push(&Dummy);
+    for (int I = 0; I < 64; ++I)
+      benchmark::DoNotOptimize(D.steal());
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_ChaseLevPushStealBatch);
+
+static void BM_ChaseLevGrowth(benchmark::State &State) {
+  // Overflow behaviour: the Chase-Lev deque grows instead of rejecting.
+  int Dummy = 0;
+  for (auto _ : State) {
+    ChaseLevDeque D(4);
+    for (int I = 0; I < 512; ++I)
+      D.push(&Dummy);
+    benchmark::DoNotOptimize(D.growCount());
+  }
+  State.SetItemsProcessed(State.iterations() * 512);
+}
+BENCHMARK(BM_ChaseLevGrowth);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+//===- bench/micro_spawn.cpp - per-spawn overhead micro-benchmarks --------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark measurement of the per-node scheduling overhead of
+/// each system with one worker, using Fib — the paper's task-overhead
+/// stress test ("in fib, there is almost no actual computation workload
+/// in each function. Hence, it increases the proportion of task creations
+/// and the d-e-que management cost substantially").
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "problems/FibComp.h"
+#include "problems/NQueens.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace atc;
+
+namespace {
+
+constexpr int FibN = 20;
+
+template <SchedulerKind Kind> void BM_Fib1Thread(benchmark::State &State) {
+  FibProblem Prob;
+  SchedulerConfig Cfg;
+  Cfg.Kind = Kind;
+  Cfg.NumWorkers = 1;
+  long long Expected = FibProblem::fibValue(FibN);
+  for (auto _ : State) {
+    auto R = runProblem(Prob, FibProblem::makeRoot(FibN), Cfg);
+    if (R.Value != Expected)
+      State.SkipWithError("wrong fib value");
+    benchmark::DoNotOptimize(R.Value);
+  }
+}
+
+template <SchedulerKind Kind>
+void BM_NQueens1Thread(benchmark::State &State) {
+  NQueensArray Prob;
+  SchedulerConfig Cfg;
+  Cfg.Kind = Kind;
+  Cfg.NumWorkers = 1;
+  for (auto _ : State) {
+    auto R = runProblem(Prob, NQueensArray::makeRoot(9), Cfg);
+    if (R.Value != 352)
+      State.SkipWithError("wrong queens count");
+    benchmark::DoNotOptimize(R.Value);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Fib1Thread<SchedulerKind::Sequential>)->Name("Fib20/Sequential");
+BENCHMARK(BM_Fib1Thread<SchedulerKind::Cilk>)->Name("Fib20/Cilk");
+BENCHMARK(BM_Fib1Thread<SchedulerKind::CilkSynched>)
+    ->Name("Fib20/Cilk-SYNCHED");
+BENCHMARK(BM_Fib1Thread<SchedulerKind::Tascell>)->Name("Fib20/Tascell");
+BENCHMARK(BM_Fib1Thread<SchedulerKind::AdaptiveTC>)->Name("Fib20/AdaptiveTC");
+
+BENCHMARK(BM_NQueens1Thread<SchedulerKind::Sequential>)
+    ->Name("NQueens9/Sequential");
+BENCHMARK(BM_NQueens1Thread<SchedulerKind::Cilk>)->Name("NQueens9/Cilk");
+BENCHMARK(BM_NQueens1Thread<SchedulerKind::CilkSynched>)
+    ->Name("NQueens9/Cilk-SYNCHED");
+BENCHMARK(BM_NQueens1Thread<SchedulerKind::Tascell>)
+    ->Name("NQueens9/Tascell");
+BENCHMARK(BM_NQueens1Thread<SchedulerKind::AdaptiveTC>)
+    ->Name("NQueens9/AdaptiveTC");
+
+BENCHMARK_MAIN();

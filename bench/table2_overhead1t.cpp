@@ -1,0 +1,100 @@
+//===- bench/table2_overhead1t.cpp - Table 2: 1-thread overheads ----------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 2: execution time (and relative time to the
+/// sequential C program) with one thread for Tascell, Cilk, Cilk-SYNCHED
+/// and AdaptiveTC. These are *real measurements* of this repository's
+/// runtime — the single-thread overhead experiments are the ones the
+/// single-core host can reproduce natively.
+///
+/// Paper reference ratios (to sequential): Cilk 1.21-4.01x, Cilk-SYNCHED
+/// 1.19-3.09x, Tascell 1.01-1.61x, AdaptiveTC 0.92-1.52x.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "support/Options.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace atc;
+using namespace atc::bench;
+
+int main(int argc, char **argv) {
+  bool PaperScale = false;
+  long long Repeats = 3;
+  std::string CsvPath;
+  OptionSet Opts("Table 2: 1-thread execution time relative to sequential");
+  Opts.addFlag("paper-scale", &PaperScale,
+               "use the published input sizes (slow)");
+  Opts.addInt("repeats", &Repeats,
+              "runs per configuration; the median is reported (paper: 3)");
+  Opts.addString("csv", &CsvPath, "also write results as CSV to this file");
+  Opts.parse(argc, argv);
+
+  const SchedulerKind Systems[] = {
+      SchedulerKind::Tascell, SchedulerKind::Cilk,
+      SchedulerKind::CilkSynched, SchedulerKind::AdaptiveTC};
+
+  TextTable Table;
+  Table.setHeader({"benchmark", "seq(ms)", "Tascell", "Cilk", "Cilk-SYNCHED",
+                   "AdaptiveTC"});
+  TextTable Csv;
+  Csv.setHeader({"benchmark", "system", "ms", "ratio_to_seq"});
+
+  for (const Benchmark &B : benchmarkSuite(PaperScale)) {
+    // Median-of-N sequential baseline (paper protocol).
+    std::vector<double> SeqTimes;
+    long long SeqValue = 0;
+    for (int I = 0; I < Repeats; ++I) {
+      RealRun R = B.RunSequential();
+      SeqTimes.push_back(R.Seconds);
+      SeqValue = R.Value;
+    }
+    double SeqSec = median(SeqTimes);
+    Csv.addRow({B.Name, "Sequential", TextTable::fmt(SeqSec * 1e3, 3), "1.00"});
+
+    std::vector<std::string> Row = {B.Name, TextTable::fmt(SeqSec * 1e3, 1)};
+    for (SchedulerKind K : Systems) {
+      if (K == SchedulerKind::CilkSynched && !B.HasTaskprivate) {
+        // Fib/Comp have no taskprivate workspace; the paper leaves the
+        // SYNCHED column empty ("-").
+        Row.push_back("-");
+        continue;
+      }
+      SchedulerConfig Cfg;
+      Cfg.Kind = K;
+      Cfg.NumWorkers = 1;
+      std::vector<double> Times;
+      for (int I = 0; I < Repeats; ++I) {
+        RealRun R = B.Run(Cfg);
+        if (R.Value != SeqValue)
+          std::fprintf(stderr,
+                       "error: %s under %s returned %lld, expected %lld\n",
+                       B.Name.c_str(), schedulerKindName(K), R.Value,
+                       SeqValue);
+        Times.push_back(R.Seconds);
+      }
+      double Sec = median(Times);
+      char Cell[64];
+      std::snprintf(Cell, sizeof(Cell), "%.1f (%.2f)", Sec * 1e3,
+                    Sec / SeqSec);
+      Row.push_back(Cell);
+      Csv.addRow({B.Name, schedulerKindName(K), TextTable::fmt(Sec * 1e3, 3),
+                  TextTable::fmt(Sec / SeqSec, 3)});
+    }
+    Table.addRow(Row);
+  }
+
+  std::printf("=== Table 2: execution time in ms (and relative time to the "
+              "sequential program) with one thread ===\n");
+  Table.print();
+  maybeWriteCsv(CsvPath, Csv.renderCsv());
+  return 0;
+}

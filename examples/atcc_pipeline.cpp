@@ -1,0 +1,87 @@
+//===- examples/atcc_pipeline.cpp - compiler pipeline walkthrough ---------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks the atcc compiler pipeline over an embedded ATC program (the
+/// paper's n-queens example): prints the AST, then the generated C++
+/// with the five code versions. Pipe the output of --emit to a file and
+/// build it with g++ -I <repo>/src to run the program.
+///
+///   ./build/examples/atcc_pipeline            # annotated walkthrough
+///   ./build/examples/atcc_pipeline --emit     # raw generated C++ only
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Compile.h"
+#include "support/Options.h"
+
+#include <cstdio>
+
+using namespace atc;
+using namespace atc::lang;
+
+static const char *NQueensAtc = R"(// n-queens in ATC (extended Cilk).
+int ok(int depth, char *x, int j) {
+  for (int i = 0; i < depth; i = i + 1) {
+    int d = x[i] - j;
+    if (d == 0 || d == depth - i || d == i - depth)
+      return 0;
+  }
+  return 1;
+}
+
+cilk int nqueens(int depth, int n, char *x)
+taskprivate: (*x) (n * sizeof(char));
+{
+  long sn = 0;
+  if (depth == n)
+    return 1;
+  for (int j = 0; j < n; j = j + 1) {
+    if (ok(depth, x, j)) {
+      x[depth] = j;
+      sn += spawn nqueens(depth + 1, n, x);
+    }
+  }
+  sync;
+  return sn;
+}
+
+int main() {
+  char board[16];
+  print_long(nqueens(0, 10, board));
+  return 0;
+}
+)";
+
+int main(int argc, char **argv) {
+  bool EmitOnly = false;
+  OptionSet Opts("atcc pipeline walkthrough on the n-queens example");
+  Opts.addFlag("emit", &EmitOnly, "print only the generated C++");
+  Opts.parse(argc, argv);
+
+  CompileResult R = compileAtc(NQueensAtc);
+  if (!R.Success) {
+    for (const std::string &E : R.Errors)
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+
+  if (EmitOnly) {
+    std::fputs(R.Cpp.c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("=== 1. ATC source (extended Cilk + taskprivate) ===\n%s\n",
+              NQueensAtc);
+  std::printf("=== 2. AST after sema (spawn ids assigned) ===\n%s\n",
+              dumpProgram(R.Ast).c_str());
+  std::printf("=== 3. Generated C++ (five versions per cilk function) "
+              "===\n%s",
+              R.Cpp.c_str());
+  std::printf("\nBuild it:  ./build/examples/atcc_pipeline --emit > nq.cpp "
+              "&& g++ -std=c++20 -I src nq.cpp -o nq && ./nq\n");
+  return 0;
+}

@@ -1,0 +1,638 @@
+//===- core/FrameEngine.h - Deque-based scheduling engine -------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FrameEngine implements the deque-based scheduling systems of the paper
+/// — Cilk, Cilk-SYNCHED, Cutoff, and AdaptiveTC — over the SearchProblem
+/// task model. It performs true work-first continuation stealing: a stolen
+/// continuation is the tuple (workspace, last choice, partial result,
+/// depths) held in a TaskFrame, which is exactly the state the paper's
+/// compiler saves before each spawn ("save PC / save live vars",
+/// Appendix B).
+///
+/// Mapping to the paper's five code versions:
+///
+///  * fast      -> taskBody(Fast2 = false): allocates a frame at entry,
+///                 pushes it per spawn, a failed pop returns a dummy value
+///                 ("if pop(sn) == FAILURE return 0"). Beyond the cut-off
+///                 it calls checkBody. Its sync point is a no-op (owner-
+///                 path invariant: never-stolen frames are fully joined).
+///  * check     -> checkBody: a fake task (no frame, in-place workspace
+///                 with undo) that polls need_task; when set, it creates a
+///                 special task, pushes it, and runs the child via
+///                 taskBody(Fast2 = true, depth 0); pop_specialtask /
+///                 sync_specialtask complete the protocol.
+///  * fast_2    -> taskBody(Fast2 = true): like fast with twice the
+///                 cut-off, falling back to seqBody (not checkBody).
+///  * sequence  -> seqBody: a plain recursive function.
+///  * slow      -> runContinuation: executed by a thief on a stolen frame;
+///                 restores the "PC" (choice index) and live state, then
+///                 continues spawning with the fast/check dispatch. Its
+///                 sync point checks the join counter and suspends the
+///                 task if children are outstanding.
+///
+/// Join protocol (who assembles the result of a stolen task):
+///  * At steal time — under the deque lock, so the owner's pop failure
+///    has a happens-before edge — the frame's JoinCount is incremented:
+///    the victim's in-flight child chain owes it exactly one deposit.
+///    On the frame's *first* steal, if its Parent is a special task the
+///    parent's JoinCount is also incremented (a special is never stolen,
+///    so it gets no increment of its own; its deposits arrive from the
+///    completion of its detached children).
+///  * The victim's first failed pop deposits the just-returned child value
+///    into the stolen frame, then the whole spawn chain unwinds (every
+///    enclosing frame was stolen head-first before this one).
+///  * A completed detached frame deposits its total into Parent; the last
+///    depositor of a suspended frame resumes (completes) it, cascading up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_FRAMEENGINE_H
+#define ATC_CORE_FRAMEENGINE_H
+
+#include "core/Problem.h"
+#include "core/Scheduler.h"
+#include "core/SchedulerStats.h"
+#include "core/TaskFrame.h"
+#include "core/WorkerContext.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace atc {
+
+/// Deque-based scheduler engine for problem type \p P. One engine instance
+/// per run configuration; run() may be called repeatedly (stats are reset
+/// per run).
+template <SearchProblem P> class FrameEngine {
+public:
+  using State = typename P::State;
+  using Result = typename P::Result;
+  using Frame = TaskFrame<P>;
+
+  FrameEngine(P &Prob, SchedulerConfig Cfg) : Prob(Prob), Cfg(Cfg) {
+    assert(Cfg.NumWorkers >= 1 && "need at least one worker");
+    assert(Cfg.Kind != SchedulerKind::Tascell &&
+           Cfg.Kind != SchedulerKind::Sequential &&
+           "FrameEngine handles the deque-based kinds only");
+  }
+
+  /// Executes the computation rooted at \p Root and returns its result.
+  Result run(const State &Root);
+
+  /// Aggregated statistics of the last run().
+  const SchedulerStats &stats() const { return Total; }
+
+private:
+  /// How a spawn is executed, per scheduler kind and spawn depth.
+  enum class ChildMode { Task, Fast2Task, Check, Plain };
+
+  ChildMode childMode(int Dp, bool Fast2) const {
+    switch (Cfg.Kind) {
+    case SchedulerKind::Cilk:
+    case SchedulerKind::CilkSynched:
+      return ChildMode::Task;
+    case SchedulerKind::Cutoff:
+      return Dp < CutoffDepth ? ChildMode::Task : ChildMode::Plain;
+    case SchedulerKind::AdaptiveTC:
+      if (Fast2)
+        return Dp < 2 * CutoffDepth ? ChildMode::Fast2Task
+                                    : ChildMode::Plain;
+      return Dp < CutoffDepth ? ChildMode::Task : ChildMode::Check;
+    case SchedulerKind::Sequential:
+    case SchedulerKind::Tascell:
+      break;
+    }
+    ATC_UNREACHABLE("unhandled scheduler kind");
+  }
+
+  void workerMain(int Id);
+  void stealLoop(WorkerContext &W);
+
+  ExecResult<Result> taskBody(WorkerContext &W, State &S, int Depth,
+                              Frame *Parent, int Dp, bool Fast2,
+                              bool OwnsState);
+  Result checkBody(WorkerContext &W, State &S, int Depth);
+  Result seqBody(WorkerContext &W, State &S, int Depth);
+  void runContinuation(WorkerContext &W, Frame *F);
+
+  void depositTo(WorkerContext &W, Frame *F, Result Value);
+  void completeDetached(WorkerContext &W, Frame *F, Result Total);
+  void publishFinal(Result Value);
+
+  /// Invoked under the victim deque's lock for every successful steal.
+  static void onSteal(void *FrameV, void *);
+
+  State *allocState(WorkerContext &W);
+  void freeState(WorkerContext &W, State *S);
+  Frame *allocFrame(WorkerContext &W);
+  void freeFrame(WorkerContext &W, Frame *F);
+
+  P &Prob;
+  SchedulerConfig Cfg;
+  int CutoffDepth = 0;
+
+  std::vector<std::unique_ptr<WorkerContext>> Workers;
+  std::vector<std::vector<State *>> StatePools;
+  std::vector<std::vector<Frame *>> FramePools;
+  State *RootStatePtr = nullptr;
+
+  std::atomic<bool> Done{false};
+  std::mutex ResultLock;
+  Result FinalResult{};
+  bool HaveResult = false;
+
+  SchedulerStats Total;
+};
+
+//===----------------------------------------------------------------------===//
+// Implementation
+//===----------------------------------------------------------------------===//
+
+template <SearchProblem P>
+typename P::Result FrameEngine<P>::run(const State &Root) {
+  CutoffDepth = Cfg.effectiveCutoff();
+  Done.store(false, std::memory_order_relaxed);
+  HaveResult = false;
+  FinalResult = Result{};
+  Workers.clear();
+  StatePools.assign(static_cast<std::size_t>(Cfg.NumWorkers), {});
+  FramePools.assign(static_cast<std::size_t>(Cfg.NumWorkers), {});
+  for (int I = 0; I < Cfg.NumWorkers; ++I)
+    Workers.push_back(std::make_unique<WorkerContext>(
+        I, Cfg.DequeCapacity, Cfg.Seed + static_cast<std::uint64_t>(I)));
+
+  State RootCopy = Root;
+  RootStatePtr = &RootCopy;
+
+  if (Cfg.NumWorkers == 1) {
+    // Single worker: run inline (no thread spawn) — this is the
+    // configuration the paper's Table 2 overhead measurements use.
+    workerMain(0);
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(static_cast<std::size_t>(Cfg.NumWorkers));
+    for (int I = 0; I < Cfg.NumWorkers; ++I)
+      Threads.emplace_back([this, I] { workerMain(I); });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  Total = SchedulerStats();
+  for (int I = 0; I < Cfg.NumWorkers; ++I) {
+    WorkerContext &W = *Workers[I];
+    Total += W.Stats;
+    Total.DequeOverflows += W.Deque.overflowCount();
+    Total.DequeHighWater =
+        std::max(Total.DequeHighWater, W.Deque.highWaterMark());
+    for (State *S : StatePools[static_cast<std::size_t>(I)])
+      ::operator delete(S);
+    StatePools[static_cast<std::size_t>(I)].clear();
+    for (Frame *F : FramePools[static_cast<std::size_t>(I)])
+      delete F;
+    FramePools[static_cast<std::size_t>(I)].clear();
+  }
+
+  assert(HaveResult && "computation finished without a result");
+  return FinalResult;
+}
+
+template <SearchProblem P> void FrameEngine<P>::workerMain(int Id) {
+  WorkerContext &W = *Workers[static_cast<std::size_t>(Id)];
+  if (Id == 0) {
+    ExecResult<Result> R =
+        taskBody(W, *RootStatePtr, /*Depth=*/0, /*Parent=*/nullptr,
+                 /*Dp=*/0, /*Fast2=*/false, /*OwnsState=*/false);
+    if (!R.Stolen)
+      publishFinal(R.Value);
+  }
+  stealLoop(W);
+}
+
+template <SearchProblem P> void FrameEngine<P>::publishFinal(Result Value) {
+  {
+    std::lock_guard<std::mutex> Guard(ResultLock);
+    FinalResult = Value;
+    HaveResult = true;
+  }
+  Done.store(true, std::memory_order_release);
+}
+
+template <SearchProblem P> void FrameEngine<P>::onSteal(void *FrameV, void *) {
+  auto *F = static_cast<Frame *>(FrameV);
+  F->JoinCount.fetch_add(1, std::memory_order_acq_rel);
+  if (!F->Detached) {
+    F->Detached = true;
+    // A special parent never gets a steal increment of its own; account
+    // for this child's eventual completion deposit here (see file
+    // comment).
+    if (F->Parent && F->Parent->Special)
+      F->Parent->JoinCount.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+template <SearchProblem P> void FrameEngine<P>::stealLoop(WorkerContext &W) {
+  if (Cfg.NumWorkers == 1)
+    return;
+  int FailStreak = 0;
+  std::uint64_t IdleBegin = nowNanos();
+  while (!Done.load(std::memory_order_acquire)) {
+    // Random victim selection (excluding self).
+    int V = static_cast<int>(
+        W.Rng.nextBelow(static_cast<std::uint64_t>(Cfg.NumWorkers - 1)));
+    if (V >= W.Id)
+      ++V;
+    WorkerContext &Victim = *Workers[static_cast<std::size_t>(V)];
+
+    StealResult SR = Victim.Deque.steal(&FrameEngine::onSteal, nullptr);
+    if (SR.Status == StealResult::Status::Success) {
+      ++W.Stats.Steals;
+      // "When the thief thread succeeds in stealing a task, it clears the
+      // victim thread's stolen_num and need_task."
+      Victim.StolenNum.store(0, std::memory_order_relaxed);
+      Victim.NeedTask.store(false, std::memory_order_relaxed);
+      FailStreak = 0;
+      W.Stats.StealWaitNs += nowNanos() - IdleBegin;
+      runContinuation(W, static_cast<Frame *>(SR.Frame));
+      IdleBegin = nowNanos();
+      continue;
+    }
+
+    // Failed attempt: inform the victim it is being asked for tasks.
+    ++W.Stats.StealFails;
+    int SN = Victim.StolenNum.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (SN > Cfg.MaxStolenNum)
+      Victim.NeedTask.store(true, std::memory_order_relaxed);
+    ++FailStreak;
+    if (FailStreak < 8)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          std::min(FailStreak, 100)));
+  }
+  W.Stats.StealWaitNs += nowNanos() - IdleBegin;
+}
+
+template <SearchProblem P>
+typename P::State *FrameEngine<P>::allocState(WorkerContext &W) {
+  // Cilk models a fresh allocation per child ("Cilk_alloca + memcpy");
+  // SYNCHED / AdaptiveTC / Cutoff reuse buffers through a per-worker pool
+  // (space reuse is what the SYNCHED variable buys — the copy itself
+  // still happens at the call site).
+  if (Cfg.Kind != SchedulerKind::Cilk) {
+    auto &Pool = StatePools[static_cast<std::size_t>(W.Id)];
+    if (!Pool.empty()) {
+      State *S = Pool.back();
+      Pool.pop_back();
+      return S;
+    }
+  }
+  return static_cast<State *>(::operator new(sizeof(State)));
+}
+
+template <SearchProblem P>
+void FrameEngine<P>::freeState(WorkerContext &W, State *S) {
+  if (Cfg.Kind != SchedulerKind::Cilk) {
+    auto &Pool = StatePools[static_cast<std::size_t>(W.Id)];
+    if (Pool.size() < 4096) {
+      Pool.push_back(S);
+      return;
+    }
+  }
+  ::operator delete(S);
+}
+
+template <SearchProblem P>
+typename FrameEngine<P>::Frame *FrameEngine<P>::allocFrame(WorkerContext &W) {
+  // All systems pool task frames (Cilk 5.4.6 has a fast closure
+  // allocator); the pooled frame is reset to its freshly-constructed
+  // state.
+  auto &Pool = FramePools[static_cast<std::size_t>(W.Id)];
+  if (ATC_LIKELY(!Pool.empty())) {
+    Frame *F = Pool.back();
+    Pool.pop_back();
+    F->StatePtr = nullptr;
+    F->PartialAcc = Result{};
+    F->Deposits = Result{};
+    F->SyncAcc = Result{};
+    F->LastChoice = -1;
+    F->Depth = 0;
+    F->SpawnDepth = 0;
+    assert(F->JoinCount.load(std::memory_order_relaxed) == 0 &&
+           "pooled frame with outstanding joins");
+    F->Parent = nullptr;
+    F->Suspended = false;
+    F->Special = false;
+    F->Detached = false;
+    F->OwnsState = false;
+    return F;
+  }
+  return new Frame();
+}
+
+template <SearchProblem P>
+void FrameEngine<P>::freeFrame(WorkerContext &W, Frame *F) {
+  auto &Pool = FramePools[static_cast<std::size_t>(W.Id)];
+  if (Pool.size() < 4096) {
+    Pool.push_back(F);
+    return;
+  }
+  delete F;
+}
+
+template <SearchProblem P>
+ExecResult<typename P::Result>
+FrameEngine<P>::taskBody(WorkerContext &W, State &S, int Depth, Frame *Parent,
+                         int Dp, bool Fast2, bool OwnsState) {
+  ++W.Stats.TasksCreated;
+  if (Prob.isLeaf(S, Depth)) {
+    Result R = Prob.leafResult(S, Depth);
+    if (OwnsState)
+      freeState(W, &S);
+    return {R, false};
+  }
+
+  Frame *F = allocFrame(W);
+  F->StatePtr = &S;
+  F->Depth = Depth;
+  F->SpawnDepth = Dp;
+  F->Parent = Parent;
+  F->OwnsState = OwnsState;
+
+  Result Acc{};
+  const int N = Prob.numChoices(S, Depth);
+  for (int K = 0; K < N; ++K) {
+    if (!Prob.applyChoice(S, Depth, K))
+      continue;
+
+    ChildMode M = childMode(Dp, Fast2);
+    if (M == ChildMode::Task || M == ChildMode::Fast2Task) {
+      // Spawn as a real task: give the child a private workspace copy
+      // (the taskprivate copy), then expose our continuation. The copy
+      // MUST precede the push — once the frame is stealable, a thief may
+      // start mutating S (undo/redo of our remaining choices).
+      State *CB = allocState(W);
+      std::memcpy(static_cast<void *>(CB), static_cast<const void *>(&S),
+                  sizeof(State));
+      ++W.Stats.WorkspaceCopies;
+      W.Stats.CopiedBytes += sizeof(State);
+      F->LastChoice = K;
+      F->PartialAcc = Acc;
+      if (ATC_UNLIKELY(!W.Deque.tryPush(F))) {
+        // Deque overflow: degrade to a plain call (counted by the deque).
+        freeState(W, CB);
+        Acc += seqBody(W, S, Depth + 1);
+        Prob.undoChoice(S, Depth, K);
+        continue;
+      }
+      ++W.Stats.Spawns;
+
+      ExecResult<Result> R = taskBody(W, *CB, Depth + 1, F, Dp + 1,
+                                      M == ChildMode::Fast2Task,
+                                      /*OwnsState=*/true);
+      if (R.Stolen) {
+        // The child's own frame was stolen, which (head-first stealing)
+        // implies ours was too: its result reaches F via the frame chain.
+        // Unwind without popping or freeing anything we no longer own.
+        return {Result{}, true};
+      }
+      if (W.Deque.pop() == PopResult::Failure) {
+        // Our continuation was stolen: deposit the child's value into the
+        // (now thief-owned) frame and unwind ("return a dummy value").
+        depositTo(W, F, R.Value);
+        return {Result{}, true};
+      }
+      Acc += R.Value;
+    } else if (M == ChildMode::Check) {
+      Acc += checkBody(W, S, Depth + 1);
+    } else {
+      Acc += seqBody(W, S, Depth + 1);
+    }
+    Prob.undoChoice(S, Depth, K);
+  }
+
+  // Sync point. Owner-path invariant: a frame whose every pop succeeded
+  // was never stolen, so all children completed synchronously ("all sync
+  // statements [in the fast version] are translated to no-ops").
+  assert(F->JoinCount.load(std::memory_order_acquire) == 0 &&
+         "owner-path frame has outstanding children");
+  assert(!F->Detached && "owner-path frame was stolen");
+  freeFrame(W, F);
+  if (OwnsState)
+    freeState(W, &S);
+  return {Acc, false};
+}
+
+template <SearchProblem P>
+typename P::Result FrameEngine<P>::checkBody(WorkerContext &W, State &S,
+                                             int Depth) {
+  ++W.Stats.FakeTasks;
+  if (Prob.isLeaf(S, Depth))
+    return Prob.leafResult(S, Depth);
+
+  Frame *SF = nullptr; // special task frame, created on demand
+  bool StolenFlag = false;
+  Result Acc{};
+  const int N = Prob.numChoices(S, Depth);
+  for (int K = 0; K < N; ++K) {
+    if (!Prob.applyChoice(S, Depth, K))
+      continue;
+
+    ++W.Stats.Polls;
+    if (ATC_LIKELY(!W.NeedTask.load(std::memory_order_relaxed))) {
+      // No idle thread waiting: stay a fake task (in-place workspace).
+      Acc += checkBody(W, S, Depth + 1);
+      Prob.undoChoice(S, Depth, K);
+      continue;
+    }
+
+    // Some thread is starving: create a special task marking the
+    // transition point and publish stealable children through fast_2 with
+    // the spawn depth reset to 0.
+    if (!SF) {
+      SF = allocFrame(W);
+      SF->Special = true;
+      SF->Depth = Depth;
+      SF->StatePtr = &S;
+      SF->OwnsState = false;
+      ++W.Stats.SpecialTasks;
+    }
+    State *CB = allocState(W);
+    std::memcpy(static_cast<void *>(CB), static_cast<const void *>(&S),
+                sizeof(State));
+    ++W.Stats.WorkspaceCopies;
+    W.Stats.CopiedBytes += sizeof(State);
+    if (ATC_UNLIKELY(!W.Deque.tryPush(SF, /*Special=*/true))) {
+      freeState(W, CB);
+      Acc += seqBody(W, S, Depth + 1);
+      Prob.undoChoice(S, Depth, K);
+      continue;
+    }
+    ++W.Stats.Spawns;
+
+    ExecResult<Result> R = taskBody(W, *CB, Depth + 1, SF, /*Dp=*/0,
+                                    /*Fast2=*/true, /*OwnsState=*/true);
+    if (W.Deque.popSpecial() == PopResult::Failure)
+      StolenFlag = true; // the special's child was stolen
+    if (!R.Stolen)
+      Acc += R.Value; // else: arrives through SF->Deposits
+    Prob.undoChoice(S, Depth, K);
+  }
+
+  if (SF) {
+    if (StolenFlag) {
+      // sync_specialtask: a special task cannot be suspended; wait for
+      // its children to complete (Fig. 3c polls with usleep(100)).
+      std::uint64_t T0 = nowNanos();
+      while (SF->JoinCount.load(std::memory_order_acquire) != 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      W.Stats.WaitChildrenNs += nowNanos() - T0;
+    }
+    {
+      std::lock_guard<std::mutex> Guard(SF->Lock);
+      Acc += SF->Deposits;
+    }
+    freeFrame(W, SF);
+  }
+  return Acc;
+}
+
+template <SearchProblem P>
+typename P::Result FrameEngine<P>::seqBody(WorkerContext &W, State &S,
+                                           int Depth) {
+  ++W.Stats.FakeTasks;
+  if (Prob.isLeaf(S, Depth))
+    return Prob.leafResult(S, Depth);
+  Result Acc{};
+  const int N = Prob.numChoices(S, Depth);
+  for (int K = 0; K < N; ++K) {
+    if (!Prob.applyChoice(S, Depth, K))
+      continue;
+    Acc += seqBody(W, S, Depth + 1);
+    Prob.undoChoice(S, Depth, K);
+  }
+  return Acc;
+}
+
+template <SearchProblem P>
+void FrameEngine<P>::runContinuation(WorkerContext &W, Frame *F) {
+  // The slow version: restore the live state and "PC", undo the choice
+  // whose child is running elsewhere, and continue the spawning loop.
+  State &S = *F->StatePtr;
+  const int Depth = F->Depth;
+  const int Dp = F->SpawnDepth;
+  Prob.undoChoice(S, Depth, F->LastChoice);
+  Result Acc = F->PartialAcc;
+  const int N = Prob.numChoices(S, Depth);
+
+  for (int K = F->LastChoice + 1; K < N; ++K) {
+    if (!Prob.applyChoice(S, Depth, K))
+      continue;
+
+    // Per the paper, the slow version dispatches children through the
+    // fast/check rule regardless of which version originally spawned it.
+    ChildMode M = childMode(Dp, /*Fast2=*/false);
+    if (M == ChildMode::Task) {
+      // As in taskBody: copy the child workspace before the push makes
+      // our continuation (and S) stealable.
+      State *CB = allocState(W);
+      std::memcpy(static_cast<void *>(CB), static_cast<const void *>(&S),
+                  sizeof(State));
+      ++W.Stats.WorkspaceCopies;
+      W.Stats.CopiedBytes += sizeof(State);
+      F->LastChoice = K;
+      F->PartialAcc = Acc;
+      if (ATC_UNLIKELY(!W.Deque.tryPush(F))) {
+        freeState(W, CB);
+        Acc += seqBody(W, S, Depth + 1);
+        Prob.undoChoice(S, Depth, K);
+        continue;
+      }
+      ++W.Stats.Spawns;
+
+      ExecResult<Result> R = taskBody(W, *CB, Depth + 1, F, Dp + 1,
+                                      /*Fast2=*/false, /*OwnsState=*/true);
+      if (R.Stolen)
+        return; // stolen again; back to the steal loop
+      if (W.Deque.pop() == PopResult::Failure) {
+        depositTo(W, F, R.Value);
+        return;
+      }
+      Acc += R.Value;
+    } else if (M == ChildMode::Check) {
+      Acc += checkBody(W, S, Depth + 1);
+    } else {
+      Acc += seqBody(W, S, Depth + 1);
+    }
+    Prob.undoChoice(S, Depth, K);
+  }
+
+  // Sync point of a stolen task: children may still be outstanding.
+  F->Lock.lock();
+  if (F->JoinCount.load(std::memory_order_acquire) != 0) {
+    // Suspend the task and go steal other work; the last depositor
+    // resumes (completes) it.
+    F->SyncAcc = Acc;
+    F->Suspended = true;
+    ++W.Stats.Suspensions;
+    F->Lock.unlock();
+    return;
+  }
+  Result Total = Acc;
+  Total += F->Deposits;
+  F->Lock.unlock();
+  completeDetached(W, F, Total);
+}
+
+template <SearchProblem P>
+void FrameEngine<P>::depositTo(WorkerContext &W, Frame *F, Result Value) {
+  ++W.Stats.Deposits;
+  F->Lock.lock();
+  F->Deposits += Value;
+  int JC = F->JoinCount.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  bool Resume = (JC == 0 && F->Suspended);
+  F->Lock.unlock();
+  if (Resume) {
+    // Sole owner now: assemble the total and complete.
+    Result Total = F->SyncAcc;
+    Total += F->Deposits;
+    completeDetached(W, F, Total);
+  }
+}
+
+template <SearchProblem P>
+void FrameEngine<P>::completeDetached(WorkerContext &W, Frame *F,
+                                      Result Total) {
+  for (;;) {
+    Frame *Parent = F->Parent;
+    if (F->OwnsState)
+      freeState(W, F->StatePtr);
+    freeFrame(W, F);
+    if (!Parent) {
+      publishFinal(Total);
+      return;
+    }
+    ++W.Stats.Deposits;
+    Parent->Lock.lock();
+    Parent->Deposits += Total;
+    int JC = Parent->JoinCount.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    bool Resume = (JC == 0 && Parent->Suspended);
+    Parent->Lock.unlock();
+    if (!Resume)
+      return;
+    Total = Parent->SyncAcc;
+    Total += Parent->Deposits;
+    F = Parent;
+  }
+}
+
+} // namespace atc
+
+#endif // ATC_CORE_FRAMEENGINE_H

@@ -1,0 +1,126 @@
+//===- core/Problem.h - The search-problem task model -----------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The task model shared by every scheduler in this project.
+///
+/// The paper's compiler assumes tasks of a particular shape: a recursive
+/// function that loops over candidate child choices, spawning one child per
+/// viable choice, with a workspace ("taskprivate" variable) that the child
+/// either receives as a private copy (real task) or mutates in place with
+/// undo (fake task). Its five generated code versions save/restore exactly
+/// (workspace, loop index, partial result, depth).
+///
+/// SearchProblem captures that shape as a C++ concept, which is what lets a
+/// library implement the paper's continuation stealing without compiler
+/// support or stack switching: a continuation is fully described by
+/// (State, last choice index, partial result, depth).
+///
+/// Semantics (the "reference interpreter" every scheduler must agree with):
+///
+/// \code
+///   Result search(P &Prob, State &S, int Depth) {
+///     if (Prob.isLeaf(S, Depth))
+///       return Prob.leafResult(S, Depth);
+///     Result Acc{};                       // Result{} is the identity
+///     for (int K = 0, N = Prob.numChoices(S, Depth); K < N; ++K) {
+///       if (!Prob.applyChoice(S, Depth, K))
+///         continue;                       // pruned
+///       Acc += search(Prob, S, Depth + 1);
+///       Prob.undoChoice(S, Depth, K);
+///     }
+///     return Acc;
+///   }
+/// \endcode
+///
+/// Requirements on the types:
+///  * State is trivially copyable (the workspace copy is a memcpy — this is
+///    what the paper's `taskprivate: (*x)(n * sizeof(char))` clause
+///    expresses), and the undo discipline holds: after applyChoice /
+///    subtree / undoChoice the State is bit-identical to before.
+///  * Result is default-constructible to the reduction identity and
+///    supports `+=` as an associative, commutative combine (results of
+///    stolen subtrees are deposited in nondeterministic order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_PROBLEM_H
+#define ATC_CORE_PROBLEM_H
+
+#include <concepts>
+#include <type_traits>
+
+namespace atc {
+
+/// Concept for the choice-loop task model described in the file comment.
+template <typename P>
+concept SearchProblem = requires(P &Prob, typename P::State &S,
+                                 const typename P::State &CS, int Depth,
+                                 int K, typename P::Result &R) {
+  requires std::is_trivially_copyable_v<typename P::State>;
+  requires std::default_initializable<typename P::Result>;
+  { Prob.isLeaf(CS, Depth) } -> std::convertible_to<bool>;
+  { Prob.leafResult(CS, Depth) } -> std::convertible_to<typename P::Result>;
+  { Prob.numChoices(CS, Depth) } -> std::convertible_to<int>;
+  { Prob.applyChoice(S, Depth, K) } -> std::convertible_to<bool>;
+  { Prob.undoChoice(S, Depth, K) };
+  { R += R };
+};
+
+/// Reference sequential interpreter ("the serial C program" every speedup
+/// in the paper is measured against). Mutates \p S in place and restores
+/// it before returning.
+template <SearchProblem P>
+typename P::Result runSequential(P &Prob, typename P::State &S,
+                                 int Depth = 0) {
+  if (Prob.isLeaf(S, Depth))
+    return Prob.leafResult(S, Depth);
+  typename P::Result Acc{};
+  int N = Prob.numChoices(S, Depth);
+  for (int K = 0; K < N; ++K) {
+    if (!Prob.applyChoice(S, Depth, K))
+      continue;
+    Acc += runSequential(Prob, S, Depth + 1);
+    Prob.undoChoice(S, Depth, K);
+  }
+  return Acc;
+}
+
+/// Statistics about a problem's computation tree, gathered by profileTree.
+struct TreeProfile {
+  long long Nodes = 0;    ///< Total nodes visited (incl. root, excl. pruned).
+  long long Leaves = 0;   ///< Nodes where isLeaf was true.
+  int MaxDepth = 0;       ///< Deepest node.
+  long long Pruned = 0;   ///< Choices rejected by applyChoice.
+};
+
+/// Walks the full computation tree and gathers shape statistics. Used by
+/// the simulator to build statistically-matched synthetic trees for the
+/// Figure 4 reproduction.
+template <SearchProblem P>
+void profileTree(P &Prob, typename P::State &S, TreeProfile &Out,
+                 int Depth = 0) {
+  ++Out.Nodes;
+  if (Depth > Out.MaxDepth)
+    Out.MaxDepth = Depth;
+  if (Prob.isLeaf(S, Depth)) {
+    ++Out.Leaves;
+    return;
+  }
+  int N = Prob.numChoices(S, Depth);
+  for (int K = 0; K < N; ++K) {
+    if (!Prob.applyChoice(S, Depth, K)) {
+      ++Out.Pruned;
+      continue;
+    }
+    profileTree(Prob, S, Out, Depth + 1);
+    Prob.undoChoice(S, Depth, K);
+  }
+}
+
+} // namespace atc
+
+#endif // ATC_CORE_PROBLEM_H

@@ -1,0 +1,70 @@
+//===- core/Runtime.h - One-call scheduler dispatch -------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry point: runs a SearchProblem under any SchedulerKind
+/// with one call. This is the public API the examples, tests, and the
+/// benchmark harnesses use.
+///
+/// \code
+///   atc::NQueensArray Prob;
+///   auto Root = atc::NQueensArray::makeRoot(12);
+///   atc::SchedulerConfig Cfg;
+///   Cfg.Kind = atc::SchedulerKind::AdaptiveTC;
+///   Cfg.NumWorkers = 8;
+///   atc::RunResult<long long> R = atc::runProblem(Prob, Root, Cfg);
+///   // R.Value == 14200, R.Stats has the overhead counters.
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_RUNTIME_H
+#define ATC_CORE_RUNTIME_H
+
+#include "core/FrameEngine.h"
+#include "core/Problem.h"
+#include "core/Scheduler.h"
+#include "core/TascellScheduler.h"
+
+namespace atc {
+
+/// Result value plus the run's scheduler statistics.
+template <typename ResultT> struct RunResult {
+  ResultT Value{};
+  SchedulerStats Stats;
+};
+
+/// Runs \p Prob from \p Root under \p Cfg and returns the result with
+/// statistics. Dispatches to the right engine for Cfg.Kind.
+template <SearchProblem P>
+RunResult<typename P::Result> runProblem(P &Prob,
+                                         const typename P::State &Root,
+                                         const SchedulerConfig &Cfg) {
+  switch (Cfg.Kind) {
+  case SchedulerKind::Sequential: {
+    typename P::State S = Root;
+    return {runSequential(Prob, S), SchedulerStats()};
+  }
+  case SchedulerKind::Tascell: {
+    TascellScheduler<P> Sched(Prob, Cfg);
+    typename P::Result Value = Sched.run(Root);
+    return {Value, Sched.stats()};
+  }
+  case SchedulerKind::Cilk:
+  case SchedulerKind::CilkSynched:
+  case SchedulerKind::Cutoff:
+  case SchedulerKind::AdaptiveTC: {
+    FrameEngine<P> Engine(Prob, Cfg);
+    typename P::Result Value = Engine.run(Root);
+    return {Value, Engine.stats()};
+  }
+  }
+  ATC_UNREACHABLE("unhandled scheduler kind");
+}
+
+} // namespace atc
+
+#endif // ATC_CORE_RUNTIME_H

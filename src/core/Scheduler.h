@@ -1,0 +1,81 @@
+//===- core/Scheduler.h - Scheduler kinds and configuration -----*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduler kinds and the shared configuration structure. The kinds map
+/// one-to-one onto the systems the paper evaluates (Section 5):
+///
+///  * Cilk         - work-first work stealing; every spawn allocates a task
+///                   frame and a fresh workspace copy (malloc + memcpy).
+///  * CilkSynched  - Cilk using the SYNCHED variable to reuse workspace
+///                   memory; copies still happen ("the time overhead is not
+///                   reduced") but allocation is pooled.
+///  * Cutoff       - tasks only above a fixed recursion depth, plain calls
+///                   below, no adaptation (the Cutoff-programmer /
+///                   Cutoff-library strategies of Figure 9).
+///  * AdaptiveTC   - the paper's contribution: five-version execution with
+///                   fake tasks, special tasks and need_task signalling.
+///  * Tascell      - backtracking-based load balancing (separate engine,
+///                   see TascellScheduler.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_SCHEDULER_H
+#define ATC_CORE_SCHEDULER_H
+
+#include <cstdint>
+#include <string>
+
+namespace atc {
+
+/// The scheduling systems reproduced from the paper.
+enum class SchedulerKind {
+  Sequential,
+  Cilk,
+  CilkSynched,
+  Cutoff,
+  AdaptiveTC,
+  Tascell,
+};
+
+/// Returns the display name used in tables ("Cilk-SYNCHED", ...).
+const char *schedulerKindName(SchedulerKind Kind);
+
+/// Parses a scheduler name (case-insensitive, "-"/"_" interchangeable).
+/// Returns true on success.
+bool parseSchedulerKind(const std::string &Name, SchedulerKind &Out);
+
+/// Shared scheduler configuration.
+struct SchedulerConfig {
+  SchedulerKind Kind = SchedulerKind::AdaptiveTC;
+
+  /// Number of worker threads ("the number of active threads is capped at
+  /// N").
+  int NumWorkers = 1;
+
+  /// Capacity of each worker's fixed-array deque.
+  int DequeCapacity = 8192;
+
+  /// Task-creation cut-off. -1 selects the paper's default of log2(N)
+  /// ("the cut-off ... is initially set to log N by the runtime system").
+  /// For Kind == Cutoff this is the programmer-specified depth.
+  int Cutoff = -1;
+
+  /// Failed-steal threshold beyond which a thief sets the victim's
+  /// need_task flag. Paper default: 20.
+  int MaxStolenNum = 20;
+
+  /// Seed for the deterministic victim-selection streams.
+  std::uint64_t Seed = 0x5eedULL;
+
+  /// Resolves the effective cut-off depth: Cutoff if non-negative, else
+  /// ceil(log2(NumWorkers)).
+  int effectiveCutoff() const;
+};
+
+} // namespace atc
+
+#endif // ATC_CORE_SCHEDULER_H

@@ -1,0 +1,56 @@
+//===- core/SchedulerStats.cpp - Scheduler instrumentation ----------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SchedulerStats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace atc;
+
+SchedulerStats &SchedulerStats::operator+=(const SchedulerStats &Other) {
+  TasksCreated += Other.TasksCreated;
+  FakeTasks += Other.FakeTasks;
+  SpecialTasks += Other.SpecialTasks;
+  Spawns += Other.Spawns;
+  Steals += Other.Steals;
+  StealFails += Other.StealFails;
+  WorkspaceCopies += Other.WorkspaceCopies;
+  CopiedBytes += Other.CopiedBytes;
+  Suspensions += Other.Suspensions;
+  Deposits += Other.Deposits;
+  DequeOverflows += Other.DequeOverflows;
+  Polls += Other.Polls;
+  Requests += Other.Requests;
+  RequestsDenied += Other.RequestsDenied;
+  WaitChildrenNs += Other.WaitChildrenNs;
+  StealWaitNs += Other.StealWaitNs;
+  BacktrackSteps += Other.BacktrackSteps;
+  DequeHighWater = std::max(DequeHighWater, Other.DequeHighWater);
+  return *this;
+}
+
+std::string SchedulerStats::summary() const {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "tasks=%llu fake=%llu special=%llu spawns=%llu steals=%llu "
+      "steal_fails=%llu copies=%llu copied_bytes=%llu suspensions=%llu "
+      "overflows=%llu deque_hw=%d wait_children_ms=%.2f steal_wait_ms=%.2f",
+      static_cast<unsigned long long>(TasksCreated),
+      static_cast<unsigned long long>(FakeTasks),
+      static_cast<unsigned long long>(SpecialTasks),
+      static_cast<unsigned long long>(Spawns),
+      static_cast<unsigned long long>(Steals),
+      static_cast<unsigned long long>(StealFails),
+      static_cast<unsigned long long>(WorkspaceCopies),
+      static_cast<unsigned long long>(CopiedBytes),
+      static_cast<unsigned long long>(Suspensions),
+      static_cast<unsigned long long>(DequeOverflows), DequeHighWater,
+      static_cast<double>(WaitChildrenNs) * 1e-6,
+      static_cast<double>(StealWaitNs) * 1e-6);
+  return Buf;
+}

@@ -1,0 +1,55 @@
+//===- core/SchedulerStats.h - Scheduler instrumentation --------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instrumentation counters for the schedulers. These are what the paper's
+/// Section 5.2 overhead breakdown reports: task creation / deque
+/// management, workspace copying, steals, waiting for children, polling.
+/// Counters are kept per worker (no atomics on hot paths) and aggregated
+/// after a run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_SCHEDULERSTATS_H
+#define ATC_CORE_SCHEDULERSTATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace atc {
+
+/// Per-run counters. All counts are totals across workers after
+/// aggregation.
+struct SchedulerStats {
+  std::uint64_t TasksCreated = 0;    ///< Real task frames allocated.
+  std::uint64_t FakeTasks = 0;       ///< Plain recursive calls (no frame).
+  std::uint64_t SpecialTasks = 0;    ///< AdaptiveTC special tasks created.
+  std::uint64_t Spawns = 0;          ///< Deque push/pop pairs performed.
+  std::uint64_t Steals = 0;          ///< Successful steals.
+  std::uint64_t StealFails = 0;      ///< Failed steal attempts.
+  std::uint64_t WorkspaceCopies = 0; ///< Workspace (taskprivate) copies.
+  std::uint64_t CopiedBytes = 0;     ///< Bytes memcpy'd for workspaces.
+  std::uint64_t Suspensions = 0;     ///< Tasks suspended at a sync point.
+  std::uint64_t Deposits = 0;        ///< Results deposited into frames.
+  std::uint64_t DequeOverflows = 0;  ///< Rejected pushes (fixed array full).
+  std::uint64_t Polls = 0;           ///< need_task / request-mailbox polls.
+  std::uint64_t Requests = 0;        ///< Tascell task requests sent.
+  std::uint64_t RequestsDenied = 0;  ///< Tascell requests answered "none".
+  std::uint64_t WaitChildrenNs = 0;  ///< Time blocked waiting for children.
+  std::uint64_t StealWaitNs = 0;     ///< Time spent idle trying to steal.
+  std::uint64_t BacktrackSteps = 0;  ///< Tascell undo/redo reconstruction.
+  int DequeHighWater = 0;            ///< Max tail index over all deques.
+
+  /// Accumulates \p Other into this.
+  SchedulerStats &operator+=(const SchedulerStats &Other);
+
+  /// Renders a compact human-readable summary.
+  std::string summary() const;
+};
+
+} // namespace atc
+
+#endif // ATC_CORE_SCHEDULERSTATS_H

@@ -1,0 +1,361 @@
+//===- core/TascellScheduler.h - Backtracking-based scheduler ---*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch reproduction of Tascell's backtracking-based load
+/// balancing (Hiraishi et al., PPoPP'09), the paper's second baseline.
+/// Architecture, per the paper's description:
+///
+///  * "the task is stored in a thread's execution stack instead of in a
+///    d-e-que": each worker executes plain recursion over a live
+///    workspace, maintaining a shadow stack of choice points (open loop
+///    ranges), with no task frames and no workspace copies on the fast
+///    path.
+///  * "When a thread receives a task request from an idle thread, it
+///    backtracks through the chain of nested function calls, and creates
+///    a task for the requesting thread": requests arrive in a mailbox
+///    polled at every node entry; the victim picks the *oldest* choice
+///    point with untried choices, temporarily backtracks (undoing the
+///    applied choices down to that level) to reconstruct the ancestor
+///    workspace, copies it into a donation, re-applies the choices, and
+///    resumes — this is where workspace copying is "delayed as much as
+///    possible".
+///  * "Tascell cannot suspend a waiting task": when the recursion unwinds
+///    to a choice point with outstanding donations, the worker blocks
+///    (polling requests and sleeping) until the donated results arrive —
+///    the wait_children overhead of the paper's Figure 7.
+///  * Donations hand over half of the untried choices of the split level
+///    ("a parallel-for loop construct is implemented by spawning a half
+///    of the tasks for the requested threads").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_TASCELLSCHEDULER_H
+#define ATC_CORE_TASCELLSCHEDULER_H
+
+#include "core/Problem.h"
+#include "core/Scheduler.h"
+#include "core/SchedulerStats.h"
+#include "support/Prng.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atc {
+
+/// Backtracking-based work distribution for problem type \p P.
+template <SearchProblem P> class TascellScheduler {
+public:
+  using State = typename P::State;
+  using Result = typename P::Result;
+
+  TascellScheduler(P &Prob, SchedulerConfig Cfg) : Prob(Prob), Cfg(Cfg) {
+    assert(Cfg.NumWorkers >= 1 && "need at least one worker");
+  }
+
+  /// Executes the computation rooted at \p Root and returns its result.
+  Result run(const State &Root);
+
+  /// Aggregated statistics of the last run().
+  const SchedulerStats &stats() const { return Total; }
+
+private:
+  /// A task donated to a requester: a reconstructed ancestor workspace
+  /// plus an untried choice range of that node.
+  struct Donation {
+    State St;
+    int Depth;
+    int ChoiceBegin;
+    int ChoiceEnd;
+    std::atomic<bool> DoneFlag{false};
+    Result Value{};
+  };
+
+  /// Sentinel response meaning "no task available".
+  Donation *denySentinel() { return reinterpret_cast<Donation *>(1); }
+
+  /// One open loop level on a worker's shadow stack.
+  struct ChoicePoint {
+    int Depth;
+    int CurChoice = -1;
+    bool Applied = false;
+    int NextUntried;
+    int NumChoices;
+    std::vector<Donation *> Outstanding;
+  };
+
+  struct TWorker {
+    explicit TWorker(int Id, std::uint64_t Seed) : Id(Id), Rng(Seed) {}
+
+    const int Id;
+    SplitMix64 Rng;
+    std::vector<ChoicePoint> Stack;
+    State Live;
+
+    std::mutex MailLock;
+    std::vector<int> Requests;          ///< Requester worker ids.
+    std::atomic<int> PendingRequests{0};
+    std::atomic<Donation *> Response{nullptr};
+
+    SchedulerStats Stats;
+  };
+
+  void workerMain(int Id);
+  Result runNode(TWorker &W, int Depth);
+  Result runChoices(TWorker &W, int Depth);
+  void waitOutstanding(TWorker &W, std::size_t CPIndex, Result &Acc);
+  void pollRequests(TWorker &W);
+  void respond(TWorker &W, int Requester);
+  void requestLoop(TWorker &W);
+
+  P &Prob;
+  SchedulerConfig Cfg;
+  std::vector<std::unique_ptr<TWorker>> Workers;
+  std::atomic<bool> Done{false};
+  Result FinalResult{};
+  SchedulerStats Total;
+};
+
+//===----------------------------------------------------------------------===//
+// Implementation
+//===----------------------------------------------------------------------===//
+
+template <SearchProblem P>
+typename P::Result TascellScheduler<P>::run(const State &Root) {
+  Done.store(false, std::memory_order_relaxed);
+  Workers.clear();
+  for (int I = 0; I < Cfg.NumWorkers; ++I)
+    Workers.push_back(std::make_unique<TWorker>(
+        I, Cfg.Seed + static_cast<std::uint64_t>(I)));
+  Workers[0]->Live = Root;
+
+  if (Cfg.NumWorkers == 1) {
+    FinalResult = runNode(*Workers[0], 0);
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(static_cast<std::size_t>(Cfg.NumWorkers));
+    for (int I = 0; I < Cfg.NumWorkers; ++I)
+      Threads.emplace_back([this, I] { workerMain(I); });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  Total = SchedulerStats();
+  for (auto &W : Workers)
+    Total += W->Stats;
+  return FinalResult;
+}
+
+template <SearchProblem P> void TascellScheduler<P>::workerMain(int Id) {
+  TWorker &W = *Workers[static_cast<std::size_t>(Id)];
+  if (Id == 0) {
+    FinalResult = runNode(W, 0);
+    Done.store(true, std::memory_order_release);
+    return;
+  }
+  requestLoop(W);
+}
+
+template <SearchProblem P>
+typename P::Result TascellScheduler<P>::runNode(TWorker &W, int Depth) {
+  // Tascell polls for task requests at every node entry.
+  pollRequests(W);
+  if (Prob.isLeaf(W.Live, Depth))
+    return Prob.leafResult(W.Live, Depth);
+
+  ChoicePoint CP;
+  CP.Depth = Depth;
+  CP.NextUntried = 0;
+  CP.NumChoices = Prob.numChoices(W.Live, Depth);
+  W.Stack.push_back(std::move(CP));
+  ++W.Stats.FakeTasks; // nested-function bookkeeping, no task frame
+  return runChoices(W, Depth);
+}
+
+template <SearchProblem P>
+typename P::Result TascellScheduler<P>::runChoices(TWorker &W, int Depth) {
+  const std::size_t MyIdx = W.Stack.size() - 1;
+  Result Acc{};
+  for (;;) {
+    ChoicePoint &CP = W.Stack[MyIdx];
+    int K = CP.NextUntried;
+    if (K >= CP.NumChoices)
+      break;
+    CP.NextUntried = K + 1;
+    CP.CurChoice = K;
+    if (!Prob.applyChoice(W.Live, Depth, K))
+      continue;
+    CP.Applied = true;
+    Acc += runNode(W, Depth + 1);
+    Prob.undoChoice(W.Live, Depth, K);
+    W.Stack[MyIdx].Applied = false; // re-reference: deeper pushes may move
+  }
+  waitOutstanding(W, MyIdx, Acc);
+  W.Stack.pop_back();
+  return Acc;
+}
+
+template <SearchProblem P>
+void TascellScheduler<P>::waitOutstanding(TWorker &W, std::size_t CPIndex,
+                                          Result &Acc) {
+  ChoicePoint &CP = W.Stack[CPIndex];
+  if (CP.Outstanding.empty())
+    return;
+  // "Tascell cannot suspend a waiting task and has to wait for its child
+  // tasks to complete" — but it keeps answering task requests while
+  // waiting (it still owns its execution stack).
+  std::uint64_t T0 = nowNanos();
+  for (;;) {
+    bool AllDone = true;
+    for (Donation *D : CP.Outstanding)
+      if (!D->DoneFlag.load(std::memory_order_acquire)) {
+        AllDone = false;
+        break;
+      }
+    if (AllDone)
+      break;
+    pollRequests(W);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  W.Stats.WaitChildrenNs += nowNanos() - T0;
+  for (Donation *D : CP.Outstanding) {
+    Acc += D->Value;
+    delete D;
+  }
+  CP.Outstanding.clear();
+}
+
+template <SearchProblem P> void TascellScheduler<P>::pollRequests(TWorker &W) {
+  ++W.Stats.Polls;
+  if (ATC_LIKELY(W.PendingRequests.load(std::memory_order_relaxed) == 0))
+    return;
+  int Requester = -1;
+  {
+    std::lock_guard<std::mutex> Guard(W.MailLock);
+    if (W.Requests.empty())
+      return;
+    Requester = W.Requests.back();
+    W.Requests.pop_back();
+    W.PendingRequests.fetch_sub(1, std::memory_order_relaxed);
+  }
+  respond(W, Requester);
+}
+
+template <SearchProblem P>
+void TascellScheduler<P>::respond(TWorker &W, int Requester) {
+  TWorker &R = *Workers[static_cast<std::size_t>(Requester)];
+
+  // Find the oldest (shallowest) choice point with untried choices — the
+  // biggest remaining subtrees live there.
+  std::size_t Split = W.Stack.size();
+  for (std::size_t I = 0; I < W.Stack.size(); ++I)
+    if (W.Stack[I].NextUntried < W.Stack[I].NumChoices) {
+      Split = I;
+      break;
+    }
+  if (Split == W.Stack.size()) {
+    ++W.Stats.RequestsDenied;
+    R.Response.store(denySentinel(), std::memory_order_release);
+    return;
+  }
+
+  ChoicePoint &CP = W.Stack[Split];
+  int Untried = CP.NumChoices - CP.NextUntried;
+  int Give = (Untried + 1) / 2; // donate half of the untried choices
+
+  auto *D = new Donation();
+  D->Depth = CP.Depth;
+  D->ChoiceBegin = CP.NumChoices - Give;
+  D->ChoiceEnd = CP.NumChoices;
+  CP.NumChoices -= Give;
+
+  // Temporary backtracking: undo the applied choices from the top of the
+  // stack down to (and including) the split level, snapshot the ancestor
+  // workspace, then redo them and resume. This is Tascell's delayed
+  // workspace copy.
+  for (std::size_t I = W.Stack.size(); I-- > Split;) {
+    if (!W.Stack[I].Applied)
+      continue;
+    Prob.undoChoice(W.Live, W.Stack[I].Depth, W.Stack[I].CurChoice);
+    ++W.Stats.BacktrackSteps;
+  }
+  std::memcpy(static_cast<void *>(&D->St),
+              static_cast<const void *>(&W.Live), sizeof(State));
+  ++W.Stats.WorkspaceCopies;
+  W.Stats.CopiedBytes += sizeof(State);
+  for (std::size_t I = Split; I < W.Stack.size(); ++I) {
+    if (!W.Stack[I].Applied)
+      continue;
+    [[maybe_unused]] bool Ok =
+        Prob.applyChoice(W.Live, W.Stack[I].Depth, W.Stack[I].CurChoice);
+    assert(Ok && "redo of a previously applied choice failed");
+    ++W.Stats.BacktrackSteps;
+  }
+
+  CP.Outstanding.push_back(D);
+  R.Response.store(D, std::memory_order_release);
+}
+
+template <SearchProblem P> void TascellScheduler<P>::requestLoop(TWorker &W) {
+  std::uint64_t IdleBegin = nowNanos();
+  while (!Done.load(std::memory_order_acquire)) {
+    // Post a request to a random victim.
+    int V = static_cast<int>(
+        W.Rng.nextBelow(static_cast<std::uint64_t>(Cfg.NumWorkers - 1)));
+    if (V >= W.Id)
+      ++V;
+    TWorker &Victim = *Workers[static_cast<std::size_t>(V)];
+    W.Response.store(nullptr, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Guard(Victim.MailLock);
+      Victim.Requests.push_back(W.Id);
+    }
+    Victim.PendingRequests.fetch_add(1, std::memory_order_relaxed);
+    ++W.Stats.Requests;
+
+    // Wait for the response, answering (denying) our own mailbox so other
+    // idle workers are not blocked on us.
+    Donation *D;
+    for (;;) {
+      D = W.Response.load(std::memory_order_acquire);
+      if (D || Done.load(std::memory_order_acquire))
+        break;
+      pollRequests(W);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    if (!D)
+      break; // terminated while waiting
+    if (D == denySentinel()) {
+      ++W.Stats.StealFails;
+      continue;
+    }
+
+    // Execute the donated task.
+    ++W.Stats.Steals;
+    W.Stats.StealWaitNs += nowNanos() - IdleBegin;
+    W.Live = D->St;
+    ChoicePoint CP;
+    CP.Depth = D->Depth;
+    CP.NextUntried = D->ChoiceBegin;
+    CP.NumChoices = D->ChoiceEnd;
+    W.Stack.push_back(std::move(CP));
+    Result Value = runChoices(W, D->Depth);
+    D->Value = Value;
+    D->DoneFlag.store(true, std::memory_order_release);
+    IdleBegin = nowNanos();
+  }
+  W.Stats.StealWaitNs += nowNanos() - IdleBegin;
+}
+
+} // namespace atc
+
+#endif // ATC_CORE_TASCELLSCHEDULER_H

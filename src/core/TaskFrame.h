@@ -1,0 +1,109 @@
+//===- core/TaskFrame.h - Continuation frames and join protocol -*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TaskFrame is the runtime representation of a task: the "task_info"
+/// structure the paper's compiler allocates at the entry of every fast /
+/// fast_2 / slow version (Appendix B). It stores the continuation of a
+/// spawning loop — saved workspace pointer, last choice index ("PC"),
+/// partial result, depths — plus the Cilk-style join protocol state used
+/// once the frame has been stolen (deposited child results, join counter,
+/// suspended flag).
+///
+/// Lifecycle invariants (see also FrameEngine.h):
+///  * A frame that is never stolen completes synchronously: its owner
+///    reaches the sync point with JoinCount == 0 and no deposits (the
+///    paper: "all sync statements [in the fast version] are translated to
+///    no-ops").
+///  * Once stolen ("detached"), the frame's total result is assembled from
+///    deposits and delivered to Parent by whoever joins last.
+///  * A special frame (AdaptiveTC) is never stolen and never suspended;
+///    its owner spin-waits in sync_specialtask until JoinCount reaches 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_TASKFRAME_H
+#define ATC_CORE_TASKFRAME_H
+
+#include "core/Problem.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace atc {
+
+/// Continuation frame for a task instance of problem \p P.
+template <SearchProblem P> struct TaskFrame {
+  using State = typename P::State;
+  using Result = typename P::Result;
+
+  /// The instance's live workspace buffer. Owned by the frame when
+  /// OwnsState is set (all non-root instances); the root instance's state
+  /// is owned by the caller of run().
+  State *StatePtr = nullptr;
+
+  /// Accumulated result of the children completed before LastChoice.
+  Result PartialAcc{};
+
+  /// Results deposited by stolen-child chains. Guarded by Lock.
+  Result Deposits{};
+
+  /// The owner's local accumulator at the moment of suspension. Valid only
+  /// while Suspended.
+  Result SyncAcc{};
+
+  /// The choice whose child was in flight when the continuation was saved.
+  /// The continuation first undoes this choice, then resumes the loop at
+  /// LastChoice + 1 (the "restore PC with a goto" of the slow version).
+  int LastChoice = -1;
+
+  /// Problem-level depth of this instance's node.
+  int Depth = 0;
+
+  /// Scheduler-level spawn depth ("_adpTC_dp" in the paper).
+  int SpawnDepth = 0;
+
+  /// Outstanding result deposits expected before the frame may complete.
+  /// Incremented under the deque lock at steal time (see FrameEngine's
+  /// onSteal); decremented by each deposit.
+  std::atomic<int> JoinCount{0};
+
+  /// Deposit target once this frame's instance can no longer return its
+  /// result synchronously. nullptr for the root frame.
+  TaskFrame *Parent = nullptr;
+
+  /// Guards Deposits / SyncAcc / Suspended transitions.
+  std::mutex Lock;
+
+  /// Set by the owner when it reaches the sync point with children still
+  /// outstanding; the last depositor then resumes (completes) the frame.
+  bool Suspended = false;
+
+  /// AdaptiveTC special task: sits in the deque as a transition marker,
+  /// can never be stolen or suspended (Section 3, "Spawn" rule 2).
+  bool Special = false;
+
+  /// Set (under the deque lock) at the first steal: the frame's result now
+  /// flows to Parent via a deposit instead of a synchronous return.
+  bool Detached = false;
+
+  /// Whether StatePtr is owned (freed at completion).
+  bool OwnsState = false;
+};
+
+/// Result of executing one task instance on the current worker.
+/// When Stolen is set, Value is meaningless: the instance's frame was
+/// stolen and its result will be assembled via the frame chain; the caller
+/// must unwind to the scheduler loop without touching its own frame.
+template <typename ResultT> struct ExecResult {
+  ResultT Value{};
+  bool Stolen = false;
+};
+
+} // namespace atc
+
+#endif // ATC_CORE_TASKFRAME_H

@@ -1,0 +1,57 @@
+//===- core/WorkerContext.h - Per-worker scheduler state --------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-worker state shared by the deque-based schedulers (Cilk,
+/// Cilk-SYNCHED, Cutoff, AdaptiveTC): the THE-protocol deque, the paper's
+/// need_task signalling fields (Section 4.3), a deterministic PRNG for
+/// victim selection, and the per-worker statistics counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_WORKERCONTEXT_H
+#define ATC_CORE_WORKERCONTEXT_H
+
+#include "core/SchedulerStats.h"
+#include "deque/TheDeque.h"
+#include "support/Compiler.h"
+#include "support/Prng.h"
+
+#include <atomic>
+
+namespace atc {
+
+/// Per-worker scheduler state. One instance per worker thread; the deque
+/// and the need_task fields are the only members touched by other threads.
+struct WorkerContext {
+  WorkerContext(int Id, int DequeCapacity, std::uint64_t Seed)
+      : Id(Id), Deque(DequeCapacity), Rng(Seed) {}
+
+  const int Id;
+
+  /// Ready-task deque ("d-e-que" in the paper).
+  TheDeque Deque;
+
+  /// Deterministic victim-selection stream.
+  SplitMix64 Rng;
+
+  /// Count of consecutive failed steal attempts against this worker,
+  /// incremented by thieves (Fig. 3d). When it exceeds max_stolen_num the
+  /// thief sets NeedTask.
+  alignas(ATC_CACHE_LINE_SIZE) std::atomic<int> StolenNum{0};
+
+  /// Set when some idle thread needs this (busy) worker to publish tasks;
+  /// polled by the AdaptiveTC check version.
+  std::atomic<bool> NeedTask{false};
+
+  /// Per-worker counters; aggregated after the run (no atomics needed —
+  /// written only by the owner thread).
+  SchedulerStats Stats;
+};
+
+} // namespace atc
+
+#endif // ATC_CORE_WORKERCONTEXT_H

@@ -1,0 +1,88 @@
+//===- deque/ChaseLevDeque.cpp - Dynamic circular WS deque ----------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deque/ChaseLevDeque.h"
+
+using namespace atc;
+
+ChaseLevDeque::ChaseLevDeque(std::int64_t InitialCapacity) {
+  assert(InitialCapacity > 0 &&
+         (InitialCapacity & (InitialCapacity - 1)) == 0 &&
+         "capacity must be a power of two");
+  Buffer.store(new RingBuffer(InitialCapacity), std::memory_order_relaxed);
+}
+
+ChaseLevDeque::~ChaseLevDeque() {
+  delete Buffer.load(std::memory_order_relaxed);
+  for (RingBuffer *RB : Retired)
+    delete RB;
+}
+
+ChaseLevDeque::RingBuffer *ChaseLevDeque::grow(RingBuffer *Old,
+                                               std::int64_t B,
+                                               std::int64_t T) {
+  auto *New = new RingBuffer(Old->Capacity * 2);
+  for (std::int64_t I = T; I < B; ++I)
+    New->put(I, Old->get(I));
+  // The old buffer may still be read by in-flight thieves; retire it until
+  // destruction instead of freeing now.
+  Retired.push_back(Old);
+  Grows.fetch_add(1, std::memory_order_relaxed);
+  return New;
+}
+
+void ChaseLevDeque::push(void *Frame) {
+  std::int64_t B = Bottom.load(std::memory_order_relaxed);
+  std::int64_t T = Top.load(std::memory_order_acquire);
+  RingBuffer *RB = Buffer.load(std::memory_order_relaxed);
+  if (B - T > RB->Capacity - 1) {
+    RB = grow(RB, B, T);
+    Buffer.store(RB, std::memory_order_release);
+  }
+  RB->put(B, Frame);
+  std::atomic_thread_fence(std::memory_order_release);
+  Bottom.store(B + 1, std::memory_order_relaxed);
+}
+
+void *ChaseLevDeque::pop() {
+  std::int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+  RingBuffer *RB = Buffer.load(std::memory_order_relaxed);
+  Bottom.store(B, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t T = Top.load(std::memory_order_relaxed);
+
+  if (T > B) {
+    // Deque was already empty: restore Bottom.
+    Bottom.store(B + 1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  void *Frame = RB->get(B);
+  if (T != B)
+    return Frame; // More than one entry: no race possible.
+
+  // Single entry left: race with thieves via CAS on Top.
+  if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                   std::memory_order_relaxed))
+    Frame = nullptr; // Lost the race.
+  Bottom.store(B + 1, std::memory_order_relaxed);
+  return Frame;
+}
+
+void *ChaseLevDeque::steal() {
+  std::int64_t T = Top.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t B = Bottom.load(std::memory_order_acquire);
+  if (T >= B)
+    return nullptr;
+
+  RingBuffer *RB = Buffer.load(std::memory_order_consume);
+  void *Frame = RB->get(T);
+  if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                   std::memory_order_relaxed))
+    return nullptr; // Lost to another thief or the owner's pop.
+  return Frame;
+}

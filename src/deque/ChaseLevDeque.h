@@ -1,0 +1,99 @@
+//===- deque/ChaseLevDeque.h - Dynamic circular WS deque --------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chase & Lev's dynamic circular work-stealing deque (SPAA'05) — the
+/// related-work alternative the paper cites for avoiding deque overflow
+/// ("a work-stealing d-e-que using a buffer pool that does not have the
+/// overflow problem"). Included so benches can compare the overflow-free
+/// lock-free design against the fixed-array THE deque, and to measure the
+/// paper's claim that AdaptiveTC's fewer pushes make the fixed array safe.
+///
+/// Standard C11-memory-model formulation (Le, Pop, Cohen, Zappa Nardelli,
+/// PPoPP'13). Owner calls push/pop; thieves call steal. The buffer grows
+/// geometrically; old buffers are retired to a pool freed at destruction
+/// (safe memory reclamation without an epoch scheme).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_DEQUE_CHASELEVDEQUE_H
+#define ATC_DEQUE_CHASELEVDEQUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace atc {
+
+/// Lock-free growable work-stealing deque of opaque pointers.
+class ChaseLevDeque {
+public:
+  explicit ChaseLevDeque(std::int64_t InitialCapacity = 64);
+  ~ChaseLevDeque();
+
+  ChaseLevDeque(const ChaseLevDeque &) = delete;
+  ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
+
+  /// Owner: pushes \p Frame at the bottom. Grows the buffer when full —
+  /// never fails.
+  void push(void *Frame);
+
+  /// Owner: pops from the bottom. Returns nullptr when empty or lost to a
+  /// concurrent thief.
+  void *pop();
+
+  /// Thief: steals from the top. Returns nullptr when empty or when the
+  /// race with another thief/owner was lost (caller should retry
+  /// elsewhere).
+  void *steal();
+
+  /// Approximate number of entries.
+  std::int64_t size() const {
+    std::int64_t B = Bottom.load(std::memory_order_relaxed);
+    std::int64_t T = Top.load(std::memory_order_relaxed);
+    return B > T ? B - T : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Number of buffer growths performed (overflow events that a fixed
+  /// array would have failed on).
+  std::uint64_t growCount() const {
+    return Grows.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// Circular array with capacity a power of two.
+  struct RingBuffer {
+    explicit RingBuffer(std::int64_t N) : Capacity(N), Mask(N - 1),
+                                          Slots(new std::atomic<void *>[N]) {}
+    ~RingBuffer() { delete[] Slots; }
+
+    void *get(std::int64_t I) const {
+      return Slots[I & Mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t I, void *V) {
+      Slots[I & Mask].store(V, std::memory_order_relaxed);
+    }
+
+    const std::int64_t Capacity;
+    const std::int64_t Mask;
+    std::atomic<void *> *Slots;
+  };
+
+  RingBuffer *grow(RingBuffer *Old, std::int64_t B, std::int64_t T);
+
+  std::atomic<std::int64_t> Top{0};
+  std::atomic<std::int64_t> Bottom{0};
+  std::atomic<RingBuffer *> Buffer;
+  std::vector<RingBuffer *> Retired;
+  std::atomic<std::uint64_t> Grows{0};
+};
+
+} // namespace atc
+
+#endif // ATC_DEQUE_CHASELEVDEQUE_H

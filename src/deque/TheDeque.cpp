@@ -1,0 +1,108 @@
+//===- deque/TheDeque.cpp - THE-protocol work-stealing deque --------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deque/TheDeque.h"
+
+using namespace atc;
+
+TheDeque::TheDeque(int Capacity)
+    : Cap(Capacity), Slots(std::make_unique<Entry[]>(
+                         static_cast<std::size_t>(Capacity))) {
+  assert(Capacity > 0 && "deque capacity must be positive");
+}
+
+bool TheDeque::tryPush(void *Frame, bool Special) {
+  int T = Tail.load(std::memory_order_relaxed);
+  if (ATC_UNLIKELY(T >= Cap)) {
+    Overflows.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Slots[T] = {Frame, Special};
+  // Publish the entry before the index: a thief that observes the new Tail
+  // must see the slot contents.
+  Tail.store(T + 1, std::memory_order_seq_cst);
+  if (T + 1 > HighWater.load(std::memory_order_relaxed))
+    HighWater.store(T + 1, std::memory_order_relaxed);
+  return true;
+}
+
+PopResult TheDeque::pop() {
+  // Fig. 3a. Fast path: decrement Tail; if no thief has passed it, done.
+  int T = Tail.load(std::memory_order_relaxed) - 1;
+  Tail.store(T, std::memory_order_seq_cst); // MEMBAR
+  int H = Head.load(std::memory_order_seq_cst);
+  if (ATC_LIKELY(H <= T))
+    return PopResult::Success;
+
+  // Conflict: restore Tail and retry under the lock.
+  Tail.store(T + 1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> Guard(Lock);
+  Tail.store(T, std::memory_order_seq_cst);
+  H = Head.load(std::memory_order_seq_cst);
+  if (H > T) {
+    // The entry was stolen. Restore Tail so the deque reads as empty
+    // (H == T) rather than inverted.
+    Tail.store(T + 1, std::memory_order_seq_cst);
+    return PopResult::Failure;
+  }
+  return PopResult::Success;
+}
+
+PopResult TheDeque::popSpecial() {
+  // Fig. 3b: always under the lock; on failure reset H = T so the special
+  // task stays at the head (a special task can never be stolen).
+  std::lock_guard<std::mutex> Guard(Lock);
+  int T = Tail.load(std::memory_order_relaxed) - 1;
+  Tail.store(T, std::memory_order_seq_cst);
+  int H = Head.load(std::memory_order_seq_cst);
+  if (H > T) {
+    Head.store(T, std::memory_order_seq_cst);
+    return PopResult::Failure;
+  }
+  return PopResult::Success;
+}
+
+StealResult TheDeque::steal(void (*OnSteal)(void *Frame, void *Ctx),
+                            void *Ctx) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  int H = Head.load(std::memory_order_relaxed);
+  int T = Tail.load(std::memory_order_seq_cst);
+  if (H >= T)
+    return {StealResult::Status::Empty, nullptr};
+
+  if (!Slots[H].Special) {
+    // Fig. 3d: claim the head entry, then re-check against the owner's
+    // concurrent pop.
+    Head.store(H + 1, std::memory_order_seq_cst); // MEMBAR
+    T = Tail.load(std::memory_order_seq_cst);
+    if (H + 1 > T) {
+      Head.store(H, std::memory_order_seq_cst);
+      return {StealResult::Status::Empty, nullptr};
+    }
+    void *Frame = Slots[H].Frame;
+    if (OnSteal)
+      OnSteal(Frame, Ctx);
+    return {StealResult::Status::Success, Frame};
+  }
+
+  // Fig. 3e: the head is a special task, which can never be stolen; steal
+  // its child (the next entry) instead: H += 2.
+  Head.store(H + 2, std::memory_order_seq_cst); // MEMBAR
+  T = Tail.load(std::memory_order_seq_cst);
+  if (H + 2 > T) {
+    Head.store(H, std::memory_order_seq_cst);
+    return {StealResult::Status::Empty, nullptr};
+  }
+  void *Frame = Slots[H + 1].Frame;
+  if (OnSteal)
+    OnSteal(Frame, Ctx);
+  return {StealResult::Status::Success, Frame};
+}
+
+void TheDeque::reset() {
+  Head.store(0, std::memory_order_seq_cst);
+  Tail.store(0, std::memory_order_seq_cst);
+}

@@ -1,0 +1,143 @@
+//===- deque/TheDeque.h - THE-protocol work-stealing deque ------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simplified Cilk THE protocol deque of the paper (Figure 3), extended
+/// with the special-task operations AdaptiveTC adds:
+///
+///  * push / pop / steal      - the classic THE operations (Fig. 3a, 3d)
+///  * popSpecial              - pop of a special task; on detecting that the
+///                              special's child was stolen, resets H = T so
+///                              the (unstealable) special stays at the head
+///                              (Fig. 3b)
+///  * steal handles a special task at the head by stealing the special's
+///    child instead, i.e. the H += 2 protocol (Fig. 3e)
+///
+/// The deque is a fixed-size array of entries, exactly as in Cilk 5.4.6 —
+/// the paper calls out that this representation "is prone to overflow";
+/// tryPush reports overflow instead of asserting so the schedulers can
+/// count overflow pressure (AdaptiveTC pushes far fewer tasks and is less
+/// prone to it).
+///
+/// Thread-safety contract: one owner thread calls push/pop/popSpecial;
+/// any number of thief threads call steal. Thieves always take the lock;
+/// the owner takes it only on conflict (the THE fast path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_DEQUE_THEDEQUE_H
+#define ATC_DEQUE_THEDEQUE_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace atc {
+
+/// Result of an owner-side pop.
+enum class PopResult {
+  Success, ///< The tail entry was reclaimed by the owner.
+  Failure, ///< The entry (or the special's child) had been stolen.
+};
+
+/// Result of a thief-side steal.
+struct StealResult {
+  enum class Status {
+    Success, ///< Frame holds the stolen entry.
+    Empty,   ///< Nothing stealable in this deque.
+  } Status;
+  void *Frame = nullptr;
+};
+
+/// Fixed-array THE-protocol deque storing opaque frame pointers.
+class TheDeque {
+public:
+  /// Creates a deque with room for \p Capacity entries.
+  explicit TheDeque(int Capacity = 8192);
+
+  TheDeque(const TheDeque &) = delete;
+  TheDeque &operator=(const TheDeque &) = delete;
+
+  /// Owner: pushes \p Frame at the tail. \p Special marks the entry as an
+  /// AdaptiveTC special task (never stolen itself; thieves skip to its
+  /// child). Returns false on overflow (entry not pushed).
+  bool tryPush(void *Frame, bool Special = false);
+
+  /// Owner: pops the tail entry (Fig. 3a). Failure means the entry was
+  /// stolen; the deque indices are restored so H == T (empty).
+  PopResult pop();
+
+  /// Owner: pops a special task from the tail (Fig. 3b). Failure means the
+  /// special's child was stolen; H is reset to T so the special remains
+  /// conceptually at the head.
+  PopResult popSpecial();
+
+  /// Thief: steals the head entry (Fig. 3d). If the head entry is special,
+  /// steals the special's child instead via the H += 2 protocol (Fig. 3e).
+  ///
+  /// \p OnSteal, when non-null, is invoked with the stolen frame *while the
+  /// protocol lock is still held*. The schedulers use this to bump join
+  /// counters with a happens-before edge to the owner's pop/popSpecial
+  /// failure (which also resolves under this lock), so an owner that
+  /// observes "stolen" is guaranteed to observe the bumped counters too.
+  StealResult steal(void (*OnSteal)(void *Frame, void *Ctx) = nullptr,
+                    void *Ctx = nullptr);
+
+  /// True when no entry is present (approximate under concurrency).
+  bool empty() const { return Head.load(std::memory_order_relaxed) >=
+                              Tail.load(std::memory_order_relaxed); }
+
+  /// Number of entries between head and tail (approximate).
+  int size() const {
+    int H = Head.load(std::memory_order_relaxed);
+    int T = Tail.load(std::memory_order_relaxed);
+    return T > H ? T - H : 0;
+  }
+
+  int capacity() const { return Cap; }
+
+  /// Number of tryPush calls rejected due to a full array.
+  std::uint64_t overflowCount() const {
+    return Overflows.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of the tail index, an indicator of how deep the deque
+  /// got (overflow pressure).
+  int highWaterMark() const {
+    return HighWater.load(std::memory_order_relaxed);
+  }
+
+  /// Owner: resets the deque to the empty state. Must not race with
+  /// thieves.
+  void reset();
+
+private:
+  struct Entry {
+    void *Frame;
+    bool Special;
+  };
+
+  const int Cap;
+  std::unique_ptr<Entry[]> Slots;
+
+  /// Head (steal end) and Tail (owner end); Head <= Tail when non-empty.
+  alignas(ATC_CACHE_LINE_SIZE) std::atomic<int> Head{0};
+  alignas(ATC_CACHE_LINE_SIZE) std::atomic<int> Tail{0};
+
+  /// The protocol lock ("worker.L" / "victim.L" in the paper).
+  std::mutex Lock;
+
+  std::atomic<std::uint64_t> Overflows{0};
+  std::atomic<int> HighWater{0};
+};
+
+} // namespace atc
+
+#endif // ATC_DEQUE_THEDEQUE_H

@@ -1,0 +1,376 @@
+//===- lang/Ast.h - ATC language abstract syntax tree -----------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the ATC language. Plain Kind-tagged nodes with unique_ptr
+/// ownership (no RTTI); Expr::Kind / Stmt::Kind discriminate, and the
+/// as<T>() helpers perform the checked downcast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_LANG_AST_H
+#define ATC_LANG_AST_H
+
+#include "lang/Token.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace atc {
+namespace lang {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// A (simple) ATC type: base kind + pointer depth.
+struct Type {
+  enum class Base { Int, Long, Char, Void, Struct };
+
+  Base BaseKind = Base::Int;
+  std::string StructName; ///< For Base::Struct.
+  int PointerDepth = 0;
+
+  bool isPointer() const { return PointerDepth > 0; }
+  bool isVoid() const { return BaseKind == Base::Void && !isPointer(); }
+  bool isIntegral() const {
+    return !isPointer() && (BaseKind == Base::Int || BaseKind == Base::Long ||
+                            BaseKind == Base::Char);
+  }
+
+  Type pointee() const {
+    assert(PointerDepth > 0 && "pointee of non-pointer");
+    Type T = *this;
+    --T.PointerDepth;
+    return T;
+  }
+
+  Type pointerTo() const {
+    Type T = *this;
+    ++T.PointerDepth;
+    return T;
+  }
+
+  bool operator==(const Type &O) const {
+    return BaseKind == O.BaseKind && StructName == O.StructName &&
+           PointerDepth == O.PointerDepth;
+  }
+
+  /// Renders the type for diagnostics and C++ emission ("struct Foo *").
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr {
+  enum class Kind {
+    IntLit,
+    VarRef,
+    Unary,   // ! - * & ++ -- (prefix), ++ -- (postfix)
+    Binary,  // + - * / % < > <= >= == != && ||
+    Assign,  // = +=
+    Call,
+    Index,   // a[i]
+    Member,  // a.f or a->f
+    Sizeof,  // sizeof(type)
+  };
+
+  explicit Expr(Kind K, SourceLoc Loc) : ExprKind(K), Loc(Loc) {}
+  virtual ~Expr() = default;
+
+  template <typename T> T *as() {
+    assert(T::ClassKind == ExprKind && "bad expr downcast");
+    return static_cast<T *>(this);
+  }
+  template <typename T> const T *as() const {
+    assert(T::ClassKind == ExprKind && "bad expr downcast");
+    return static_cast<const T *>(this);
+  }
+
+  const Kind ExprKind;
+  SourceLoc Loc;
+  Type Ty; ///< Filled in by Sema.
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  static constexpr Kind ClassKind = Kind::IntLit;
+  IntLitExpr(std::int64_t V, SourceLoc L) : Expr(ClassKind, L), Value(V) {}
+  std::int64_t Value;
+};
+
+struct VarRefExpr : Expr {
+  static constexpr Kind ClassKind = Kind::VarRef;
+  VarRefExpr(std::string Name, SourceLoc L)
+      : Expr(ClassKind, L), Name(std::move(Name)) {}
+  std::string Name;
+};
+
+struct UnaryExpr : Expr {
+  static constexpr Kind ClassKind = Kind::Unary;
+  enum class Op { Not, Neg, Deref, AddrOf, PreInc, PreDec, PostInc, PostDec };
+  UnaryExpr(Op O, ExprPtr Sub, SourceLoc L)
+      : Expr(ClassKind, L), O(O), Sub(std::move(Sub)) {}
+  Op O;
+  ExprPtr Sub;
+};
+
+struct BinaryExpr : Expr {
+  static constexpr Kind ClassKind = Kind::Binary;
+  enum class Op {
+    Add, Sub, Mul, Div, Rem,
+    Lt, Gt, Le, Ge, Eq, Ne,
+    And, Or,
+  };
+  BinaryExpr(Op O, ExprPtr L, ExprPtr R, SourceLoc Loc)
+      : Expr(ClassKind, Loc), O(O), Lhs(std::move(L)), Rhs(std::move(R)) {}
+  Op O;
+  ExprPtr Lhs, Rhs;
+};
+
+struct AssignExpr : Expr {
+  static constexpr Kind ClassKind = Kind::Assign;
+  AssignExpr(bool Compound, ExprPtr L, ExprPtr R, SourceLoc Loc)
+      : Expr(ClassKind, Loc), Compound(Compound), Lhs(std::move(L)),
+        Rhs(std::move(R)) {}
+  bool Compound; ///< true for +=.
+  ExprPtr Lhs, Rhs;
+};
+
+struct CallExpr : Expr {
+  static constexpr Kind ClassKind = Kind::Call;
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc L)
+      : Expr(ClassKind, L), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+struct IndexExpr : Expr {
+  static constexpr Kind ClassKind = Kind::Index;
+  IndexExpr(ExprPtr Base, ExprPtr Idx, SourceLoc L)
+      : Expr(ClassKind, L), Base(std::move(Base)), Idx(std::move(Idx)) {}
+  ExprPtr Base, Idx;
+};
+
+struct MemberExpr : Expr {
+  static constexpr Kind ClassKind = Kind::Member;
+  MemberExpr(ExprPtr Base, std::string Field, bool ThroughPointer,
+             SourceLoc L)
+      : Expr(ClassKind, L), Base(std::move(Base)), Field(std::move(Field)),
+        ThroughPointer(ThroughPointer) {}
+  ExprPtr Base;
+  std::string Field;
+  bool ThroughPointer; ///< -> vs .
+};
+
+struct SizeofExpr : Expr {
+  static constexpr Kind ClassKind = Kind::Sizeof;
+  SizeofExpr(Type Of, SourceLoc L) : Expr(ClassKind, L), Of(Of) {}
+  Type Of;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt {
+  enum class Kind {
+    Block,
+    Decl,
+    ExprStmt,
+    If,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Sync,
+    Spawn, // accumulator-form spawn statement: lhs += spawn f(args);
+  };
+
+  explicit Stmt(Kind K, SourceLoc Loc) : StmtKind(K), Loc(Loc) {}
+  virtual ~Stmt() = default;
+
+  template <typename T> T *as() {
+    assert(T::ClassKind == StmtKind && "bad stmt downcast");
+    return static_cast<T *>(this);
+  }
+  template <typename T> const T *as() const {
+    assert(T::ClassKind == StmtKind && "bad stmt downcast");
+    return static_cast<const T *>(this);
+  }
+
+  const Kind StmtKind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::Block;
+  explicit BlockStmt(SourceLoc L) : Stmt(ClassKind, L) {}
+  std::vector<StmtPtr> Stmts;
+};
+
+struct DeclStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::Decl;
+  DeclStmt(Type Ty, std::string Name, int ArraySize, ExprPtr Init,
+           SourceLoc L)
+      : Stmt(ClassKind, L), Ty(Ty), Name(std::move(Name)),
+        ArraySize(ArraySize), Init(std::move(Init)) {}
+  Type Ty;
+  std::string Name;
+  int ArraySize; ///< -1 when not an array.
+  ExprPtr Init;  ///< May be null.
+};
+
+struct ExprStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::ExprStmt;
+  ExprStmt(ExprPtr E, SourceLoc L) : Stmt(ClassKind, L), E(std::move(E)) {}
+  ExprPtr E;
+};
+
+struct IfStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::If;
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc L)
+      : Stmt(ClassKind, L), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+};
+
+struct WhileStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::While;
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc L)
+      : Stmt(ClassKind, L), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+struct ForStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::For;
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body,
+          SourceLoc L)
+      : Stmt(ClassKind, L), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  StmtPtr Init; ///< Decl or ExprStmt; may be null.
+  ExprPtr Cond; ///< May be null.
+  ExprPtr Step; ///< May be null.
+  StmtPtr Body;
+};
+
+struct ReturnStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::Return;
+  ReturnStmt(ExprPtr Value, SourceLoc L)
+      : Stmt(ClassKind, L), Value(std::move(Value)) {}
+  ExprPtr Value; ///< May be null (void return).
+};
+
+struct BreakStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::Break;
+  explicit BreakStmt(SourceLoc L) : Stmt(ClassKind, L) {}
+};
+
+struct ContinueStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::Continue;
+  explicit ContinueStmt(SourceLoc L) : Stmt(ClassKind, L) {}
+};
+
+struct SyncStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::Sync;
+  explicit SyncStmt(SourceLoc L) : Stmt(ClassKind, L) {}
+};
+
+/// The accumulator spawn statement: `Receiver += spawn Callee(Args);`.
+/// The paper's examples use exactly this shape, and it is what lets the
+/// runtime deposit a stolen child's result with a single atomic add
+/// (Cilk's implicit inlet).
+struct SpawnStmt : Stmt {
+  static constexpr Kind ClassKind = Kind::Spawn;
+  SpawnStmt(std::string Receiver, std::string Callee,
+            std::vector<ExprPtr> Args, SourceLoc L)
+      : Stmt(ClassKind, L), Receiver(std::move(Receiver)),
+        Callee(std::move(Callee)), Args(std::move(Args)) {}
+  std::string Receiver;
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  int SpawnId = -1; ///< Entry-point number, assigned by Sema.
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct FieldDecl {
+  Type Ty;
+  std::string Name;
+  int ArraySize = -1; ///< -1 when not an array.
+};
+
+struct StructDecl {
+  std::string Name;
+  std::vector<FieldDecl> Fields;
+  SourceLoc Loc;
+};
+
+struct ParamDecl {
+  Type Ty;
+  std::string Name;
+};
+
+/// The `taskprivate: (*x) (size-expr);` clause (Section 4.1).
+struct TaskprivateClause {
+  bool Present = false;
+  std::string VarName;
+  ExprPtr SizeExpr;
+  SourceLoc Loc;
+};
+
+struct FuncDecl {
+  bool IsCilk = false;
+  Type ReturnTy;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  TaskprivateClause Taskprivate;
+  std::unique_ptr<BlockStmt> Body; ///< Null for extern declarations.
+  SourceLoc Loc;
+
+  int NumSpawns = 0; ///< Assigned by Sema.
+};
+
+struct Program {
+  std::vector<StructDecl> Structs;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+
+  const StructDecl *findStruct(const std::string &Name) const {
+    for (const StructDecl &S : Structs)
+      if (S.Name == Name)
+        return &S;
+    return nullptr;
+  }
+
+  const FuncDecl *findFunc(const std::string &Name) const {
+    for (const auto &F : Funcs)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+/// Renders the AST as an indented tree (for tests and --dump-ast).
+std::string dumpProgram(const Program &P);
+
+} // namespace lang
+} // namespace atc
+
+#endif // ATC_LANG_AST_H

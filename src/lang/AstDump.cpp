@@ -1,0 +1,230 @@
+//===- lang/AstDump.cpp - AST tree dumping --------------------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+#include "support/Compiler.h"
+
+using namespace atc;
+using namespace atc::lang;
+
+namespace {
+
+class Dumper {
+public:
+  std::string run(const Program &P) {
+    for (const StructDecl &S : P.Structs) {
+      line("StructDecl " + S.Name);
+      ++Depth;
+      for (const FieldDecl &F : S.Fields)
+        line("Field " + F.Ty.str() + " " + F.Name +
+             (F.ArraySize >= 0 ? "[" + std::to_string(F.ArraySize) + "]"
+                               : ""));
+      --Depth;
+    }
+    for (const auto &F : P.Funcs) {
+      std::string Head = F->IsCilk ? "CilkFuncDecl " : "FuncDecl ";
+      Head += F->ReturnTy.str() + " " + F->Name + "(";
+      for (std::size_t I = 0; I < F->Params.size(); ++I) {
+        if (I)
+          Head += ", ";
+        Head += F->Params[I].Ty.str() + " " + F->Params[I].Name;
+      }
+      Head += ")";
+      if (F->Taskprivate.Present)
+        Head += " taskprivate(" + F->Taskprivate.VarName + ")";
+      line(Head);
+      if (F->Body) {
+        ++Depth;
+        stmt(*F->Body);
+        --Depth;
+      }
+    }
+    return Out;
+  }
+
+private:
+  void line(const std::string &S) {
+    Out.append(static_cast<std::size_t>(Depth) * 2, ' ');
+    Out += S;
+    Out += '\n';
+  }
+
+  void stmt(const Stmt &S) {
+    switch (S.StmtKind) {
+    case Stmt::Kind::Block: {
+      line("Block");
+      ++Depth;
+      for (const StmtPtr &Sub : S.as<BlockStmt>()->Stmts)
+        stmt(*Sub);
+      --Depth;
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      const auto *D = S.as<DeclStmt>();
+      line("Decl " + D->Ty.str() + " " + D->Name +
+           (D->ArraySize >= 0 ? "[" + std::to_string(D->ArraySize) + "]"
+                              : ""));
+      if (D->Init) {
+        ++Depth;
+        expr(*D->Init);
+        --Depth;
+      }
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      line("ExprStmt");
+      ++Depth;
+      expr(*S.as<ExprStmt>()->E);
+      --Depth;
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = S.as<IfStmt>();
+      line("If");
+      ++Depth;
+      expr(*I->Cond);
+      stmt(*I->Then);
+      if (I->Else)
+        stmt(*I->Else);
+      --Depth;
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = S.as<WhileStmt>();
+      line("While");
+      ++Depth;
+      expr(*W->Cond);
+      stmt(*W->Body);
+      --Depth;
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = S.as<ForStmt>();
+      line("For");
+      ++Depth;
+      if (F->Init)
+        stmt(*F->Init);
+      if (F->Cond)
+        expr(*F->Cond);
+      if (F->Step)
+        expr(*F->Step);
+      stmt(*F->Body);
+      --Depth;
+      return;
+    }
+    case Stmt::Kind::Return: {
+      line("Return");
+      if (const ExprPtr &V = S.as<ReturnStmt>()->Value) {
+        ++Depth;
+        expr(*V);
+        --Depth;
+      }
+      return;
+    }
+    case Stmt::Kind::Break:
+      line("Break");
+      return;
+    case Stmt::Kind::Continue:
+      line("Continue");
+      return;
+    case Stmt::Kind::Sync:
+      line("Sync");
+      return;
+    case Stmt::Kind::Spawn: {
+      const auto *Sp = S.as<SpawnStmt>();
+      line("Spawn " + Sp->Receiver + " += " + Sp->Callee + "()" +
+           (Sp->SpawnId >= 0 ? " #" + std::to_string(Sp->SpawnId) : ""));
+      ++Depth;
+      for (const ExprPtr &Arg : Sp->Args)
+        expr(*Arg);
+      --Depth;
+      return;
+    }
+    }
+  }
+
+  void expr(const Expr &E) {
+    switch (E.ExprKind) {
+    case Expr::Kind::IntLit:
+      line("IntLit " + std::to_string(E.as<IntLitExpr>()->Value));
+      return;
+    case Expr::Kind::VarRef:
+      line("VarRef " + E.as<VarRefExpr>()->Name);
+      return;
+    case Expr::Kind::Unary: {
+      static const char *Names[] = {"Not",    "Neg",    "Deref",
+                                    "AddrOf", "PreInc", "PreDec",
+                                    "PostInc", "PostDec"};
+      const auto *U = E.as<UnaryExpr>();
+      line(std::string("Unary ") + Names[static_cast<int>(U->O)]);
+      ++Depth;
+      expr(*U->Sub);
+      --Depth;
+      return;
+    }
+    case Expr::Kind::Binary: {
+      static const char *Names[] = {"Add", "Sub", "Mul", "Div", "Rem",
+                                    "Lt",  "Gt",  "Le",  "Ge",  "Eq",
+                                    "Ne",  "And", "Or"};
+      const auto *B = E.as<BinaryExpr>();
+      line(std::string("Binary ") + Names[static_cast<int>(B->O)]);
+      ++Depth;
+      expr(*B->Lhs);
+      expr(*B->Rhs);
+      --Depth;
+      return;
+    }
+    case Expr::Kind::Assign: {
+      const auto *A = E.as<AssignExpr>();
+      line(A->Compound ? "Assign +=" : "Assign =");
+      ++Depth;
+      expr(*A->Lhs);
+      expr(*A->Rhs);
+      --Depth;
+      return;
+    }
+    case Expr::Kind::Call: {
+      const auto *C = E.as<CallExpr>();
+      line("Call " + C->Callee);
+      ++Depth;
+      for (const ExprPtr &Arg : C->Args)
+        expr(*Arg);
+      --Depth;
+      return;
+    }
+    case Expr::Kind::Index: {
+      const auto *I = E.as<IndexExpr>();
+      line("Index");
+      ++Depth;
+      expr(*I->Base);
+      expr(*I->Idx);
+      --Depth;
+      return;
+    }
+    case Expr::Kind::Member: {
+      const auto *M = E.as<MemberExpr>();
+      line(std::string("Member ") + (M->ThroughPointer ? "->" : ".") +
+           M->Field);
+      ++Depth;
+      expr(*M->Base);
+      --Depth;
+      return;
+    }
+    case Expr::Kind::Sizeof:
+      line("Sizeof " + E.as<SizeofExpr>()->Of.str());
+      return;
+    }
+  }
+
+  std::string Out;
+  int Depth = 0;
+};
+
+} // namespace
+
+std::string atc::lang::dumpProgram(const Program &P) {
+  Dumper D;
+  return D.run(P);
+}

@@ -1,0 +1,888 @@
+//===- lang/CodeGen.cpp - ATC five-version C++ emission -------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/CodeGen.h"
+#include "support/Compiler.h"
+
+#include <map>
+#include <set>
+
+using namespace atc;
+using namespace atc::lang;
+
+namespace {
+
+/// Which of the five versions is being emitted.
+enum class Version { Fast, Fast2, Check, Seq, Slow };
+
+const char *versionSuffix(Version V) {
+  switch (V) {
+  case Version::Fast:
+    return "_fast";
+  case Version::Fast2:
+    return "_fast2";
+  case Version::Check:
+    return "_check";
+  case Version::Seq:
+    return "_seq";
+  case Version::Slow:
+    return "_slow";
+  }
+  ATC_UNREACHABLE("unhandled version");
+}
+
+class Emitter {
+public:
+  explicit Emitter(const Program &P, const std::string &RuntimeInclude)
+      : P(P), RuntimeInclude(RuntimeInclude) {}
+
+  std::string run();
+
+private:
+  //===--------------------------------------------------------------------===
+  // Output helpers
+  //===--------------------------------------------------------------------===
+
+  void line(const std::string &S) {
+    Out.append(static_cast<std::size_t>(Indent) * 2, ' ');
+    Out += S;
+    Out += '\n';
+  }
+  void blank() { Out += '\n'; }
+  struct Scoped {
+    Emitter &E;
+    explicit Scoped(Emitter &E, const std::string &Open = "{") : E(E) {
+      E.line(Open);
+      ++E.Indent;
+    }
+    ~Scoped() {
+      --E.Indent;
+      E.line("}");
+    }
+  };
+
+  //===--------------------------------------------------------------------===
+  // Names and types
+  //===--------------------------------------------------------------------===
+
+  /// User "main" is renamed: the emitted C++ main() constructs the
+  /// Worker and dispatches to it.
+  static std::string funcName(const std::string &Name) {
+    return Name == "main" ? "atc_user_main" : Name;
+  }
+
+  static std::string typeStr(const Type &T) {
+    std::string S;
+    switch (T.BaseKind) {
+    case Type::Base::Int:
+      S = "int";
+      break;
+    case Type::Base::Long:
+      S = "long";
+      break;
+    case Type::Base::Char:
+      S = "char";
+      break;
+    case Type::Base::Void:
+      S = "void";
+      break;
+    case Type::Base::Struct:
+      S = T.StructName;
+      break;
+    }
+    for (int I = 0; I < T.PointerDepth; ++I)
+      S += " *";
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions
+  //===--------------------------------------------------------------------===
+
+  /// Renders an expression. \p Rename maps source variable names to
+  /// emitted names (hoisted locals in cilk versions; empty otherwise).
+  std::string expr(const Expr &E,
+                   const std::map<std::string, std::string> &Rename) {
+    switch (E.ExprKind) {
+    case Expr::Kind::IntLit:
+      return std::to_string(E.as<IntLitExpr>()->Value);
+    case Expr::Kind::VarRef: {
+      const std::string &Name = E.as<VarRefExpr>()->Name;
+      auto It = Rename.find(Name);
+      return It != Rename.end() ? It->second : Name;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = E.as<UnaryExpr>();
+      std::string Sub = expr(*U->Sub, Rename);
+      switch (U->O) {
+      case UnaryExpr::Op::Not:
+        return "(!" + Sub + ")";
+      case UnaryExpr::Op::Neg:
+        return "(-" + Sub + ")";
+      case UnaryExpr::Op::Deref:
+        return "(*" + Sub + ")";
+      case UnaryExpr::Op::AddrOf:
+        return "(&" + Sub + ")";
+      case UnaryExpr::Op::PreInc:
+        return "(++" + Sub + ")";
+      case UnaryExpr::Op::PreDec:
+        return "(--" + Sub + ")";
+      case UnaryExpr::Op::PostInc:
+        return "(" + Sub + "++)";
+      case UnaryExpr::Op::PostDec:
+        return "(" + Sub + "--)";
+      }
+      ATC_UNREACHABLE("unhandled unary op");
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = E.as<BinaryExpr>();
+      static const std::map<BinaryExpr::Op, const char *> Ops = {
+          {BinaryExpr::Op::Add, "+"},  {BinaryExpr::Op::Sub, "-"},
+          {BinaryExpr::Op::Mul, "*"},  {BinaryExpr::Op::Div, "/"},
+          {BinaryExpr::Op::Rem, "%"},  {BinaryExpr::Op::Lt, "<"},
+          {BinaryExpr::Op::Gt, ">"},   {BinaryExpr::Op::Le, "<="},
+          {BinaryExpr::Op::Ge, ">="},  {BinaryExpr::Op::Eq, "=="},
+          {BinaryExpr::Op::Ne, "!="},  {BinaryExpr::Op::And, "&&"},
+          {BinaryExpr::Op::Or, "||"},
+      };
+      return "(" + expr(*B->Lhs, Rename) + " " + Ops.at(B->O) + " " +
+             expr(*B->Rhs, Rename) + ")";
+    }
+    case Expr::Kind::Assign: {
+      const auto *A = E.as<AssignExpr>();
+      return "(" + expr(*A->Lhs, Rename) +
+             (A->Compound ? " += " : " = ") + expr(*A->Rhs, Rename) + ")";
+    }
+    case Expr::Kind::Call: {
+      const auto *C = E.as<CallExpr>();
+      std::string S;
+      if (C->Callee == "print_long") {
+        S = "atcgen::print_long(_w";
+      } else {
+        const FuncDecl *Callee = P.findFunc(C->Callee);
+        std::string Name = funcName(C->Callee);
+        // A direct call of a cilk function (root invocation) goes
+        // through its entry wrapper.
+        (void)Callee;
+        S = Name + "(_w";
+      }
+      for (const ExprPtr &Arg : C->Args)
+        S += ", " + expr(*Arg, Rename);
+      return S + ")";
+    }
+    case Expr::Kind::Index: {
+      const auto *I = E.as<IndexExpr>();
+      return expr(*I->Base, Rename) + "[" + expr(*I->Idx, Rename) + "]";
+    }
+    case Expr::Kind::Member: {
+      const auto *M = E.as<MemberExpr>();
+      return expr(*M->Base, Rename) + (M->ThroughPointer ? "->" : ".") +
+             M->Field;
+    }
+    case Expr::Kind::Sizeof:
+      return "(long)sizeof(" + typeStr(E.as<SizeofExpr>()->Of) + ")";
+    }
+    ATC_UNREACHABLE("unhandled expr kind");
+  }
+
+  //===--------------------------------------------------------------------===
+  // Structs and plain functions
+  //===--------------------------------------------------------------------===
+
+  void emitPlainFunction(const FuncDecl &F) {
+    std::string Sig = typeStr(F.ReturnTy) + " " + funcName(F.Name) +
+                      "(atcgen::Worker &_w";
+    for (const ParamDecl &Param : F.Params)
+      Sig += ", " + typeStr(Param.Ty) + " " + Param.Name;
+    Sig += ")";
+    if (!F.Body) {
+      line(Sig + ";");
+      return;
+    }
+    line(Sig + " {");
+    ++Indent;
+    line("(void)_w;");
+    std::map<std::string, std::string> NoRename;
+    for (const StmtPtr &S : F.Body->Stmts)
+      emitPlainStmt(*S, NoRename);
+    --Indent;
+    line("}");
+  }
+
+  /// Statement emission for non-cilk functions (no hoisting, no spawns).
+  void emitPlainStmt(const Stmt &S,
+                     std::map<std::string, std::string> &Rename) {
+    switch (S.StmtKind) {
+    case Stmt::Kind::Block: {
+      Scoped Guard(*this);
+      auto Saved = Rename;
+      for (const StmtPtr &Sub : S.as<BlockStmt>()->Stmts)
+        emitPlainStmt(*Sub, Rename);
+      Rename = Saved;
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      const auto *D = S.as<DeclStmt>();
+      std::string Decl = typeStr(D->Ty) + " " + D->Name;
+      if (D->ArraySize >= 0)
+        Decl += "[" + std::to_string(D->ArraySize) + "]";
+      if (D->Init)
+        Decl += " = " + expr(*D->Init, Rename);
+      line(Decl + ";");
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      line(expr(*S.as<ExprStmt>()->E, Rename) + ";");
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = S.as<IfStmt>();
+      line("if (" + expr(*I->Cond, Rename) + ") {");
+      ++Indent;
+      emitPlainStmt(*I->Then, Rename);
+      --Indent;
+      if (I->Else) {
+        line("} else {");
+        ++Indent;
+        emitPlainStmt(*I->Else, Rename);
+        --Indent;
+      }
+      line("}");
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = S.as<WhileStmt>();
+      line("while (" + expr(*W->Cond, Rename) + ") {");
+      ++Indent;
+      emitPlainStmt(*W->Body, Rename);
+      --Indent;
+      line("}");
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = S.as<ForStmt>();
+      Scoped Guard(*this);
+      auto Saved = Rename;
+      if (F->Init)
+        emitPlainStmt(*F->Init, Rename);
+      line("for (; " +
+           (F->Cond ? expr(*F->Cond, Rename) : std::string()) + "; " +
+           (F->Step ? expr(*F->Step, Rename) : std::string()) + ") {");
+      ++Indent;
+      emitPlainStmt(*F->Body, Rename);
+      --Indent;
+      line("}");
+      Rename = Saved;
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = S.as<ReturnStmt>();
+      if (R->Value)
+        line("return " + expr(*R->Value, Rename) + ";");
+      else
+        line("return;");
+      return;
+    }
+    case Stmt::Kind::Break:
+      line("break;");
+      return;
+    case Stmt::Kind::Continue:
+      line("continue;");
+      return;
+    case Stmt::Kind::Sync:
+    case Stmt::Kind::Spawn:
+      ATC_UNREACHABLE("spawn/sync in a non-cilk function");
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Cilk functions: frame + five versions
+  //===--------------------------------------------------------------------===
+
+  struct CilkContext {
+    const FuncDecl *F = nullptr;
+    Version V = Version::Fast;
+    /// Source name -> emitted (hoisted) name, maintained per scope.
+    std::map<std::string, std::string> Rename;
+    /// Hoisted local declarations: emitted name -> type string.
+    std::vector<std::pair<std::string, std::string>> Hoisted;
+    std::set<std::string> UsedNames;
+    bool HasSpecialState = false; ///< check version: _f/_stolen emitted.
+  };
+
+  std::string frameName(const FuncDecl &F) {
+    return funcName(F.Name) + "_frame";
+  }
+
+  /// Collects every local declaration of \p F with unique hoisted names,
+  /// filling Ctx.Hoisted and a DeclStmt* -> name map.
+  void collectLocals(const Stmt &S, CilkContext &Ctx,
+                     std::map<const DeclStmt *, std::string> &Names) {
+    switch (S.StmtKind) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr &Sub : S.as<BlockStmt>()->Stmts)
+        collectLocals(*Sub, Ctx, Names);
+      return;
+    case Stmt::Kind::Decl: {
+      const auto *D = S.as<DeclStmt>();
+      std::string Name = D->Name;
+      int Counter = 1;
+      while (Ctx.UsedNames.count(Name))
+        Name = D->Name + "_" + std::to_string(Counter++);
+      Ctx.UsedNames.insert(Name);
+      Names[D] = Name;
+      Ctx.Hoisted.push_back({Name, typeStr(D->Ty)});
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = S.as<IfStmt>();
+      collectLocals(*I->Then, Ctx, Names);
+      if (I->Else)
+        collectLocals(*I->Else, Ctx, Names);
+      return;
+    }
+    case Stmt::Kind::While:
+      collectLocals(*S.as<WhileStmt>()->Body, Ctx, Names);
+      return;
+    case Stmt::Kind::For: {
+      const auto *F = S.as<ForStmt>();
+      if (F->Init)
+        collectLocals(*F->Init, Ctx, Names);
+      collectLocals(*F->Body, Ctx, Names);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void emitFrameStruct(const FuncDecl &F, const CilkContext &Ctx) {
+    line("struct " + frameName(F) + " : atcgen::TaskInfoBase {");
+    ++Indent;
+    for (const ParamDecl &Param : F.Params)
+      line(typeStr(Param.Ty) + " " + Param.Name + ";");
+    for (const auto &[Name, Ty] : Ctx.Hoisted)
+      line(Ty + " " + Name + ";");
+    --Indent;
+    line("};");
+  }
+
+  /// Emits "save all live state into the frame" assignments.
+  void emitSave(const FuncDecl &F, const CilkContext &Ctx, int SpawnId,
+                const std::string &Dp) {
+    for (const ParamDecl &Param : F.Params)
+      line("_f->" + Param.Name + " = " + Param.Name + ";");
+    for (const auto &[Name, Ty] : Ctx.Hoisted) {
+      (void)Ty;
+      line("_f->" + Name + " = " + Name + ";");
+    }
+    line("_f->Entry = " + std::to_string(SpawnId) + ";");
+    line("_f->Dp = " + Dp + ";");
+  }
+
+  /// Renders call arguments; when \p TpReplacement is non-empty, the
+  /// callee's taskprivate parameter position gets it instead.
+  std::string callArgs(const SpawnStmt &S, const FuncDecl &Callee,
+                       const CilkContext &Ctx,
+                       const std::string &TpReplacement) {
+    std::string Args;
+    for (std::size_t I = 0; I < S.Args.size(); ++I) {
+      Args += ", ";
+      if (!TpReplacement.empty() &&
+          Callee.Taskprivate.Present &&
+          Callee.Params[I].Name == Callee.Taskprivate.VarName)
+        Args += TpReplacement;
+      else
+        Args += expr(*S.Args[I], Ctx.Rename);
+    }
+    return Args;
+  }
+
+  /// Renders the callee's taskprivate size expression in terms of the
+  /// caller's arguments (callee parameter names substituted).
+  std::string tpSizeExpr(const SpawnStmt &S, const FuncDecl &Callee,
+                         const CilkContext &Ctx) {
+    std::map<std::string, std::string> Subst;
+    for (std::size_t I = 0; I < Callee.Params.size(); ++I)
+      Subst[Callee.Params[I].Name] = expr(*S.Args[I], Ctx.Rename);
+    return expr(*Callee.Taskprivate.SizeExpr, Subst);
+  }
+
+  /// Emits one spawn statement for the current version.
+  void emitSpawn(const SpawnStmt &S, CilkContext &Ctx) {
+    const FuncDecl &F = *Ctx.F;
+    const FuncDecl *Callee = P.findFunc(S.Callee);
+    assert(Callee && "sema guarantees the callee exists");
+    std::string Recv = Ctx.Rename.count(S.Receiver)
+                           ? Ctx.Rename.at(S.Receiver)
+                           : S.Receiver;
+    std::string CalleeBase = funcName(S.Callee);
+    int K = S.SpawnId;
+    std::string Id = std::to_string(K);
+
+    auto EmitTaskSpawn = [&](const std::string &ChildVersion,
+                             const std::string &ChildDp, bool Special) {
+      // taskprivate copy for the child (Section 4.1): only in the task
+      // versions.
+      bool Tp = Callee->Taskprivate.Present;
+      std::string TpArg;
+      if (Tp) {
+        std::string Size = "(size_t)(" + tpSizeExpr(S, *Callee, Ctx) + ")";
+        std::string TpParamTy;
+        for (const ParamDecl &Param : Callee->Params)
+          if (Param.Name == Callee->Taskprivate.VarName)
+            TpParamTy = typeStr(Param.Ty);
+        line("void *_tp" + Id + " = _w.allocWorkspace(" + Size + ");");
+        // The source pointer is the caller's argument for that param.
+        std::string Src;
+        for (std::size_t I = 0; I < Callee->Params.size(); ++I)
+          if (Callee->Params[I].Name == Callee->Taskprivate.VarName)
+            Src = expr(*S.Args[I], Ctx.Rename);
+        line("std::memcpy(_tp" + Id + ", (const void *)(" + Src + "), " +
+             Size + ");");
+        TpArg = "(" + TpParamTy + ")_tp" + Id;
+      }
+      emitSave(F, Ctx, K, Special ? "0" : "_dp");
+      line(Special ? "_w.pushSpecial(_f);" : "_w.push(_f);");
+      line("long _r" + Id + " = " + CalleeBase + ChildVersion + "(_w" +
+           (ChildVersion == "_check" || ChildVersion == "_seq"
+                ? ""
+                : ", " + ChildDp) +
+           callArgs(S, *Callee, Ctx, TpArg) + ");");
+      if (Special) {
+        line("if (!_w.popSpecial(_f)) _stolen = 1;");
+      } else {
+        // Pop failure: the frame was stolen; the runtime deposited the
+        // child's value. Return a dummy ("if(pop(sn) == FAILURE) return").
+        line("if (!_w.pop(_f, _r" + Id + ", (size_t)((char *)&_f->" +
+             Recv + " - (char *)_f)))" +
+             (Ctx.V == Version::Slow ? " return;" : " return 0;"));
+      }
+      line(Recv + " += _r" + Id + ";");
+      if (Tp)
+        line("_w.freeWorkspace(_tp" + Id + ", (size_t)(" +
+             tpSizeExpr(S, *Callee, Ctx) + "));");
+    };
+
+    switch (Ctx.V) {
+    case Version::Seq:
+      // Fake task: plain recursive call, parent workspace shared.
+      line(Recv + " += " + CalleeBase + "_seq(_w" +
+           callArgs(S, *Callee, Ctx, "") + ");");
+      return;
+    case Version::Fast:
+    case Version::Slow: {
+      // The slow version resumes the fast dispatch (Figure 2).
+      line("if (_dp < _w.cutoff()) {");
+      ++Indent;
+      EmitTaskSpawn("_fast", "_dp + 1", /*Special=*/false);
+      --Indent;
+      line("} else {");
+      ++Indent;
+      line(Recv + " += " + CalleeBase + "_check(_w" +
+           callArgs(S, *Callee, Ctx, "") + ");");
+      --Indent;
+      line("}");
+      if (Ctx.V == Version::Slow)
+        line("_resume_" + Id + ": ;");
+      return;
+    }
+    case Version::Fast2: {
+      line("if (_dp < 2 * _w.cutoff()) {");
+      ++Indent;
+      EmitTaskSpawn("_fast2", "_dp + 1", /*Special=*/false);
+      --Indent;
+      line("} else {");
+      ++Indent;
+      line(Recv + " += " + CalleeBase + "_seq(_w" +
+           callArgs(S, *Callee, Ctx, "") + ");");
+      --Indent;
+      line("}");
+      return;
+    }
+    case Version::Check: {
+      line("if (!_w.needTask()) {");
+      ++Indent;
+      line(Recv + " += " + CalleeBase + "_check(_w" +
+           callArgs(S, *Callee, Ctx, "") + ");");
+      --Indent;
+      line("} else {");
+      ++Indent;
+      line("if (!_f) {");
+      ++Indent;
+      line("_f = (" + frameName(F) + " *)_w.allocFrame(sizeof(" +
+           frameName(F) + "), &" + funcName(F.Name) + "_slow);");
+      line("_f->Special = true;");
+      --Indent;
+      line("}");
+      EmitTaskSpawn("_fast2", "0", /*Special=*/true);
+      --Indent;
+      line("}");
+      return;
+    }
+    }
+  }
+
+  void emitSync(CilkContext &Ctx) {
+    switch (Ctx.V) {
+    case Version::Fast:
+    case Version::Fast2:
+    case Version::Seq:
+      // "In the fast version, all sync statements are translated to
+      // no-ops."
+      line("; // sync: no-op (children completed synchronously)");
+      return;
+    case Version::Check:
+      line("if (_stolen) { _w.syncSpecial(_f); " //
+           "/* deposits joined */ }");
+      return;
+    case Version::Slow:
+      line("(void)_w.syncSlow(_f); // all children joined");
+      return;
+    }
+  }
+
+  void emitCilkStmt(const Stmt &S, CilkContext &Ctx,
+                    const std::map<const DeclStmt *, std::string> &Names) {
+    switch (S.StmtKind) {
+    case Stmt::Kind::Block: {
+      Scoped Guard(*this);
+      auto Saved = Ctx.Rename;
+      for (const StmtPtr &Sub : S.as<BlockStmt>()->Stmts)
+        emitCilkStmt(*Sub, Ctx, Names);
+      Ctx.Rename = Saved;
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      // Hoisted: bind the scope name and assign the initializer here.
+      const auto *D = S.as<DeclStmt>();
+      const std::string &Hoisted = Names.at(D);
+      Ctx.Rename[D->Name] = Hoisted;
+      if (D->Init)
+        line(Hoisted + " = " + expr(*D->Init, Ctx.Rename) + ";");
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      line(expr(*S.as<ExprStmt>()->E, Ctx.Rename) + ";");
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = S.as<IfStmt>();
+      line("if (" + expr(*I->Cond, Ctx.Rename) + ") {");
+      ++Indent;
+      emitCilkStmt(*I->Then, Ctx, Names);
+      --Indent;
+      if (I->Else) {
+        line("} else {");
+        ++Indent;
+        emitCilkStmt(*I->Else, Ctx, Names);
+        --Indent;
+      }
+      line("}");
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = S.as<WhileStmt>();
+      line("while (" + expr(*W->Cond, Ctx.Rename) + ") {");
+      ++Indent;
+      emitCilkStmt(*W->Body, Ctx, Names);
+      --Indent;
+      line("}");
+      return;
+    }
+    case Stmt::Kind::For: {
+      // Emitted as init + while so a slow-version resume label inside
+      // the body is reachable by goto (no initialized declarations are
+      // jumped over: all locals are hoisted).
+      const auto *F = S.as<ForStmt>();
+      auto Saved = Ctx.Rename;
+      if (F->Init)
+        emitCilkStmt(*F->Init, Ctx, Names);
+      line("for (; " +
+           (F->Cond ? expr(*F->Cond, Ctx.Rename) : std::string()) + "; " +
+           (F->Step ? expr(*F->Step, Ctx.Rename) : std::string()) + ") {");
+      ++Indent;
+      emitCilkStmt(*F->Body, Ctx, Names);
+      --Indent;
+      line("}");
+      Ctx.Rename = Saved;
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = S.as<ReturnStmt>();
+      std::string Value =
+          R->Value ? expr(*R->Value, Ctx.Rename) : std::string("0");
+      switch (Ctx.V) {
+      case Version::Fast:
+      case Version::Fast2:
+        line("{ long _ret = " + Value + "; _w.freeFrame(_f); "
+             "return _ret; }");
+        return;
+      case Version::Check:
+        line("{ long _ret = " + Value +
+             "; if (_f) _w.freeFrame(_f); return _ret; }");
+        return;
+      case Version::Seq:
+        line("return " + Value + ";");
+        return;
+      case Version::Slow:
+        line("{ _w.completeSlow(_f, " + Value + "); return; }");
+        return;
+      }
+      return;
+    }
+    case Stmt::Kind::Break:
+      line("break;");
+      return;
+    case Stmt::Kind::Continue:
+      line("continue;");
+      return;
+    case Stmt::Kind::Sync:
+      emitSync(Ctx);
+      return;
+    case Stmt::Kind::Spawn:
+      emitSpawn(*S.as<SpawnStmt>(), Ctx);
+      return;
+    }
+  }
+
+  void emitCilkVersion(const FuncDecl &F, Version V,
+                       const std::map<const DeclStmt *, std::string> &Names,
+                       const CilkContext &Proto) {
+    CilkContext Ctx = Proto;
+    Ctx.V = V;
+    Ctx.Rename.clear();
+
+    std::string Name = funcName(F.Name) + versionSuffix(V);
+    std::string Params;
+    for (const ParamDecl &Param : F.Params)
+      Params += ", " + typeStr(Param.Ty) + " " + Param.Name;
+
+    switch (V) {
+    case Version::Fast:
+    case Version::Fast2:
+      line("long " + Name + "(atcgen::Worker &_w, int _dp" + Params + ") {");
+      break;
+    case Version::Check:
+    case Version::Seq:
+      line("long " + Name + "(atcgen::Worker &_w" + Params + ") {");
+      break;
+    case Version::Slow:
+      line("void " + Name +
+           "(atcgen::Worker &_w, atcgen::TaskInfoBase *_base) {");
+      break;
+    }
+    ++Indent;
+
+    // Prologue per version.
+    if (V == Version::Fast || V == Version::Fast2) {
+      // "A task is created at the entry of the fast version and is freed
+      // at its exit."
+      line(frameName(F) + " *_f = (" + frameName(F) +
+           " *)_w.allocFrame(sizeof(" + frameName(F) + "), &" +
+           funcName(F.Name) + "_slow);");
+    } else if (V == Version::Check) {
+      line(frameName(F) + " *_f = nullptr;");
+      line("int _stolen = 0; (void)_stolen;");
+    }
+
+    // Hoisted locals. Initializers become assignments at the original
+    // declaration site; in the slow version the declarations must stay
+    // uninitialized so the entry goto never jumps over an initialization.
+    for (const auto &[HName, Ty] : Ctx.Hoisted)
+      line(V == Version::Slow ? Ty + " " + HName + ";"
+                              : Ty + " " + HName + "{};");
+
+    if (V == Version::Slow) {
+      line("auto *_f = (" + frameName(F) + " *)_base;");
+      line("int _dp = _f->Dp;");
+      // Restore parameters and locals from the frame.
+      for (const ParamDecl &Param : F.Params)
+        line(typeStr(Param.Ty) + " " + Param.Name + " = _f->" + Param.Name +
+             ";");
+      for (const auto &[HName, Ty] : Ctx.Hoisted) {
+        (void)Ty;
+        line(HName + " = _f->" + HName + ";");
+      }
+      // Resume at the saved "PC".
+      line("switch (_f->Entry) {");
+      ++Indent;
+      for (int K = 0; K < F.NumSpawns; ++K)
+        line("case " + std::to_string(K) + ": goto _resume_" +
+             std::to_string(K) + ";");
+      line("default: break;");
+      --Indent;
+      line("}");
+    }
+
+    for (const StmtPtr &S : F.Body->Stmts)
+      emitCilkStmt(*S, Ctx, Names);
+
+    // Fall-off-the-end epilogue (cilk functions return integral values;
+    // a missing return yields 0, as in C).
+    switch (V) {
+    case Version::Fast:
+    case Version::Fast2:
+      line("_w.freeFrame(_f);");
+      line("return 0;");
+      break;
+    case Version::Check:
+      line("if (_f) _w.freeFrame(_f);");
+      line("return 0;");
+      break;
+    case Version::Seq:
+      line("return 0;");
+      break;
+    case Version::Slow:
+      line("_w.completeSlow(_f, 0);");
+      break;
+    }
+    --Indent;
+    line("}");
+    blank();
+  }
+
+  void emitCilkFunction(const FuncDecl &F) {
+    CilkContext Ctx;
+    Ctx.F = &F;
+    for (const ParamDecl &Param : F.Params)
+      Ctx.UsedNames.insert(Param.Name);
+    std::map<const DeclStmt *, std::string> Names;
+    collectLocals(*F.Body, Ctx, Names);
+
+    line("// ----- cilk function '" + F.Name + "': task frame and the");
+    line("// ----- five versions (fast / check / fast_2 / sequence / "
+         "slow)");
+    emitFrameStruct(F, Ctx);
+    blank();
+    for (Version V : {Version::Seq, Version::Check, Version::Fast2,
+                      Version::Fast, Version::Slow})
+      emitCilkVersion(F, V, Names, Ctx);
+
+    // Entry wrapper: a root invocation starts in the fast version at
+    // depth 0.
+    std::string Params, Args;
+    for (const ParamDecl &Param : F.Params) {
+      Params += ", " + typeStr(Param.Ty) + " " + Param.Name;
+      Args += ", " + Param.Name;
+    }
+    line("inline long " + funcName(F.Name) + "(atcgen::Worker &_w" +
+         Params + ") {");
+    ++Indent;
+    line("return " + funcName(F.Name) + "_fast(_w, 0" + Args + ");");
+    --Indent;
+    line("}");
+    blank();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Forward declarations
+  //===--------------------------------------------------------------------===
+
+  void emitForwardDecls() {
+    for (const auto &F : P.Funcs) {
+      std::string Params;
+      for (const ParamDecl &Param : F->Params)
+        Params += ", " + typeStr(Param.Ty) + " " + Param.Name;
+      if (!F->IsCilk) {
+        line(typeStr(F->ReturnTy) + " " + funcName(F->Name) +
+             "(atcgen::Worker &_w" + Params + ");");
+        continue;
+      }
+      std::string Base = funcName(F->Name);
+      line("struct " + Base + "_frame;");
+      line("long " + Base + "_seq(atcgen::Worker &_w" + Params + ");");
+      line("long " + Base + "_check(atcgen::Worker &_w" + Params + ");");
+      line("long " + Base + "_fast(atcgen::Worker &_w, int _dp" + Params +
+           ");");
+      line("long " + Base + "_fast2(atcgen::Worker &_w, int _dp" + Params +
+           ");");
+      line("void " + Base +
+           "_slow(atcgen::Worker &_w, atcgen::TaskInfoBase *_base);");
+      line("inline long " + Base + "(atcgen::Worker &_w" + Params + ");");
+    }
+    blank();
+  }
+
+  const Program &P;
+  const std::string RuntimeInclude;
+  std::string Out;
+  int Indent = 0;
+};
+
+std::string Emitter::run() {
+  line("// Generated by atcc (AdaptiveTC compiler) - do not edit.");
+  line("#include \"" + RuntimeInclude + "\"");
+  line("#include <cstddef>");
+  line("#include <cstring>");
+  blank();
+
+  for (const StructDecl &S : P.Structs) {
+    line("struct " + S.Name + " {");
+    ++Indent;
+    for (const FieldDecl &F : S.Fields) {
+      std::string Decl = typeStr(F.Ty) + " " + F.Name;
+      if (F.ArraySize >= 0)
+        Decl += "[" + std::to_string(F.ArraySize) + "]";
+      line(Decl + ";");
+    }
+    --Indent;
+    line("};");
+    blank();
+  }
+
+  emitForwardDecls();
+
+  for (const auto &F : P.Funcs) {
+    if (!F->Body)
+      continue;
+    if (F->IsCilk)
+      emitCilkFunction(*F);
+    else {
+      emitPlainFunction(*F);
+      blank();
+    }
+  }
+
+  // Host main: construct the worker (cutoff from ATCGEN_CUTOFF, default
+  // 3) and run the user's main.
+  if (P.findFunc("main")) {
+    line("int main() {");
+    ++Indent;
+    line("int _cutoff = 3;");
+    line("if (const char *_e = std::getenv(\"ATCGEN_CUTOFF\")) "
+         "_cutoff = std::atoi(_e);");
+    line("atcgen::Worker _w(_cutoff);");
+    line("if (const char *_e = std::getenv(\"ATCGEN_FORCE_NEEDTASK\")) "
+         "_w.forceNeedTaskEvery(std::atoi(_e));");
+    line("int _ret = (int)atc_user_main(_w);");
+    line("if (std::getenv(\"ATCGEN_STATS\"))");
+    ++Indent;
+    line("std::fprintf(stderr, \"frames=%llu pushes=%llu pops=%llu "
+         "special_pushes=%llu polls=%llu need_task=%llu ws_allocs=%llu "
+         "ws_bytes=%llu\\n\", "
+         "(unsigned long long)_w.Stats.FramesAllocated, "
+         "(unsigned long long)_w.Stats.Pushes, "
+         "(unsigned long long)_w.Stats.Pops, "
+         "(unsigned long long)_w.Stats.SpecialPushes, "
+         "(unsigned long long)_w.Stats.Polls, "
+         "(unsigned long long)_w.Stats.NeedTaskHits, "
+         "(unsigned long long)_w.Stats.WorkspaceAllocs, "
+         "(unsigned long long)_w.Stats.WorkspaceBytes);");
+    --Indent;
+    line("return _ret;");
+    --Indent;
+    line("}");
+  }
+
+  return Out;
+}
+
+} // namespace
+
+std::string atc::lang::emitCpp(const Program &P,
+                               const std::string &RuntimeInclude) {
+  Emitter E(P, RuntimeInclude);
+  return E.run();
+}

@@ -1,0 +1,53 @@
+//===- lang/CodeGen.h - ATC five-version C++ emission -----------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The atcc back end: translates an analyzed ATC program into C++,
+/// emitting the paper's five code versions per cilk function (Section
+/// 4.2):
+///
+///  * fast      - tasks while _adpTC_dp < cutoff, then calls check;
+///                allocates/frees the task_info frame at entry/exit;
+///                sync is a no-op;
+///  * check     - fake task; polls need_task; on demand creates the
+///                special task and runs the child via fast_2 with the
+///                depth reset to 0 (pop_specialtask / sync_specialtask);
+///  * fast_2    - like fast with twice the cutoff, falling back to
+///                sequence;
+///  * sequence  - a plain recursive function (taskprivate ignored);
+///  * slow      - stolen-task entry: restores locals from the frame and
+///                resumes after the saved spawn via a switch/goto.
+///
+/// taskprivate handling follows Section 4.1: the task versions allocate
+/// and memcpy a private workspace for each spawned child (the clause's
+/// size expression, re-expressed in caller arguments); the fake-task
+/// versions pass the parent's workspace through unchanged.
+///
+/// The emitted code targets the ABI of lang/runtime/GenRuntime.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_LANG_CODEGEN_H
+#define ATC_LANG_CODEGEN_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace atc {
+namespace lang {
+
+/// Emits C++ source for the analyzed program \p P. \p RuntimeInclude is
+/// the include path spelled into the output (default: the in-tree
+/// GenRuntime.h).
+std::string emitCpp(const Program &P,
+                    const std::string &RuntimeInclude =
+                        "lang/runtime/GenRuntime.h");
+
+} // namespace lang
+} // namespace atc
+
+#endif // ATC_LANG_CODEGEN_H

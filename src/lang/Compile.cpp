@@ -1,0 +1,31 @@
+//===- lang/Compile.cpp - One-call compiler pipeline ----------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Compile.h"
+#include "lang/CodeGen.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+using namespace atc;
+using namespace atc::lang;
+
+CompileResult atc::lang::compileAtc(const std::string &Source,
+                                    const std::string &RuntimeInclude) {
+  CompileResult R;
+  std::vector<Token> Tokens = Lexer::tokenize(Source, R.Errors);
+  if (!R.Errors.empty())
+    return R;
+  Parser P(std::move(Tokens), R.Errors);
+  R.Ast = P.parseProgram();
+  if (!R.Errors.empty())
+    return R;
+  if (!analyze(R.Ast, R.Errors))
+    return R;
+  R.Cpp = emitCpp(R.Ast, RuntimeInclude);
+  R.Success = true;
+  return R;
+}

@@ -1,0 +1,40 @@
+//===- lang/Compile.h - One-call compiler pipeline --------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry point running the whole atcc pipeline: lex, parse,
+/// analyze, and (on success) emit C++.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_LANG_COMPILE_H
+#define ATC_LANG_COMPILE_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace atc {
+namespace lang {
+
+struct CompileResult {
+  bool Success = false;
+  std::vector<std::string> Errors; ///< "line:col: message".
+  Program Ast;                     ///< Valid when parsing succeeded.
+  std::string Cpp;                 ///< Emitted C++ (empty on failure).
+};
+
+/// Compiles ATC source text to C++. \p RuntimeInclude is spelled into the
+/// generated #include.
+CompileResult compileAtc(const std::string &Source,
+                         const std::string &RuntimeInclude =
+                             "lang/runtime/GenRuntime.h");
+
+} // namespace lang
+} // namespace atc
+
+#endif // ATC_LANG_COMPILE_H

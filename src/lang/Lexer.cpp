@@ -1,0 +1,416 @@
+//===- lang/Lexer.cpp - ATC language lexer --------------------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace atc;
+using namespace atc::lang;
+
+const char *atc::lang::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::KwCilk:
+    return "'cilk'";
+  case TokenKind::KwSpawn:
+    return "'spawn'";
+  case TokenKind::KwSync:
+    return "'sync'";
+  case TokenKind::KwTaskprivate:
+    return "'taskprivate'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwLong:
+    return "'long'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwSizeof:
+    return "'sizeof'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::Eof:
+    return "end of file";
+  }
+  return "<token>";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind> &keywordMap() {
+  static const std::map<std::string, TokenKind> Map = {
+      {"cilk", TokenKind::KwCilk},
+      {"spawn", TokenKind::KwSpawn},
+      {"sync", TokenKind::KwSync},
+      {"taskprivate", TokenKind::KwTaskprivate},
+      {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},
+      {"char", TokenKind::KwChar},
+      {"void", TokenKind::KwVoid},
+      {"struct", TokenKind::KwStruct},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"sizeof", TokenKind::KwSizeof},
+  };
+  return Map;
+}
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, std::vector<std::string> &Errors)
+      : Src(Source), Errors(Errors) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    for (;;) {
+      skipTrivia();
+      Token T = next();
+      Tokens.push_back(T);
+      if (T.Kind == TokenKind::Eof)
+        break;
+    }
+    return Tokens;
+  }
+
+private:
+  char peek(int Ahead = 0) const {
+    std::size_t I = Pos + static_cast<std::size_t>(Ahead);
+    return I < Src.size() ? Src[I] : '\0';
+  }
+
+  char advance() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n') {
+      ++Loc.Line;
+      Loc.Col = 1;
+    } else {
+      ++Loc.Col;
+    }
+    return C;
+  }
+
+  void error(const std::string &Msg) {
+    Errors.push_back(Loc.str() + ": " + Msg);
+  }
+
+  void skipTrivia() {
+    for (;;) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (peek() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start = Loc;
+        advance();
+        advance();
+        while (peek() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (!peek()) {
+          Errors.push_back(Start.str() + ": unterminated block comment");
+          return;
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokenKind Kind, SourceLoc At) {
+    Token T;
+    T.Kind = Kind;
+    T.Loc = At;
+    return T;
+  }
+
+  Token next() {
+    SourceLoc At = Loc;
+    char C = peek();
+    if (!C)
+      return make(TokenKind::Eof, At);
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdentifier(At);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(At);
+    if (C == '\'')
+      return lexCharLiteral(At);
+
+    advance();
+    switch (C) {
+    case '(':
+      return make(TokenKind::LParen, At);
+    case ')':
+      return make(TokenKind::RParen, At);
+    case '{':
+      return make(TokenKind::LBrace, At);
+    case '}':
+      return make(TokenKind::RBrace, At);
+    case '[':
+      return make(TokenKind::LBracket, At);
+    case ']':
+      return make(TokenKind::RBracket, At);
+    case ';':
+      return make(TokenKind::Semicolon, At);
+    case ',':
+      return make(TokenKind::Comma, At);
+    case ':':
+      return make(TokenKind::Colon, At);
+    case '.':
+      return make(TokenKind::Dot, At);
+    case '+':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::PlusAssign, At);
+      }
+      if (peek() == '+') {
+        advance();
+        return make(TokenKind::PlusPlus, At);
+      }
+      return make(TokenKind::Plus, At);
+    case '-':
+      if (peek() == '>') {
+        advance();
+        return make(TokenKind::Arrow, At);
+      }
+      if (peek() == '-') {
+        advance();
+        return make(TokenKind::MinusMinus, At);
+      }
+      return make(TokenKind::Minus, At);
+    case '*':
+      return make(TokenKind::Star, At);
+    case '/':
+      return make(TokenKind::Slash, At);
+    case '%':
+      return make(TokenKind::Percent, At);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokenKind::AmpAmp, At);
+      }
+      return make(TokenKind::Amp, At);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokenKind::PipePipe, At);
+      }
+      error("unexpected '|' (only '||' is supported)");
+      return next();
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::NotEq, At);
+      }
+      return make(TokenKind::Bang, At);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::LessEq, At);
+      }
+      return make(TokenKind::Less, At);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::GreaterEq, At);
+      }
+      return make(TokenKind::Greater, At);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::EqEq, At);
+      }
+      return make(TokenKind::Assign, At);
+    default:
+      error(std::string("unexpected character '") + C + "'");
+      return next();
+    }
+  }
+
+  Token lexIdentifier(SourceLoc At) {
+    std::string Text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text += advance();
+    auto It = keywordMap().find(Text);
+    if (It != keywordMap().end())
+      return make(It->second, At);
+    Token T = make(TokenKind::Identifier, At);
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  Token lexNumber(SourceLoc At) {
+    std::int64_t Value = 0;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      advance();
+      advance();
+      bool Any = false;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char C = advance();
+        int Digit = std::isdigit(static_cast<unsigned char>(C))
+                        ? C - '0'
+                        : std::tolower(static_cast<unsigned char>(C)) - 'a' +
+                              10;
+        Value = Value * 16 + Digit;
+        Any = true;
+      }
+      if (!Any)
+        error("expected hex digits after '0x'");
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Value = Value * 10 + (advance() - '0');
+    }
+    Token T = make(TokenKind::IntLiteral, At);
+    T.IntValue = Value;
+    return T;
+  }
+
+  Token lexCharLiteral(SourceLoc At) {
+    advance(); // opening quote
+    std::int64_t Value = 0;
+    char C = peek();
+    if (C == '\\') {
+      advance();
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Value = '\n';
+        break;
+      case 't':
+        Value = '\t';
+        break;
+      case '0':
+        Value = 0;
+        break;
+      case '\\':
+        Value = '\\';
+        break;
+      case '\'':
+        Value = '\'';
+        break;
+      default:
+        error(std::string("unknown escape '\\") + E + "'");
+      }
+    } else if (C) {
+      Value = advance();
+    }
+    if (peek() == '\'')
+      advance();
+    else
+      error("unterminated character literal");
+    Token T = make(TokenKind::CharLiteral, At);
+    T.IntValue = Value;
+    return T;
+  }
+
+  const std::string &Src;
+  std::vector<std::string> &Errors;
+  std::size_t Pos = 0;
+  SourceLoc Loc;
+};
+
+} // namespace
+
+std::vector<Token> Lexer::tokenize(const std::string &Source,
+                                   std::vector<std::string> &Errors) {
+  LexerImpl Impl(Source, Errors);
+  return Impl.run();
+}

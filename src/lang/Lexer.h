@@ -1,0 +1,39 @@
+//===- lang/Lexer.h - ATC language lexer ------------------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the ATC language. Supports // and /* */
+/// comments, decimal/hex integer literals, and character literals with
+/// the usual escapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_LANG_LEXER_H
+#define ATC_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace atc {
+namespace lang {
+
+/// Lexes a whole buffer into a token vector (ending with Eof). Errors are
+/// reported through the diagnostics callback of tokenize(); lexing
+/// continues after an error so multiple problems surface at once.
+class Lexer {
+public:
+  /// Lexes \p Source. Appends one message per error to \p Errors
+  /// ("line:col: message").
+  static std::vector<Token> tokenize(const std::string &Source,
+                                     std::vector<std::string> &Errors);
+};
+
+} // namespace lang
+} // namespace atc
+
+#endif // ATC_LANG_LEXER_H

@@ -1,0 +1,561 @@
+//===- lang/Parser.cpp - ATC language parser ------------------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+using namespace atc;
+using namespace atc::lang;
+
+Parser::Parser(std::vector<Token> Tokens, std::vector<std::string> &Errors)
+    : Tokens(std::move(Tokens)), Errors(Errors) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(int Ahead) const {
+  std::size_t I = Pos + static_cast<std::size_t>(Ahead);
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // Eof
+  return Tokens[I];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  error(std::string("expected ") + tokenKindName(K) + " " + Context +
+        ", got " + tokenKindName(peek().Kind));
+  return false;
+}
+
+void Parser::error(const std::string &Msg) {
+  Errors.push_back(peek().Loc.str() + ": " + Msg);
+}
+
+void Parser::synchronizeToStmtBoundary() {
+  while (!check(TokenKind::Eof)) {
+    if (accept(TokenKind::Semicolon))
+      return;
+    if (check(TokenKind::RBrace))
+      return;
+    advance();
+  }
+}
+
+bool Parser::atTypeStart() const {
+  switch (peek().Kind) {
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwChar:
+  case TokenKind::KwVoid:
+  case TokenKind::KwStruct:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Type Parser::parseType() {
+  Type T;
+  switch (peek().Kind) {
+  case TokenKind::KwInt:
+    T.BaseKind = Type::Base::Int;
+    advance();
+    break;
+  case TokenKind::KwLong:
+    T.BaseKind = Type::Base::Long;
+    advance();
+    break;
+  case TokenKind::KwChar:
+    T.BaseKind = Type::Base::Char;
+    advance();
+    break;
+  case TokenKind::KwVoid:
+    T.BaseKind = Type::Base::Void;
+    advance();
+    break;
+  case TokenKind::KwStruct:
+    advance();
+    T.BaseKind = Type::Base::Struct;
+    if (check(TokenKind::Identifier))
+      T.StructName = advance().Text;
+    else
+      error("expected struct name");
+    break;
+  default:
+    error("expected a type");
+    break;
+  }
+  while (accept(TokenKind::Star))
+    ++T.PointerDepth;
+  return T;
+}
+
+Program Parser::parseProgram() {
+  Program P;
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::KwStruct) && peek(1).is(TokenKind::Identifier) &&
+        peek(2).is(TokenKind::LBrace)) {
+      P.Structs.push_back(parseStruct());
+      continue;
+    }
+    bool IsCilk = accept(TokenKind::KwCilk);
+    if (!atTypeStart()) {
+      error("expected a struct or function definition");
+      synchronizeToStmtBoundary();
+      continue;
+    }
+    P.Funcs.push_back(parseFunction(IsCilk));
+  }
+  return P;
+}
+
+StructDecl Parser::parseStruct() {
+  StructDecl S;
+  S.Loc = peek().Loc;
+  expect(TokenKind::KwStruct, "at struct definition");
+  if (check(TokenKind::Identifier))
+    S.Name = advance().Text;
+  expect(TokenKind::LBrace, "after struct name");
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    FieldDecl F;
+    F.Ty = parseType();
+    if (check(TokenKind::Identifier))
+      F.Name = advance().Text;
+    else
+      error("expected field name");
+    if (accept(TokenKind::LBracket)) {
+      if (check(TokenKind::IntLiteral))
+        F.ArraySize = static_cast<int>(advance().IntValue);
+      else
+        error("expected array size");
+      expect(TokenKind::RBracket, "after array size");
+    }
+    expect(TokenKind::Semicolon, "after field");
+    S.Fields.push_back(std::move(F));
+  }
+  expect(TokenKind::RBrace, "at end of struct");
+  expect(TokenKind::Semicolon, "after struct definition");
+  return S;
+}
+
+std::unique_ptr<FuncDecl> Parser::parseFunction(bool IsCilk) {
+  auto F = std::make_unique<FuncDecl>();
+  F->IsCilk = IsCilk;
+  F->Loc = peek().Loc;
+  F->ReturnTy = parseType();
+  if (check(TokenKind::Identifier))
+    F->Name = advance().Text;
+  else
+    error("expected function name");
+
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      ParamDecl Param;
+      Param.Ty = parseType();
+      if (check(TokenKind::Identifier))
+        Param.Name = advance().Text;
+      else
+        error("expected parameter name");
+      F->Params.push_back(std::move(Param));
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameters");
+
+  // taskprivate: (*x) (size-expr);
+  if (check(TokenKind::KwTaskprivate)) {
+    F->Taskprivate.Present = true;
+    F->Taskprivate.Loc = peek().Loc;
+    advance();
+    expect(TokenKind::Colon, "after 'taskprivate'");
+    expect(TokenKind::LParen, "in taskprivate clause");
+    expect(TokenKind::Star, "in taskprivate clause");
+    if (check(TokenKind::Identifier))
+      F->Taskprivate.VarName = advance().Text;
+    else
+      error("expected taskprivate variable name");
+    expect(TokenKind::RParen, "in taskprivate clause");
+    expect(TokenKind::LParen, "before taskprivate size expression");
+    F->Taskprivate.SizeExpr = parseExpr();
+    expect(TokenKind::RParen, "after taskprivate size expression");
+    expect(TokenKind::Semicolon, "after taskprivate clause");
+  }
+
+  if (check(TokenKind::LBrace)) {
+    StmtPtr Body = parseBlock();
+    F->Body.reset(static_cast<BlockStmt *>(Body.release()));
+  } else {
+    expect(TokenKind::Semicolon, "after function declaration");
+  }
+  return F;
+}
+
+StmtPtr Parser::parseBlock() {
+  auto B = std::make_unique<BlockStmt>(peek().Loc);
+  expect(TokenKind::LBrace, "at block start");
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    std::size_t Before = Pos;
+    StmtPtr S = parseStmt();
+    if (S)
+      B->Stmts.push_back(std::move(S));
+    if (Pos == Before) {
+      // No progress: recover.
+      synchronizeToStmtBoundary();
+      if (Pos == Before)
+        advance();
+    }
+  }
+  expect(TokenKind::RBrace, "at block end");
+  return B;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = peek().Loc;
+  switch (peek().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn: {
+    advance();
+    ExprPtr Value;
+    if (!check(TokenKind::Semicolon))
+      Value = parseExpr();
+    expect(TokenKind::Semicolon, "after return");
+    return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+  }
+  case TokenKind::KwBreak:
+    advance();
+    expect(TokenKind::Semicolon, "after break");
+    return std::make_unique<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    advance();
+    expect(TokenKind::Semicolon, "after continue");
+    return std::make_unique<ContinueStmt>(Loc);
+  case TokenKind::KwSync:
+    advance();
+    expect(TokenKind::Semicolon, "after sync");
+    return std::make_unique<SyncStmt>(Loc);
+  default:
+    break;
+  }
+
+  // Spawn statement: IDENT += spawn IDENT ( args ) ;
+  if (check(TokenKind::Identifier) && peek(1).is(TokenKind::PlusAssign) &&
+      peek(2).is(TokenKind::KwSpawn)) {
+    std::string Receiver = advance().Text;
+    advance(); // +=
+    advance(); // spawn
+    std::string Callee;
+    if (check(TokenKind::Identifier))
+      Callee = advance().Text;
+    else
+      error("expected function name after 'spawn'");
+    expect(TokenKind::LParen, "after spawned function name");
+    std::vector<ExprPtr> Args = parseArgs();
+    expect(TokenKind::RParen, "after spawn arguments");
+    expect(TokenKind::Semicolon, "after spawn statement");
+    return std::make_unique<SpawnStmt>(std::move(Receiver),
+                                       std::move(Callee), std::move(Args),
+                                       Loc);
+  }
+  if (check(TokenKind::KwSpawn)) {
+    error("spawn must appear as 'var += spawn f(...);'");
+    synchronizeToStmtBoundary();
+    return nullptr;
+  }
+
+  return parseDeclOrExprStmt();
+}
+
+StmtPtr Parser::parseDeclOrExprStmt() {
+  SourceLoc Loc = peek().Loc;
+  if (atTypeStart()) {
+    Type Ty = parseType();
+    std::string Name;
+    if (check(TokenKind::Identifier))
+      Name = advance().Text;
+    else
+      error("expected variable name");
+    int ArraySize = -1;
+    if (accept(TokenKind::LBracket)) {
+      if (check(TokenKind::IntLiteral))
+        ArraySize = static_cast<int>(advance().IntValue);
+      else
+        error("expected array size");
+      expect(TokenKind::RBracket, "after array size");
+    }
+    ExprPtr Init;
+    if (accept(TokenKind::Assign))
+      Init = parseExpr();
+    expect(TokenKind::Semicolon, "after declaration");
+    return std::make_unique<DeclStmt>(Ty, std::move(Name), ArraySize,
+                                      std::move(Init), Loc);
+  }
+  ExprPtr E = parseExpr();
+  expect(TokenKind::Semicolon, "after expression");
+  return std::make_unique<ExprStmt>(std::move(E), Loc);
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = peek().Loc;
+  advance();
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  StmtPtr Then = parseStmt();
+  StmtPtr Else;
+  if (accept(TokenKind::KwElse))
+    Else = parseStmt();
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = peek().Loc;
+  advance();
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  StmtPtr Body = parseStmt();
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = peek().Loc;
+  advance();
+  expect(TokenKind::LParen, "after 'for'");
+  StmtPtr Init;
+  if (!accept(TokenKind::Semicolon))
+    Init = parseDeclOrExprStmt(); // consumes the ';'
+  ExprPtr Cond;
+  if (!check(TokenKind::Semicolon))
+    Cond = parseExpr();
+  expect(TokenKind::Semicolon, "after for condition");
+  ExprPtr Step;
+  if (!check(TokenKind::RParen))
+    Step = parseExpr();
+  expect(TokenKind::RParen, "after for clauses");
+  StmtPtr Body = parseStmt();
+  return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                   std::move(Step), std::move(Body), Loc);
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  if (check(TokenKind::RParen))
+    return Args;
+  do {
+    Args.push_back(parseExpr());
+  } while (accept(TokenKind::Comma));
+  return Args;
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr Lhs = parseBinary(0);
+  SourceLoc Loc = peek().Loc;
+  if (accept(TokenKind::Assign))
+    return std::make_unique<AssignExpr>(false, std::move(Lhs), parseExpr(),
+                                        Loc);
+  if (accept(TokenKind::PlusAssign))
+    return std::make_unique<AssignExpr>(true, std::move(Lhs), parseExpr(),
+                                        Loc);
+  return Lhs;
+}
+
+namespace {
+
+/// Binding powers; higher binds tighter.
+int precedenceOf(TokenKind K) {
+  switch (K) {
+  case TokenKind::PipePipe:
+    return 1;
+  case TokenKind::AmpAmp:
+    return 2;
+  case TokenKind::EqEq:
+  case TokenKind::NotEq:
+    return 3;
+  case TokenKind::Less:
+  case TokenKind::Greater:
+  case TokenKind::LessEq:
+  case TokenKind::GreaterEq:
+    return 4;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 5;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 6;
+  default:
+    return -1;
+  }
+}
+
+BinaryExpr::Op binOpOf(TokenKind K) {
+  switch (K) {
+  case TokenKind::PipePipe:
+    return BinaryExpr::Op::Or;
+  case TokenKind::AmpAmp:
+    return BinaryExpr::Op::And;
+  case TokenKind::EqEq:
+    return BinaryExpr::Op::Eq;
+  case TokenKind::NotEq:
+    return BinaryExpr::Op::Ne;
+  case TokenKind::Less:
+    return BinaryExpr::Op::Lt;
+  case TokenKind::Greater:
+    return BinaryExpr::Op::Gt;
+  case TokenKind::LessEq:
+    return BinaryExpr::Op::Le;
+  case TokenKind::GreaterEq:
+    return BinaryExpr::Op::Ge;
+  case TokenKind::Plus:
+    return BinaryExpr::Op::Add;
+  case TokenKind::Minus:
+    return BinaryExpr::Op::Sub;
+  case TokenKind::Star:
+    return BinaryExpr::Op::Mul;
+  case TokenKind::Slash:
+    return BinaryExpr::Op::Div;
+  default:
+    return BinaryExpr::Op::Rem;
+  }
+}
+
+} // namespace
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  for (;;) {
+    int Prec = precedenceOf(peek().Kind);
+    if (Prec < 0 || Prec < MinPrec)
+      return Lhs;
+    TokenKind K = peek().Kind;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseBinary(Prec + 1);
+    Lhs = std::make_unique<BinaryExpr>(binOpOf(K), std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = peek().Loc;
+  if (accept(TokenKind::Bang))
+    return std::make_unique<UnaryExpr>(UnaryExpr::Op::Not, parseUnary(), Loc);
+  if (accept(TokenKind::Minus))
+    return std::make_unique<UnaryExpr>(UnaryExpr::Op::Neg, parseUnary(), Loc);
+  if (accept(TokenKind::Star))
+    return std::make_unique<UnaryExpr>(UnaryExpr::Op::Deref, parseUnary(),
+                                       Loc);
+  if (accept(TokenKind::Amp))
+    return std::make_unique<UnaryExpr>(UnaryExpr::Op::AddrOf, parseUnary(),
+                                       Loc);
+  if (accept(TokenKind::PlusPlus))
+    return std::make_unique<UnaryExpr>(UnaryExpr::Op::PreInc, parseUnary(),
+                                       Loc);
+  if (accept(TokenKind::MinusMinus))
+    return std::make_unique<UnaryExpr>(UnaryExpr::Op::PreDec, parseUnary(),
+                                       Loc);
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  for (;;) {
+    SourceLoc Loc = peek().Loc;
+    if (accept(TokenKind::LBracket)) {
+      ExprPtr Idx = parseExpr();
+      expect(TokenKind::RBracket, "after index");
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(Idx), Loc);
+      continue;
+    }
+    if (accept(TokenKind::Dot)) {
+      std::string Field;
+      if (check(TokenKind::Identifier))
+        Field = advance().Text;
+      else
+        error("expected field name after '.'");
+      E = std::make_unique<MemberExpr>(std::move(E), std::move(Field),
+                                       /*ThroughPointer=*/false, Loc);
+      continue;
+    }
+    if (accept(TokenKind::Arrow)) {
+      std::string Field;
+      if (check(TokenKind::Identifier))
+        Field = advance().Text;
+      else
+        error("expected field name after '->'");
+      E = std::make_unique<MemberExpr>(std::move(E), std::move(Field),
+                                       /*ThroughPointer=*/true, Loc);
+      continue;
+    }
+    if (accept(TokenKind::PlusPlus)) {
+      E = std::make_unique<UnaryExpr>(UnaryExpr::Op::PostInc, std::move(E),
+                                      Loc);
+      continue;
+    }
+    if (accept(TokenKind::MinusMinus)) {
+      E = std::make_unique<UnaryExpr>(UnaryExpr::Op::PostDec, std::move(E),
+                                      Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  if (check(TokenKind::IntLiteral) || check(TokenKind::CharLiteral)) {
+    std::int64_t V = advance().IntValue;
+    return std::make_unique<IntLitExpr>(V, Loc);
+  }
+  if (check(TokenKind::KwSizeof)) {
+    advance();
+    expect(TokenKind::LParen, "after 'sizeof'");
+    Type Ty = parseType();
+    expect(TokenKind::RParen, "after sizeof type");
+    return std::make_unique<SizeofExpr>(Ty, Loc);
+  }
+  if (check(TokenKind::Identifier)) {
+    std::string Name = advance().Text;
+    if (accept(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args = parseArgs();
+      expect(TokenKind::RParen, "after call arguments");
+      return std::make_unique<CallExpr>(std::move(Name), std::move(Args),
+                                        Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+  if (accept(TokenKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return E;
+  }
+  error(std::string("expected an expression, got ") +
+        tokenKindName(peek().Kind));
+  advance();
+  return std::make_unique<IntLitExpr>(0, Loc);
+}

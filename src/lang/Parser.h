@@ -1,0 +1,82 @@
+//===- lang/Parser.h - ATC language parser ----------------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the ATC language. Grammar summary:
+///
+///   program    := (structdef | funcdef)*
+///   structdef  := "struct" IDENT "{" field* "}" ";"
+///   field      := type IDENT ("[" INT "]")? ";"
+///   funcdef    := "cilk"? type IDENT "(" params ")" taskpriv? block
+///   taskpriv   := "taskprivate" ":" "(" "*" IDENT ")" "(" expr ")" ";"
+///   type       := ("int"|"long"|"char"|"void"|"struct" IDENT) "*"*
+///   stmt       := block | decl | if | while | for | return | break
+///               | continue | "sync" ";" | spawnstmt | expr ";"
+///   spawnstmt  := IDENT "+=" "spawn" IDENT "(" args ")" ";"
+///
+/// Expressions use precedence climbing: || < && < ==,!= < relational <
+/// additive < multiplicative < unary < postfix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_LANG_PARSER_H
+#define ATC_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace atc {
+namespace lang {
+
+/// Parses tokens into a Program. Parse errors are appended to Errors
+/// ("line:col: message"); the parser recovers at statement boundaries so
+/// several errors can be reported in one pass.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::vector<std::string> &Errors);
+
+  Program parseProgram();
+
+private:
+  const Token &peek(int Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind K) const { return peek().is(K); }
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  void error(const std::string &Msg);
+  void synchronizeToStmtBoundary();
+
+  bool atTypeStart() const;
+  Type parseType();
+  StructDecl parseStruct();
+  std::unique_ptr<FuncDecl> parseFunction(bool IsCilk);
+
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseDeclOrExprStmt();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+
+  ExprPtr parseExpr();       // assignment level
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseArgs();
+
+  std::vector<Token> Tokens;
+  std::vector<std::string> &Errors;
+  std::size_t Pos = 0;
+};
+
+} // namespace lang
+} // namespace atc
+
+#endif // ATC_LANG_PARSER_H

@@ -1,0 +1,462 @@
+//===- lang/Sema.cpp - ATC language semantic analysis ---------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include <map>
+
+using namespace atc;
+using namespace atc::lang;
+
+std::string Type::str() const {
+  std::string Out;
+  switch (BaseKind) {
+  case Base::Int:
+    Out = "int";
+    break;
+  case Base::Long:
+    Out = "long";
+    break;
+  case Base::Char:
+    Out = "char";
+    break;
+  case Base::Void:
+    Out = "void";
+    break;
+  case Base::Struct:
+    Out = "struct " + StructName;
+    break;
+  }
+  for (int I = 0; I < PointerDepth; ++I)
+    Out += " *";
+  return Out;
+}
+
+namespace {
+
+/// One lexical scope of local variables.
+struct Scope {
+  std::map<std::string, Type> Vars;
+};
+
+class SemaImpl {
+public:
+  SemaImpl(Program &P, std::vector<std::string> &Errors)
+      : P(P), Errors(Errors) {}
+
+  bool run() {
+    checkStructs();
+    for (auto &F : P.Funcs)
+      checkFunction(*F);
+    return Errors.empty();
+  }
+
+private:
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Errors.push_back(Loc.str() + ": " + Msg);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Declarations
+  //===--------------------------------------------------------------------===
+
+  void checkStructs() {
+    for (std::size_t I = 0; I < P.Structs.size(); ++I) {
+      const StructDecl &S = P.Structs[I];
+      for (std::size_t J = 0; J < I; ++J)
+        if (P.Structs[J].Name == S.Name)
+          error(S.Loc, "redefinition of struct '" + S.Name + "'");
+      for (const FieldDecl &F : S.Fields)
+        checkTypeExists(F.Ty, S.Loc);
+    }
+  }
+
+  void checkTypeExists(const Type &T, SourceLoc Loc) {
+    if (T.BaseKind == Type::Base::Struct && !P.findStruct(T.StructName))
+      error(Loc, "unknown struct '" + T.StructName + "'");
+  }
+
+  void checkFunction(FuncDecl &F) {
+    for (std::size_t I = 0; I < P.Funcs.size(); ++I) {
+      if (P.Funcs[I].get() == &F)
+        break;
+      if (P.Funcs[I]->Name == F.Name)
+        error(F.Loc, "redefinition of function '" + F.Name + "'");
+    }
+    checkTypeExists(F.ReturnTy, F.Loc);
+
+    if (F.IsCilk && !F.ReturnTy.isIntegral())
+      error(F.Loc, "cilk function '" + F.Name +
+                       "' must return an integral value (its result is "
+                       "deposited with an atomic add when stolen)");
+    if (F.Taskprivate.Present && !F.IsCilk)
+      error(F.Taskprivate.Loc,
+            "taskprivate clause on non-cilk function '" + F.Name + "'");
+
+    CurFunc = &F;
+    Scopes.clear();
+    Scopes.emplace_back();
+    LoopDepth = 0;
+    NextSpawnId = 0;
+
+    for (const ParamDecl &Param : F.Params) {
+      checkTypeExists(Param.Ty, F.Loc);
+      if (Scopes.back().Vars.count(Param.Name))
+        error(F.Loc, "duplicate parameter '" + Param.Name + "'");
+      Scopes.back().Vars[Param.Name] = Param.Ty;
+    }
+
+    if (F.Taskprivate.Present) {
+      // "Only parameters or local variables can be declared as
+      // taskprivate, and taskprivate could be declared on a pointer".
+      // The five-version protocol copies it per child task, so it must
+      // be a pointer parameter here.
+      bool Found = false;
+      for (const ParamDecl &Param : F.Params)
+        if (Param.Name == F.Taskprivate.VarName) {
+          Found = true;
+          if (!Param.Ty.isPointer())
+            error(F.Taskprivate.Loc, "taskprivate variable '" +
+                                         Param.Name +
+                                         "' must be a pointer");
+        }
+      if (!Found)
+        error(F.Taskprivate.Loc, "taskprivate variable '" +
+                                     F.Taskprivate.VarName +
+                                     "' is not a parameter of '" + F.Name +
+                                     "'");
+      if (F.Taskprivate.SizeExpr)
+        checkExpr(*F.Taskprivate.SizeExpr);
+    }
+
+    if (F.Body)
+      checkBlock(*F.Body);
+    F.NumSpawns = NextSpawnId;
+    CurFunc = nullptr;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Statements
+  //===--------------------------------------------------------------------===
+
+  void checkBlock(BlockStmt &B) {
+    Scopes.emplace_back();
+    for (StmtPtr &S : B.Stmts)
+      checkStmt(*S);
+    Scopes.pop_back();
+  }
+
+  void checkStmt(Stmt &S) {
+    switch (S.StmtKind) {
+    case Stmt::Kind::Block:
+      checkBlock(*S.as<BlockStmt>());
+      return;
+    case Stmt::Kind::Decl: {
+      auto *D = S.as<DeclStmt>();
+      checkTypeExists(D->Ty, D->Loc);
+      if (D->Ty.isVoid() && D->ArraySize < 0)
+        error(D->Loc, "variable '" + D->Name + "' has void type");
+      if (Scopes.back().Vars.count(D->Name))
+        error(D->Loc, "redefinition of '" + D->Name + "'");
+      if (D->ArraySize >= 0 && CurFunc && CurFunc->IsCilk)
+        error(D->Loc,
+              "array locals are not supported in cilk functions (pass a "
+              "taskprivate workspace pointer instead)");
+      if (D->Init)
+        checkExpr(*D->Init);
+      Type VarTy = D->Ty;
+      if (D->ArraySize >= 0)
+        VarTy = VarTy.pointerTo(); // arrays decay in expressions
+      Scopes.back().Vars[D->Name] = VarTy;
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      checkExpr(*S.as<ExprStmt>()->E);
+      return;
+    case Stmt::Kind::If: {
+      auto *I = S.as<IfStmt>();
+      checkExpr(*I->Cond);
+      checkStmt(*I->Then);
+      if (I->Else)
+        checkStmt(*I->Else);
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *W = S.as<WhileStmt>();
+      checkExpr(*W->Cond);
+      ++LoopDepth;
+      checkStmt(*W->Body);
+      --LoopDepth;
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *F = S.as<ForStmt>();
+      Scopes.emplace_back(); // the init declaration's scope
+      if (F->Init)
+        checkStmt(*F->Init);
+      if (F->Cond)
+        checkExpr(*F->Cond);
+      if (F->Step)
+        checkExpr(*F->Step);
+      ++LoopDepth;
+      checkStmt(*F->Body);
+      --LoopDepth;
+      Scopes.pop_back();
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto *R = S.as<ReturnStmt>();
+      if (R->Value)
+        checkExpr(*R->Value);
+      if (CurFunc && !CurFunc->ReturnTy.isVoid() && !R->Value)
+        error(R->Loc, "non-void function '" + CurFunc->Name +
+                          "' must return a value");
+      if (CurFunc && CurFunc->ReturnTy.isVoid() && R->Value)
+        error(R->Loc, "void function '" + CurFunc->Name +
+                          "' cannot return a value");
+      return;
+    }
+    case Stmt::Kind::Break:
+      if (LoopDepth == 0)
+        error(S.Loc, "break outside of a loop");
+      return;
+    case Stmt::Kind::Continue:
+      if (LoopDepth == 0)
+        error(S.Loc, "continue outside of a loop");
+      return;
+    case Stmt::Kind::Sync:
+      if (!CurFunc || !CurFunc->IsCilk)
+        error(S.Loc, "sync outside of a cilk function");
+      return;
+    case Stmt::Kind::Spawn:
+      checkSpawn(*S.as<SpawnStmt>());
+      return;
+    }
+  }
+
+  void checkSpawn(SpawnStmt &S) {
+    if (!CurFunc || !CurFunc->IsCilk)
+      error(S.Loc, "spawn outside of a cilk function");
+    else
+      S.SpawnId = NextSpawnId++;
+
+    const Type *RecvTy = lookup(S.Receiver);
+    if (!RecvTy)
+      error(S.Loc, "unknown spawn receiver '" + S.Receiver + "'");
+    else if (!RecvTy->isIntegral())
+      error(S.Loc, "spawn receiver '" + S.Receiver +
+                       "' must be an integral variable");
+
+    const FuncDecl *Callee = P.findFunc(S.Callee);
+    if (!Callee) {
+      error(S.Loc, "spawn of unknown function '" + S.Callee + "'");
+    } else {
+      if (!Callee->IsCilk)
+        error(S.Loc, "spawn target '" + S.Callee +
+                         "' is not a cilk function");
+      if (Callee->Params.size() != S.Args.size())
+        error(S.Loc, "'" + S.Callee + "' expects " +
+                         std::to_string(Callee->Params.size()) +
+                         " arguments, got " +
+                         std::to_string(S.Args.size()));
+    }
+    for (ExprPtr &Arg : S.Args)
+      checkExpr(*Arg);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions
+  //===--------------------------------------------------------------------===
+
+  const Type *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->Vars.find(Name);
+      if (Found != It->Vars.end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  Type intType() const {
+    Type T;
+    T.BaseKind = Type::Base::Int;
+    return T;
+  }
+
+  void checkExpr(Expr &E) {
+    switch (E.ExprKind) {
+    case Expr::Kind::IntLit:
+      E.Ty = intType();
+      return;
+    case Expr::Kind::VarRef: {
+      auto *V = E.as<VarRefExpr>();
+      if (const Type *T = lookup(V->Name)) {
+        E.Ty = *T;
+      } else {
+        error(E.Loc, "unknown variable '" + V->Name + "'");
+        E.Ty = intType();
+      }
+      return;
+    }
+    case Expr::Kind::Unary: {
+      auto *U = E.as<UnaryExpr>();
+      checkExpr(*U->Sub);
+      switch (U->O) {
+      case UnaryExpr::Op::Deref:
+        if (!U->Sub->Ty.isPointer()) {
+          error(E.Loc, "cannot dereference non-pointer of type " +
+                           U->Sub->Ty.str());
+          E.Ty = intType();
+        } else {
+          E.Ty = U->Sub->Ty.pointee();
+        }
+        return;
+      case UnaryExpr::Op::AddrOf:
+        E.Ty = U->Sub->Ty.pointerTo();
+        return;
+      default:
+        E.Ty = U->Sub->Ty;
+        return;
+      }
+    }
+    case Expr::Kind::Binary: {
+      auto *B = E.as<BinaryExpr>();
+      checkExpr(*B->Lhs);
+      checkExpr(*B->Rhs);
+      // Pointer arithmetic keeps the pointer type; everything else is
+      // integral.
+      if (B->Lhs->Ty.isPointer() &&
+          (B->O == BinaryExpr::Op::Add || B->O == BinaryExpr::Op::Sub))
+        E.Ty = B->Lhs->Ty;
+      else
+        E.Ty = intType();
+      return;
+    }
+    case Expr::Kind::Assign: {
+      auto *A = E.as<AssignExpr>();
+      checkExpr(*A->Lhs);
+      checkExpr(*A->Rhs);
+      if (!isLvalue(*A->Lhs))
+        error(E.Loc, "left side of assignment is not assignable");
+      E.Ty = A->Lhs->Ty;
+      return;
+    }
+    case Expr::Kind::Call: {
+      auto *C = E.as<CallExpr>();
+      // print_long is the one builtin (diagnostic output).
+      if (C->Callee == "print_long") {
+        if (C->Args.size() != 1)
+          error(E.Loc, "print_long expects 1 argument");
+        for (ExprPtr &Arg : C->Args)
+          checkExpr(*Arg);
+        Type Void;
+        Void.BaseKind = Type::Base::Void;
+        E.Ty = Void;
+        return;
+      }
+      const FuncDecl *Callee = P.findFunc(C->Callee);
+      if (!Callee) {
+        error(E.Loc, "call to unknown function '" + C->Callee + "'");
+        E.Ty = intType();
+      } else {
+        // A cilk function may be *called* from non-cilk code (the root
+        // task invocation); within cilk code it must be spawned.
+        if (Callee->IsCilk && CurFunc && CurFunc->IsCilk)
+          error(E.Loc, "cilk function '" + C->Callee +
+                           "' must be invoked with spawn");
+        if (Callee->Params.size() != C->Args.size())
+          error(E.Loc, "'" + C->Callee + "' expects " +
+                           std::to_string(Callee->Params.size()) +
+                           " arguments, got " +
+                           std::to_string(C->Args.size()));
+        E.Ty = Callee->ReturnTy;
+      }
+      for (ExprPtr &Arg : C->Args)
+        checkExpr(*Arg);
+      return;
+    }
+    case Expr::Kind::Index: {
+      auto *I = E.as<IndexExpr>();
+      checkExpr(*I->Base);
+      checkExpr(*I->Idx);
+      if (!I->Base->Ty.isPointer()) {
+        error(E.Loc, "cannot index non-pointer of type " +
+                         I->Base->Ty.str());
+        E.Ty = intType();
+      } else {
+        E.Ty = I->Base->Ty.pointee();
+      }
+      return;
+    }
+    case Expr::Kind::Member: {
+      auto *M = E.as<MemberExpr>();
+      checkExpr(*M->Base);
+      Type BaseTy = M->Base->Ty;
+      if (M->ThroughPointer) {
+        if (!BaseTy.isPointer()) {
+          error(E.Loc, "'->' on non-pointer of type " + BaseTy.str());
+          E.Ty = intType();
+          return;
+        }
+        BaseTy = BaseTy.pointee();
+      }
+      if (BaseTy.BaseKind != Type::Base::Struct || BaseTy.isPointer()) {
+        error(E.Loc, "member access on non-struct type " + BaseTy.str());
+        E.Ty = intType();
+        return;
+      }
+      const StructDecl *S = P.findStruct(BaseTy.StructName);
+      if (!S) {
+        error(E.Loc, "unknown struct '" + BaseTy.StructName + "'");
+        E.Ty = intType();
+        return;
+      }
+      for (const FieldDecl &F : S->Fields)
+        if (F.Name == M->Field) {
+          E.Ty = F.ArraySize >= 0 ? F.Ty.pointerTo() : F.Ty;
+          return;
+        }
+      error(E.Loc, "struct '" + S->Name + "' has no field '" + M->Field +
+                       "'");
+      E.Ty = intType();
+      return;
+    }
+    case Expr::Kind::Sizeof: {
+      auto *Sz = E.as<SizeofExpr>();
+      checkTypeExists(Sz->Of, E.Loc);
+      E.Ty = intType();
+      return;
+    }
+    }
+  }
+
+  static bool isLvalue(const Expr &E) {
+    switch (E.ExprKind) {
+    case Expr::Kind::VarRef:
+    case Expr::Kind::Index:
+    case Expr::Kind::Member:
+      return true;
+    case Expr::Kind::Unary:
+      return E.as<UnaryExpr>()->O == UnaryExpr::Op::Deref;
+    default:
+      return false;
+    }
+  }
+
+  Program &P;
+  std::vector<std::string> &Errors;
+  FuncDecl *CurFunc = nullptr;
+  std::vector<Scope> Scopes;
+  int LoopDepth = 0;
+  int NextSpawnId = 0;
+};
+
+} // namespace
+
+bool atc::lang::analyze(Program &P, std::vector<std::string> &Errors) {
+  SemaImpl Impl(P, Errors);
+  return Impl.run();
+}

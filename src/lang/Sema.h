@@ -1,0 +1,48 @@
+//===- lang/Sema.h - ATC language semantic analysis -------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for the ATC language: name resolution, light type
+/// checking, and the Cilk/AdaptiveTC-specific rules:
+///
+///  * spawn and sync may only appear inside cilk functions;
+///  * spawn targets must themselves be cilk functions;
+///  * a cilk function must return an integral value (its result is
+///    deposited into the receiver with an atomic add when the parent
+///    task has been stolen — the accumulator protocol);
+///  * the spawn receiver must be an integral local variable of the
+///    spawning function;
+///  * the taskprivate variable must be a pointer parameter of its
+///    function ("Only parameters or local variables can be declared as
+///    taskprivate, and taskprivate could be declared on a pointer or an
+///    array");
+///  * break/continue only inside loops; struct/field references resolve.
+///
+/// Sema also assigns each spawn statement its entry-point id (the saved
+/// "PC" of the five-version code) and counts spawns per function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_LANG_SEMA_H
+#define ATC_LANG_SEMA_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace atc {
+namespace lang {
+
+/// Runs semantic analysis over \p P, mutating it (expression types,
+/// spawn ids). Appends "line:col: message" diagnostics to \p Errors;
+/// returns true when no errors were found.
+bool analyze(Program &P, std::vector<std::string> &Errors);
+
+} // namespace lang
+} // namespace atc
+
+#endif // ATC_LANG_SEMA_H

@@ -1,0 +1,110 @@
+//===- lang/Token.h - ATC language tokens -----------------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions for the ATC language — the paper's extended-Cilk
+/// input language ("The parallel language is an extended Cilk ...
+/// AdaptiveTC extends the Cilk language further by providing the
+/// taskprivate keyword").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_LANG_TOKEN_H
+#define ATC_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace atc {
+namespace lang {
+
+/// Source location (1-based line/column).
+struct SourceLoc {
+  int Line = 1;
+  int Col = 1;
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  CharLiteral,
+
+  // Keywords.
+  KwCilk,
+  KwSpawn,
+  KwSync,
+  KwTaskprivate,
+  KwInt,
+  KwLong,
+  KwChar,
+  KwVoid,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSizeof,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Colon,
+  Dot,
+  Arrow, // ->
+
+  Assign,     // =
+  PlusAssign, // +=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,     // &
+  AmpAmp,  // &&
+  PipePipe, // ||
+  Bang,    // !
+  Less,
+  Greater,
+  LessEq,
+  GreaterEq,
+  EqEq,
+  NotEq,
+  PlusPlus,
+  MinusMinus,
+
+  Eof,
+};
+
+/// Returns a human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;       ///< Identifier spelling.
+  std::int64_t IntValue = 0; ///< For IntLiteral / CharLiteral.
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace lang
+} // namespace atc
+
+#endif // ATC_LANG_TOKEN_H

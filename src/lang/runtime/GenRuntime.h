@@ -1,0 +1,178 @@
+//===- lang/runtime/GenRuntime.h - ABI for atcc-generated code --*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime hooks for code emitted by atcc (the ATC compiler). The
+/// generated five-version functions call these for every scheduling
+/// action: frame allocation, THE-protocol push/pop, special-task
+/// operations, need_task polling, and workspace (taskprivate)
+/// allocation.
+///
+/// This header implements the hooks for a *single-worker* executor with
+/// full protocol fidelity: every push/pop/special operation runs against
+/// a real deque and is counted, but pops never fail (there are no
+/// thieves), so the slow-version resume paths are compiled yet not
+/// exercised. The parallel execution of the AdaptiveTC strategy is the
+/// core library's job (atc::FrameEngine); the compiler exists to
+/// demonstrate the paper's translation scheme end-to-end (see DESIGN.md).
+///
+/// Testing knob: setting forceNeedTaskEvery(N) makes needTask() report
+/// true on every Nth poll, driving the check version through its
+/// special-task transition (push special, fast_2 child with depth reset,
+/// pop_specialtask, sync_specialtask) on a single worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_LANG_RUNTIME_GENRUNTIME_H
+#define ATC_LANG_RUNTIME_GENRUNTIME_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace atcgen {
+
+/// Common header of every generated task frame ("task_info").
+struct TaskInfoBase {
+  int Entry = 0;      ///< Saved "PC": the spawn id to resume after.
+  int Dp = 0;         ///< Saved spawn depth (_adpTC_dp).
+  bool Special = false;
+  long Deposits = 0;  ///< Results deposited by stolen children.
+  int Join = 0;       ///< Outstanding stolen children.
+  void (*SlowFn)(struct Worker &, TaskInfoBase *) = nullptr;
+};
+
+/// Per-run protocol counters (inspected by tests and examples).
+struct GenStats {
+  std::uint64_t FramesAllocated = 0;
+  std::uint64_t Pushes = 0;
+  std::uint64_t Pops = 0;
+  std::uint64_t SpecialPushes = 0;
+  std::uint64_t SpecialPops = 0;
+  std::uint64_t SpecialSyncs = 0;
+  std::uint64_t Polls = 0;
+  std::uint64_t NeedTaskHits = 0;
+  std::uint64_t WorkspaceAllocs = 0;
+  std::uint64_t WorkspaceBytes = 0;
+};
+
+/// Single-worker executor implementing the generated-code ABI.
+struct Worker {
+  explicit Worker(int CutoffDepth = 0) : CutoffDepth(CutoffDepth) {}
+
+  int cutoff() const { return CutoffDepth; }
+
+  /// need_task poll (the check version's per-iteration test).
+  bool needTask() {
+    ++Stats.Polls;
+    if (ForceEvery > 0 && Stats.Polls % static_cast<std::uint64_t>(
+                                            ForceEvery) == 0) {
+      ++Stats.NeedTaskHits;
+      return true;
+    }
+    return false;
+  }
+
+  /// Makes every Nth poll report need_task (0 disables). Testing knob.
+  void forceNeedTaskEvery(int N) { ForceEvery = N; }
+
+  //===--------------------------------------------------------------------===
+  // Frames
+  //===--------------------------------------------------------------------===
+
+  TaskInfoBase *allocFrame(std::size_t Bytes,
+                           void (*SlowFn)(Worker &, TaskInfoBase *)) {
+    ++Stats.FramesAllocated;
+    auto *F = static_cast<TaskInfoBase *>(::operator new(Bytes));
+    std::memset(static_cast<void *>(F), 0, Bytes);
+    F->SlowFn = SlowFn;
+    return F;
+  }
+
+  void freeFrame(TaskInfoBase *F) { ::operator delete(F); }
+
+  //===--------------------------------------------------------------------===
+  // THE protocol (single-worker: pops always succeed)
+  //===--------------------------------------------------------------------===
+
+  void push(TaskInfoBase *F) {
+    ++Stats.Pushes;
+    Deque.push_back(F);
+  }
+
+  /// Owner pop after a spawned child returns. \p ChildResult and
+  /// \p ReceiverOffset identify the deposit target had the frame been
+  /// stolen. Returns true on success (the caller keeps accumulating
+  /// locally).
+  bool pop(TaskInfoBase *F, long ChildResult, std::size_t ReceiverOffset) {
+    (void)ChildResult;
+    (void)ReceiverOffset;
+    ++Stats.Pops;
+    assert(!Deque.empty() && Deque.back() == F && "unbalanced THE pop");
+    Deque.pop_back();
+    return true;
+  }
+
+  void pushSpecial(TaskInfoBase *F) {
+    ++Stats.SpecialPushes;
+    assert(F->Special && "pushSpecial of a non-special frame");
+    Deque.push_back(F);
+  }
+
+  /// pop_specialtask: true when the special's child was not stolen.
+  bool popSpecial(TaskInfoBase *F) {
+    ++Stats.SpecialPops;
+    assert(!Deque.empty() && Deque.back() == F && "unbalanced special pop");
+    Deque.pop_back();
+    return true;
+  }
+
+  /// sync_specialtask: wait for the special's stolen children.
+  void syncSpecial(TaskInfoBase *F) {
+    ++Stats.SpecialSyncs;
+    assert(F->Join == 0 && "single worker cannot have stolen children");
+  }
+
+  /// Sync point of a stolen (slow-version) task: true when all children
+  /// have completed and execution may continue past the sync.
+  bool syncSlow(TaskInfoBase *F) { return F->Join == 0; }
+
+  /// Completion of a stolen task: deposit into the parent. Unreachable
+  /// on a single worker.
+  void completeSlow(TaskInfoBase *, long) {
+    assert(false && "slow-version completion on a single worker");
+  }
+
+  //===--------------------------------------------------------------------===
+  // Workspaces (taskprivate)
+  //===--------------------------------------------------------------------===
+
+  void *allocWorkspace(std::size_t Bytes) {
+    ++Stats.WorkspaceAllocs;
+    Stats.WorkspaceBytes += Bytes;
+    return ::operator new(Bytes);
+  }
+
+  void freeWorkspace(void *P, std::size_t) { ::operator delete(P); }
+
+  GenStats Stats;
+
+private:
+  int CutoffDepth;
+  int ForceEvery = 0;
+  std::vector<TaskInfoBase *> Deque;
+};
+
+/// print_long builtin.
+inline void print_long(Worker &, long V) { std::printf("%ld\n", V); }
+
+} // namespace atcgen
+
+#endif // ATC_LANG_RUNTIME_GENRUNTIME_H

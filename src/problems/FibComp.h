@@ -1,0 +1,166 @@
+//===- problems/FibComp.h - Fib(n) and Comp(n) benchmarks -------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two non-taskprivate benchmarks of Table 1:
+///
+///  * Fib(n):  "compute recursively the n-th Fibonacci number" — the
+///             classic task-overhead stress test ("there is almost no
+///             actual computation workload in each function").
+///  * Comp(n): "compare array elements ai and bj for all 0 <= i, j < n" —
+///             a divide-and-conquer sweep over the n x n index rectangle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_PROBLEMS_FIBCOMP_H
+#define ATC_PROBLEMS_FIBCOMP_H
+
+#include "support/Prng.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace atc {
+
+/// Recursive Fibonacci as a two-choice search tree: node n has children
+/// n-1 and n-2; leaves (n < 2) contribute n. The sum over leaves is
+/// fib(n).
+class FibProblem {
+public:
+  struct State {
+    int N;
+  };
+  using Result = long long;
+
+  static State makeRoot(int N) {
+    assert(N >= 0 && "fib of negative n");
+    return {N};
+  }
+
+  bool isLeaf(const State &S, int) const { return S.N < 2; }
+  Result leafResult(const State &S, int) const { return S.N; }
+  int numChoices(const State &, int) const { return 2; }
+
+  bool applyChoice(State &S, int, int K) const {
+    S.N -= (K == 0 ? 1 : 2);
+    return true;
+  }
+
+  void undoChoice(State &S, int, int K) const { S.N += (K == 0 ? 1 : 2); }
+
+  /// Closed-form check value.
+  static long long fibValue(int N) {
+    long long A = 0, B = 1;
+    for (int I = 0; I < N; ++I) {
+      long long T = A + B;
+      A = B;
+      B = T;
+    }
+    return A;
+  }
+};
+
+/// Comp(n): counts index pairs (i, j) with A[i] == B[j] by recursively
+/// quartering/halving the n x n rectangle; rectangles at or below the leaf
+/// area are compared element-wise. The workspace is a per-depth rectangle
+/// stack (undo is a no-op: parent rectangles are never overwritten).
+class CompProblem {
+public:
+  static constexpr int MaxDepth = 48;
+  static constexpr int LeafArea = 1024;
+
+  struct Rect {
+    int I0, I1, J0, J1;
+  };
+
+  struct State {
+    Rect R[MaxDepth]; ///< R[Depth] is the current rectangle.
+  };
+  using Result = long long;
+
+  /// Builds arrays of \p N elements with values in [0, ValueRange).
+  explicit CompProblem(int N, int ValueRange = 64,
+                       std::uint64_t Seed = 0xC0117EED) {
+    assert(N >= 1 && "empty comparison");
+    A.reserve(static_cast<std::size_t>(N));
+    B.reserve(static_cast<std::size_t>(N));
+    SplitMix64 Rng(Seed);
+    for (int I = 0; I < N; ++I)
+      A.push_back(static_cast<int>(
+          Rng.nextBelow(static_cast<std::uint64_t>(ValueRange))));
+    for (int I = 0; I < N; ++I)
+      B.push_back(static_cast<int>(
+          Rng.nextBelow(static_cast<std::uint64_t>(ValueRange))));
+  }
+
+  State makeRoot() const {
+    State S;
+    std::memset(&S, 0, sizeof(S));
+    S.R[0] = {0, static_cast<int>(A.size()), 0, static_cast<int>(B.size())};
+    return S;
+  }
+
+  bool isLeaf(const State &S, int Depth) const {
+    const Rect &R = S.R[Depth];
+    long long Area = static_cast<long long>(R.I1 - R.I0) * (R.J1 - R.J0);
+    return Area <= LeafArea || Depth + 1 >= MaxDepth;
+  }
+
+  Result leafResult(const State &S, int Depth) const {
+    return countRect(S.R[Depth]);
+  }
+
+  int numChoices(const State &, int) const { return 2; }
+
+  bool applyChoice(State &S, int Depth, int K) const {
+    const Rect &R = S.R[Depth];
+    Rect C = R;
+    // Split the longer dimension; child K takes the low/high half.
+    if (R.I1 - R.I0 >= R.J1 - R.J0) {
+      int Mid = R.I0 + (R.I1 - R.I0) / 2;
+      (K == 0 ? C.I1 : C.I0) = Mid;
+    } else {
+      int Mid = R.J0 + (R.J1 - R.J0) / 2;
+      (K == 0 ? C.J1 : C.J0) = Mid;
+    }
+    if (C.I0 >= C.I1 || C.J0 >= C.J1)
+      return false; // degenerate half (can only happen for tiny inputs)
+    S.R[Depth + 1] = C;
+    return true;
+  }
+
+  void undoChoice(State &, int, int) const {}
+
+  /// O(n log n)-style reference count for validation.
+  long long referenceCount() const {
+    long long Count = 0;
+    for (int X : A)
+      for (int Y : B)
+        Count += (X == Y);
+    return Count;
+  }
+
+private:
+  /// Kept out of line so every scheduler instantiation shares one copy of
+  /// the hot comparison loop — leaf cost must not vary with the caller's
+  /// code alignment when schedulers are compared against each other.
+  __attribute__((noinline)) Result countRect(const Rect &R) const {
+    long long Count = 0;
+    for (int I = R.I0; I < R.I1; ++I)
+      for (int J = R.J0; J < R.J1; ++J)
+        Count += (A[static_cast<std::size_t>(I)] ==
+                  B[static_cast<std::size_t>(J)]);
+    return Count;
+  }
+
+  std::vector<int> A;
+  std::vector<int> B;
+};
+
+} // namespace atc
+
+#endif // ATC_PROBLEMS_FIBCOMP_H

@@ -1,0 +1,96 @@
+//===- problems/KnightsTour.h - Knight's tour enumeration -------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Knight's Tour (Table 1): "find all solutions on a 6*6 chessboard. The
+/// knight is placed on an empty chessboard and moving according to the
+/// rules of the chess. It needs to visit each square on the chessboard
+/// exactly once." Counts all open tours from a fixed start square. The
+/// board size and start square are parameters so tests can use the 5x5
+/// board whose corner-start tour count (304) is a classic oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_PROBLEMS_KNIGHTSTOUR_H
+#define ATC_PROBLEMS_KNIGHTSTOUR_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+namespace atc {
+
+/// Open knight's tour enumeration on an N x N board, N <= 8.
+class KnightsTour {
+public:
+  static constexpr int MaxN = 8;
+  static constexpr int NumMoves = 8;
+
+  struct State {
+    int N;
+    int Visited;          ///< Number of visited squares so far.
+    int Row, Col;         ///< Current knight position.
+    std::uint64_t Board;  ///< Visited-square bitmask (row * N + col).
+    signed char PrevRow[MaxN * MaxN]; ///< Per-depth position for undo.
+    signed char PrevCol[MaxN * MaxN];
+  };
+  using Result = long long;
+
+  /// Root state with the knight placed at (\p StartRow, \p StartCol).
+  static State makeRoot(int N, int StartRow = 0, int StartCol = 0) {
+    assert(N >= 1 && N <= MaxN && "board size out of range");
+    assert(StartRow >= 0 && StartRow < N && StartCol >= 0 && StartCol < N &&
+           "start square out of range");
+    State S;
+    std::memset(&S, 0, sizeof(S));
+    S.N = N;
+    S.Visited = 1;
+    S.Row = StartRow;
+    S.Col = StartCol;
+    S.Board = bit(N, StartRow, StartCol);
+    return S;
+  }
+
+  bool isLeaf(const State &S, int) const { return S.Visited == S.N * S.N; }
+  Result leafResult(const State &, int) const { return 1; }
+  int numChoices(const State &, int) const { return NumMoves; }
+
+  bool applyChoice(State &S, int Depth, int K) const {
+    int R = S.Row + MoveR[K];
+    int C = S.Col + MoveC[K];
+    if (R < 0 || R >= S.N || C < 0 || C >= S.N)
+      return false;
+    std::uint64_t B = bit(S.N, R, C);
+    if (S.Board & B)
+      return false;
+    S.PrevRow[Depth] = static_cast<signed char>(S.Row);
+    S.PrevCol[Depth] = static_cast<signed char>(S.Col);
+    S.Board |= B;
+    S.Row = R;
+    S.Col = C;
+    ++S.Visited;
+    return true;
+  }
+
+  void undoChoice(State &S, int Depth, int) const {
+    S.Board &= ~bit(S.N, S.Row, S.Col);
+    S.Row = S.PrevRow[Depth];
+    S.Col = S.PrevCol[Depth];
+    --S.Visited;
+  }
+
+private:
+  static std::uint64_t bit(int N, int R, int C) {
+    return std::uint64_t(1) << (R * N + C);
+  }
+
+  static constexpr int MoveR[NumMoves] = {2, 1, -1, -2, -2, -1, 1, 2};
+  static constexpr int MoveC[NumMoves] = {1, 2, 2, 1, -1, -2, -2, -1};
+};
+
+} // namespace atc
+
+#endif // ATC_PROBLEMS_KNIGHTSTOUR_H

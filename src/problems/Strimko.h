@@ -1,0 +1,122 @@
+//===- problems/Strimko.h - Strimko logic puzzle ----------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strimko (Table 1): "fill in the given 7*7 grid so that each column,
+/// each row, and each stream contain the digits from 1 to 7 only once."
+/// A stream is a connected partition class of the grid. The default
+/// stream layout uses the broken diagonals ((c - r) mod N), which
+/// partitions any N x N grid into N streams that intersect every row and
+/// column exactly once; custom layouts and givens can be supplied.
+///
+/// Search order: free cells in row-major order (scheduler depth = index
+/// into the free-cell list); a choice is the digit placed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_PROBLEMS_STRIMKO_H
+#define ATC_PROBLEMS_STRIMKO_H
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace atc {
+
+/// Strimko solution counting on an N x N grid, N <= 7.
+class Strimko {
+public:
+  static constexpr int MaxN = 7;
+  static constexpr int MaxCells = MaxN * MaxN;
+
+  /// A given: digit Digit (1-based) preplaced at (Row, Col).
+  struct Given {
+    int Row, Col, Digit;
+  };
+
+  struct State {
+    int N;
+    int NumFree;
+    signed char Grid[MaxN][MaxN];      ///< 0 = empty, else digit 1..N.
+    signed char StreamOf[MaxN][MaxN];  ///< Stream id per cell.
+    unsigned char RowUsed[MaxN];       ///< Bitmask of digits used per row.
+    unsigned char ColUsed[MaxN];
+    unsigned char StreamUsed[MaxN];
+    signed char FreeRow[MaxCells];     ///< Free cells in row-major order.
+    signed char FreeCol[MaxCells];
+  };
+  using Result = long long;
+
+  /// Builds a root state. \p StreamOf maps cells to stream ids 0..N-1;
+  /// when null, the broken-diagonal layout is used. \p Givens preplaces
+  /// digits; conflicting givens are a programming error (asserted).
+  static State makeRoot(int N, const std::vector<Given> &Givens = {},
+                        const signed char (*StreamOf)[MaxN] = nullptr) {
+    assert(N >= 1 && N <= MaxN && "grid size out of range");
+    State S;
+    std::memset(&S, 0, sizeof(S));
+    S.N = N;
+    for (int R = 0; R < N; ++R)
+      for (int C = 0; C < N; ++C)
+        S.StreamOf[R][C] = StreamOf
+                               ? StreamOf[R][C]
+                               : static_cast<signed char>(((C - R) % N + N) %
+                                                          N);
+    for (const Given &G : Givens) {
+      assert(G.Row >= 0 && G.Row < N && G.Col >= 0 && G.Col < N &&
+             G.Digit >= 1 && G.Digit <= N && "given out of range");
+      unsigned char Bit = static_cast<unsigned char>(1 << (G.Digit - 1));
+      assert(!(S.RowUsed[G.Row] & Bit) && !(S.ColUsed[G.Col] & Bit) &&
+             !(S.StreamUsed[S.StreamOf[G.Row][G.Col]] & Bit) &&
+             "conflicting given");
+      S.Grid[G.Row][G.Col] = static_cast<signed char>(G.Digit);
+      S.RowUsed[G.Row] |= Bit;
+      S.ColUsed[G.Col] |= Bit;
+      S.StreamUsed[S.StreamOf[G.Row][G.Col]] |= Bit;
+    }
+    for (int R = 0; R < N; ++R)
+      for (int C = 0; C < N; ++C)
+        if (!S.Grid[R][C]) {
+          S.FreeRow[S.NumFree] = static_cast<signed char>(R);
+          S.FreeCol[S.NumFree] = static_cast<signed char>(C);
+          ++S.NumFree;
+        }
+    return S;
+  }
+
+  bool isLeaf(const State &S, int Depth) const { return Depth == S.NumFree; }
+  Result leafResult(const State &, int) const { return 1; }
+  int numChoices(const State &S, int) const { return S.N; }
+
+  bool applyChoice(State &S, int Depth, int K) const {
+    int R = S.FreeRow[Depth];
+    int C = S.FreeCol[Depth];
+    int St = S.StreamOf[R][C];
+    unsigned char Bit = static_cast<unsigned char>(1 << K);
+    if ((S.RowUsed[R] | S.ColUsed[C] | S.StreamUsed[St]) & Bit)
+      return false;
+    S.Grid[R][C] = static_cast<signed char>(K + 1);
+    S.RowUsed[R] |= Bit;
+    S.ColUsed[C] |= Bit;
+    S.StreamUsed[St] |= Bit;
+    return true;
+  }
+
+  void undoChoice(State &S, int Depth, int K) const {
+    int R = S.FreeRow[Depth];
+    int C = S.FreeCol[Depth];
+    int St = S.StreamOf[R][C];
+    unsigned char Bit = static_cast<unsigned char>(~(1 << K));
+    S.Grid[R][C] = 0;
+    S.RowUsed[R] &= Bit;
+    S.ColUsed[C] &= Bit;
+    S.StreamUsed[St] &= Bit;
+  }
+};
+
+} // namespace atc
+
+#endif // ATC_PROBLEMS_STRIMKO_H

@@ -1,0 +1,95 @@
+//===- problems/Sudoku.h - Sudoku solution counting -------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sudoku (Table 1, Appendix A): "find all solutions for a given grid."
+/// The state mirrors the paper's Status_t — the 9x9 board plus per-row /
+/// per-column / per-block placement masks — and is the taskprivate
+/// workspace of the paper's running Appendix example. Search fills free
+/// cells in row-major order; a choice is the digit placed.
+///
+/// Named instances (input_balance / input1 / input2) reproduce the
+/// paper's experimental inputs in spirit: input_balance yields a fairly
+/// balanced search tree; input1 and input2 concentrate the free cells so
+/// the tree is strongly unbalanced (input1 is the Figure 8 workload).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_PROBLEMS_SUDOKU_H
+#define ATC_PROBLEMS_SUDOKU_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace atc {
+
+/// Sudoku solution counting.
+class Sudoku {
+public:
+  static constexpr int N = 9;
+  static constexpr int Cells = N * N;
+
+  struct State {
+    int NumFree;
+    signed char Board[N][N];        ///< 0 = empty, else digit 1..9.
+    std::uint16_t PlacedRow[N];     ///< Digit bitmasks.
+    std::uint16_t PlacedCol[N];
+    std::uint16_t PlacedBlock[N];
+    signed char FreeRow[Cells];
+    signed char FreeCol[Cells];
+  };
+  using Result = long long;
+
+  /// Builds a root state from an 81-character grid string in row-major
+  /// order; '0' or '.' denotes an empty cell. Inconsistent givens are a
+  /// programming error (asserted).
+  static State makeRoot(const std::string &Grid);
+
+  /// Named paper-style instances: "balance" (scaled input_balance),
+  /// "balance-large" (paper-scale), "input1", "input2", "solved" (no
+  /// free cells). Unknown names are a fatal error.
+  static State makeInstance(const std::string &Name);
+
+  /// Returns the grid string of a named instance.
+  static const char *instanceGrid(const std::string &Name);
+
+  bool isLeaf(const State &S, int Depth) const { return Depth == S.NumFree; }
+  Result leafResult(const State &, int) const { return 1; }
+  int numChoices(const State &, int) const { return N; }
+
+  bool applyChoice(State &S, int Depth, int K) const {
+    int R = S.FreeRow[Depth];
+    int C = S.FreeCol[Depth];
+    int B = blockOf(R, C);
+    std::uint16_t Bit = static_cast<std::uint16_t>(1 << K);
+    if ((S.PlacedRow[R] | S.PlacedCol[C] | S.PlacedBlock[B]) & Bit)
+      return false;
+    S.Board[R][C] = static_cast<signed char>(K + 1);
+    S.PlacedRow[R] |= Bit;
+    S.PlacedCol[C] |= Bit;
+    S.PlacedBlock[B] |= Bit;
+    return true;
+  }
+
+  void undoChoice(State &S, int Depth, int K) const {
+    int R = S.FreeRow[Depth];
+    int C = S.FreeCol[Depth];
+    int B = blockOf(R, C);
+    std::uint16_t Bit = static_cast<std::uint16_t>(~(1 << K));
+    S.Board[R][C] = 0;
+    S.PlacedRow[R] &= Bit;
+    S.PlacedCol[C] &= Bit;
+    S.PlacedBlock[B] &= Bit;
+  }
+
+  static int blockOf(int R, int C) { return (R / 3) * 3 + C / 3; }
+};
+
+} // namespace atc
+
+#endif // ATC_PROBLEMS_SUDOKU_H

@@ -1,0 +1,607 @@
+//===- sim/SimEngine.cpp - Virtual-time scheduling simulator --------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimEngine.h"
+#include "support/Compiler.h"
+#include "support/Prng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+using namespace atc;
+
+namespace {
+
+/// How a frame dispatches (and costs) its children.
+enum class FrameMode {
+  Task,  ///< fast version: children spawn as tasks (or check beyond cutoff)
+  Fast2, ///< fast_2 version: doubled cutoff, falls back to sequence
+  Check, ///< check version: fake task that polls need_task
+  Seq,   ///< sequence version / below-cutoff plain recursion / Tascell
+};
+
+/// Completion-tracking job: counts unprocessed nodes of a donated /
+/// special subtree so waiters know when their children are done.
+struct Job {
+  long long Remaining;
+  Job *Parent;
+};
+
+/// One open loop level of a simulated worker.
+struct SimFrame {
+  std::vector<SimTreeNode> Kids;
+  int Next = 0;
+  int End = 0;
+  FrameMode Mode = FrameMode::Seq;
+  int Dp = 0;             ///< Spawn depth of the node that owns this level.
+  bool Stealable = false;
+  bool SpecialMade = false;      ///< ATC: special task already created here.
+  std::vector<Job *> WaitJobs;   ///< Jobs to await before popping.
+  Job *NodeJob = nullptr;        ///< Innermost job the level's nodes count
+                                 ///< against.
+};
+
+/// A Tascell donation in flight.
+struct SimResponse {
+  bool Deny = true;
+  double ReadyAt = 0;
+  SimFrame Frame; ///< Valid when !Deny.
+};
+
+struct SimWorker {
+  explicit SimWorker(std::uint64_t Seed) : Rng(Seed) {}
+
+  double Now = 0;
+  double LastProductive = 0;
+  std::vector<SimFrame> Stack;
+  SplitMix64 Rng;
+  SimBreakdown B;
+
+  // AdaptiveTC signalling.
+  int StolenNum = 0;
+  bool NeedTask = false;
+
+  int FailStreak = 0;
+
+  // Tascell.
+  std::vector<int> Mailbox; ///< Requester ids, serviced one per poll.
+  int WaitingOn = -1;       ///< Victim id while a request is pending.
+  bool HasResponse = false;
+  SimResponse Response;
+
+  /// Count of stealable frames with untried siblings (deque pressure).
+  int OpenStealable = 0;
+};
+
+/// The simulator proper.
+class Simulator {
+public:
+  Simulator(const SimTree &Tree, const SimOptions &Opts,
+            const CostModel &Costs)
+      : Tree(Tree), Opts(Opts), C(Costs), CutoffDepth(Opts.effectiveCutoff()) {
+    for (int I = 0; I < Opts.NumWorkers; ++I)
+      Workers.emplace_back(Opts.Seed + static_cast<std::uint64_t>(I));
+  }
+
+  SimReport run();
+
+private:
+  bool isDequeKind() const {
+    return Opts.Kind == SchedulerKind::Cilk ||
+           Opts.Kind == SchedulerKind::CilkSynched ||
+           Opts.Kind == SchedulerKind::Cutoff ||
+           Opts.Kind == SchedulerKind::AdaptiveTC;
+  }
+
+  void step(int Wi);
+  void visitChild(SimWorker &W);
+  void frameEnd(SimWorker &W);
+  void idleStep(int Wi);
+  void dequeStealAttempt(int Wi);
+  void tascellIdle(int Wi);
+  void tascellPoll(int Wi);
+  Job *newJob(long long Remaining, Job *Parent) {
+    JobArena.push_back({Remaining, Parent});
+    return &JobArena.back();
+  }
+  static bool jobsDone(const SimFrame &F) {
+    for (const Job *J : F.WaitJobs)
+      if (J->Remaining > 0)
+        return false;
+    return true;
+  }
+  void chargeSpawn(SimWorker &W, bool IsSpecial);
+  int pickVictim(SimWorker &W, int Self);
+
+  const SimTree &Tree;
+  const SimOptions Opts;
+  const CostModel &C;
+  const int CutoffDepth;
+
+  std::vector<SimWorker> Workers;
+  std::deque<Job> JobArena;
+  std::vector<SimTreeNode> KidsScratch;
+
+  long long Processed = 0;
+  SimReport R;
+};
+
+int Simulator::pickVictim(SimWorker &W, int Self) {
+  int V = static_cast<int>(
+      W.Rng.nextBelow(static_cast<std::uint64_t>(Opts.NumWorkers - 1)));
+  if (V >= Self)
+    ++V;
+  return V;
+}
+
+void Simulator::chargeSpawn(SimWorker &W, bool IsSpecial) {
+  double Ns = C.TaskCreateNs + C.DequeOpNs +
+              C.CopyNsPerByte * C.StateBytes;
+  if (Opts.Kind == SchedulerKind::Cilk)
+    Ns += C.AllocNs; // SYNCHED/pooled kinds reuse workspace memory
+  if (IsSpecial)
+    Ns += C.SpecialTaskNs;
+  W.Now += Ns;
+  W.B.OverheadNs += Ns;
+  ++R.TasksCreated;
+  ++R.Copies;
+}
+
+SimReport Simulator::run() {
+  R = SimReport();
+  R.PerWorker.assign(static_cast<std::size_t>(Opts.NumWorkers), {});
+  R.SerialNs = static_cast<double>(Tree.spec().TotalNodes) * C.NodeWorkNs;
+
+  // Worker 0 visits the root.
+  {
+    SimWorker &W = Workers[0];
+    W.Now += C.NodeWorkNs;
+    W.B.WorkNs += C.NodeWorkNs;
+    ++Processed;
+    SimTreeNode Root = Tree.root();
+    Tree.children(Root, KidsScratch);
+    if (!KidsScratch.empty()) {
+      SimFrame F;
+      F.Kids = KidsScratch;
+      F.End = static_cast<int>(F.Kids.size());
+      F.Dp = 0;
+      switch (Opts.Kind) {
+      case SchedulerKind::Cilk:
+      case SchedulerKind::CilkSynched:
+      case SchedulerKind::Cutoff:
+      case SchedulerKind::AdaptiveTC:
+        F.Mode = FrameMode::Task;
+        F.Stealable = true;
+        W.OpenStealable = 1;
+        R.MaxStealableFrames = 1;
+        chargeSpawn(W, false); // the root task itself
+        break;
+      case SchedulerKind::Tascell:
+      case SchedulerKind::Sequential:
+        F.Mode = FrameMode::Seq;
+        break;
+      }
+      W.Stack.push_back(std::move(F));
+    }
+    W.LastProductive = W.Now;
+  }
+
+  // Min-time stepping until every stack has drained.
+  for (;;) {
+    int Best = -1;
+    double BestNow = std::numeric_limits<double>::max();
+    for (int I = 0; I < Opts.NumWorkers; ++I) {
+      SimWorker &W = Workers[I];
+      bool Active = !W.Stack.empty() ||
+                    (Processed < Tree.spec().TotalNodes) ||
+                    W.WaitingOn != -1;
+      if (Active && W.Now < BestNow) {
+        BestNow = W.Now;
+        Best = I;
+      }
+    }
+    if (Best < 0)
+      break;
+#ifdef ATC_SIM_TRACE
+    static long long StepCount = 0;
+    if (++StepCount % 10000000 == 0) {
+      std::fprintf(stderr, "steps=%lldM processed=%lld/%lld best=w%d now=%.0f stack=%zu\n",
+                   StepCount/1000000, Processed, Tree.spec().TotalNodes, Best,
+                   Workers[Best].Now, Workers[Best].Stack.size());
+    }
+#endif
+    assert((Processed < Tree.spec().TotalNodes ||
+            !Workers[static_cast<std::size_t>(Best)].Stack.empty() ||
+            Workers[static_cast<std::size_t>(Best)].WaitingOn != -1) &&
+           "active worker with nothing to do");
+    step(Best);
+  }
+  assert(Processed == Tree.spec().TotalNodes &&
+         "simulation lost track of nodes (tree sizes must partition)");
+
+  for (int I = 0; I < Opts.NumWorkers; ++I) {
+    R.PerWorker[static_cast<std::size_t>(I)] = Workers[I].B;
+    R.Total += Workers[I].B;
+    R.MakespanNs = std::max(R.MakespanNs, Workers[I].LastProductive);
+  }
+  R.NodesProcessed = Processed;
+  return R;
+}
+
+void Simulator::step(int Wi) {
+  SimWorker &W = Workers[static_cast<std::size_t>(Wi)];
+  if (W.Stack.empty()) {
+    idleStep(Wi);
+    return;
+  }
+  if (Opts.Kind == SchedulerKind::Tascell)
+    tascellPoll(Wi);
+  SimFrame &F = W.Stack.back();
+  if (F.Next < F.End)
+    visitChild(W);
+  else
+    frameEnd(W);
+}
+
+void Simulator::visitChild(SimWorker &W) {
+  SimFrame &F = W.Stack.back();
+  SimTreeNode Node = F.Kids[static_cast<std::size_t>(F.Next++)];
+
+  // Determine the child's dispatch (edge) from the parent frame's mode,
+  // and the frame mode its own children will use.
+  FrameMode ChildMode = FrameMode::Seq;
+  int ChildDp = 0;
+  bool Spawned = false;   // real task: frame + deque + copy
+  bool Special = false;   // ATC special-task transition
+  bool Polled = false;    // check-version need_task poll
+  bool ChildStealable = false;
+  Job *ChildJob = F.NodeJob;
+
+  switch (Opts.Kind) {
+  case SchedulerKind::Cilk:
+  case SchedulerKind::CilkSynched:
+    Spawned = true;
+    ChildMode = FrameMode::Task;
+    ChildDp = F.Dp + 1;
+    ChildStealable = true;
+    break;
+  case SchedulerKind::Cutoff:
+    // Sequence regions are sticky: once beyond the cut-off, plain
+    // recursion never re-enters task mode.
+    if (F.Mode != FrameMode::Seq && F.Dp < CutoffDepth) {
+      Spawned = true;
+      ChildMode = FrameMode::Task;
+      ChildDp = F.Dp + 1;
+      ChildStealable = true;
+    } else {
+      ChildMode = FrameMode::Seq;
+      if (Opts.CutoffCopiesEverywhere) {
+        // Cutoff-library: workspace copying is not elided below the
+        // cut-off (no taskprivate support in the runtime).
+        double Ns = C.AllocNs + C.CopyNsPerByte * C.StateBytes;
+        W.Now += Ns;
+        W.B.OverheadNs += Ns;
+        ++R.Copies;
+      }
+    }
+    break;
+  case SchedulerKind::AdaptiveTC:
+    switch (F.Mode) {
+    case FrameMode::Task:
+      if (F.Dp < CutoffDepth) {
+        Spawned = true;
+        ChildMode = FrameMode::Task;
+        ChildDp = F.Dp + 1;
+        ChildStealable = true;
+      } else {
+        Polled = true;
+        ChildMode = FrameMode::Check;
+      }
+      break;
+    case FrameMode::Fast2:
+      if (F.Dp < 2 * CutoffDepth) {
+        Spawned = true;
+        ChildMode = FrameMode::Fast2;
+        ChildDp = F.Dp + 1;
+        ChildStealable = true;
+      } else {
+        ChildMode = FrameMode::Seq;
+      }
+      break;
+    case FrameMode::Check:
+      Polled = true;
+      if (W.NeedTask) {
+        // Publish: create a special task for this level (once) and run
+        // the child through fast_2 with the spawn depth reset to 0. The
+        // child's whole subtree is tracked by a job the special must
+        // await (sync_specialtask).
+        Spawned = true;
+        Special = !F.SpecialMade;
+        F.SpecialMade = true;
+        ChildMode = FrameMode::Fast2;
+        ChildDp = 0;
+        ChildStealable = true;
+        ChildJob = newJob(Node.Size - 1, F.NodeJob);
+        F.WaitJobs.push_back(ChildJob);
+        if (Special)
+          ++R.SpecialTasks;
+      } else {
+        ChildMode = FrameMode::Check;
+      }
+      break;
+    case FrameMode::Seq:
+      ChildMode = FrameMode::Seq;
+      break;
+    }
+    break;
+  case SchedulerKind::Tascell:
+    ChildMode = FrameMode::Seq; // all levels splittable via backtracking
+    break;
+  case SchedulerKind::Sequential:
+    ChildMode = FrameMode::Seq;
+    break;
+  }
+
+  // Charge the node's work and the edge overheads.
+  W.Now += C.NodeWorkNs;
+  W.B.WorkNs += C.NodeWorkNs;
+  if (Spawned) {
+    chargeSpawn(W, Special);
+  } else {
+    ++R.FakeNodes;
+  }
+  if (Polled || Opts.Kind == SchedulerKind::Tascell) {
+    W.Now += C.PollNs;
+    W.B.PollNs += C.PollNs;
+  }
+  if (Opts.Kind == SchedulerKind::Tascell) {
+    // Nested-function (choice point) management on the shadow stack.
+    W.Now += C.TascellFrameNs;
+    W.B.OverheadNs += C.TascellFrameNs;
+  }
+
+  // Account the node against its completion jobs. A job created here (an
+  // ATC publish) was sized to the node's *descendants*, so the node
+  // itself only counts against the enclosing chain.
+  ++Processed;
+  for (Job *J = F.NodeJob; J; J = J->Parent)
+    --J->Remaining;
+
+  W.LastProductive = W.Now;
+  if (F.Stealable && F.Next == F.End)
+    --W.OpenStealable; // level exhausted: no longer steal material
+
+  // Expand and push the child's level.
+  Tree.children(Node, KidsScratch);
+  if (KidsScratch.empty())
+    return;
+  SimFrame NF;
+  NF.Kids = KidsScratch;
+  NF.End = static_cast<int>(NF.Kids.size());
+  NF.Mode = ChildMode;
+  NF.Dp = ChildDp;
+  NF.Stealable = ChildStealable && isDequeKind();
+  NF.NodeJob = ChildJob;
+  if (NF.Stealable) {
+    ++W.OpenStealable;
+    R.MaxStealableFrames = std::max(R.MaxStealableFrames, W.OpenStealable);
+  }
+  W.Stack.push_back(std::move(NF));
+}
+
+void Simulator::frameEnd(SimWorker &W) {
+  SimFrame &F = W.Stack.back();
+  if (!F.WaitJobs.empty() && !jobsDone(F)) {
+    // sync_specialtask / Tascell wait_children: cannot suspend; sleep and
+    // re-check (usleep(100) in the real systems).
+    W.Now += C.SleepNs;
+    W.B.WaitChildrenNs += C.SleepNs;
+    return;
+  }
+  if (!F.WaitJobs.empty())
+    W.LastProductive = W.Now; // children joined: result materializes now
+  W.Stack.pop_back();
+}
+
+void Simulator::idleStep(int Wi) {
+  if (Opts.Kind == SchedulerKind::Tascell) {
+    tascellIdle(Wi);
+    return;
+  }
+  dequeStealAttempt(Wi);
+}
+
+void Simulator::dequeStealAttempt(int Wi) {
+  SimWorker &W = Workers[static_cast<std::size_t>(Wi)];
+  if (Opts.NumWorkers == 1) {
+    W.Now += C.StealFailNs;
+    return;
+  }
+  int Vi = pickVictim(W, Wi);
+  SimWorker &V = Workers[static_cast<std::size_t>(Vi)];
+
+  // Oldest stealable frame with untried siblings. The victim's *top*
+  // frame's next child is not stealable: in the real runtime the deque
+  // entry is the continuation of an in-flight spawn, so the child the
+  // victim is about to execute is never exposed (taking it would let two
+  // idle workers ping-pong a continuation without ever running a node).
+  SimFrame *Target = nullptr;
+  int StealBegin = 0;
+  for (std::size_t I = 0; I < V.Stack.size(); ++I) {
+    SimFrame &F = V.Stack[I];
+    bool IsTop = (I + 1 == V.Stack.size());
+    int Begin = F.Next + (IsTop ? 1 : 0);
+    if (F.Stealable && Begin < F.End) {
+      Target = &F;
+      StealBegin = Begin;
+      break;
+    }
+  }
+
+  if (!Target) {
+    ++R.StealFails;
+    ++W.FailStreak;
+    // Light backoff only: Cilk-style thieves retry at memory-latency
+    // timescales; aggressive sleeping would starve the need_task
+    // signalling path (stolen_num accumulates per failed attempt).
+    double Ns = C.StealFailNs;
+    if (W.FailStreak > 8)
+      Ns += 100.0 * std::min(W.FailStreak - 8, 20);
+    W.Now += Ns;
+    W.B.IdleNs += Ns;
+    if (Opts.Kind == SchedulerKind::AdaptiveTC &&
+        ++V.StolenNum > Opts.MaxStolenNum)
+      V.NeedTask = true;
+    return;
+  }
+
+  // Steal the continuation: the whole untried range moves to the thief.
+  ++R.Steals;
+  W.FailStreak = 0;
+  V.StolenNum = 0;
+  V.NeedTask = false;
+  W.Now += C.StealNs;
+  W.B.IdleNs += C.StealNs;
+
+  SimFrame TF;
+  TF.Kids.assign(Target->Kids.begin() + StealBegin,
+                 Target->Kids.begin() + Target->End);
+  TF.End = static_cast<int>(TF.Kids.size());
+  // The slow version dispatches children through the fast/check rule
+  // regardless of which version originally spawned the task — so a
+  // stolen fast_2 continuation re-enters poll-capable Task mode.
+  TF.Mode = FrameMode::Task;
+  TF.Dp = Target->Dp;
+  TF.Stealable = true;
+  TF.NodeJob = Target->NodeJob;
+  Target->End = StealBegin; // victim keeps only its in-flight child
+  if (Target->Next >= Target->End)
+    --V.OpenStealable;
+  ++W.OpenStealable;
+  R.MaxStealableFrames = std::max(R.MaxStealableFrames, W.OpenStealable);
+  W.Stack.push_back(std::move(TF));
+  W.LastProductive = W.Now;
+}
+
+void Simulator::tascellIdle(int Wi) {
+  SimWorker &W = Workers[static_cast<std::size_t>(Wi)];
+  if (Opts.NumWorkers == 1) {
+    W.Now += C.SleepNs;
+    return;
+  }
+
+  // All work done: abandon any pending request so the run can terminate
+  // (the real runtime's Done flag).
+  if (Processed >= Tree.spec().TotalNodes) {
+    W.WaitingOn = -1;
+    return;
+  }
+
+  if (W.WaitingOn < 0) {
+    // Post a request to a random victim.
+    int Vi = pickVictim(W, Wi);
+    Workers[static_cast<std::size_t>(Vi)].Mailbox.push_back(Wi);
+    W.WaitingOn = Vi;
+    W.HasResponse = false;
+    ++R.Requests;
+    W.Now += C.PollNs;
+    return;
+  }
+
+  if (W.HasResponse && W.Now >= W.Response.ReadyAt) {
+    W.WaitingOn = -1;
+    if (W.Response.Deny) {
+      ++R.StealFails;
+      W.B.IdleNs += C.RequestRoundTripNs;
+      W.Now += C.RequestRoundTripNs;
+      return;
+    }
+    ++R.Steals;
+    W.Now = std::max(W.Now, W.Response.ReadyAt) + C.RequestRoundTripNs;
+    W.B.IdleNs += C.RequestRoundTripNs;
+    W.Stack.push_back(std::move(W.Response.Frame));
+    W.LastProductive = W.Now;
+    return;
+  }
+
+  // Still waiting: sleep-poll (also answer our own mailbox with denials
+  // so idle workers do not deadlock on each other).
+  for (int Req : W.Mailbox) {
+    SimWorker &Rq = Workers[static_cast<std::size_t>(Req)];
+    Rq.HasResponse = true;
+    Rq.Response.Deny = true;
+    Rq.Response.ReadyAt = W.Now;
+    ++R.RequestsDenied;
+  }
+  W.Mailbox.clear();
+  double Ns = C.SleepNs / 2;
+  W.Now += Ns;
+  W.B.IdleNs += Ns;
+}
+
+void Simulator::tascellPoll(int Wi) {
+  SimWorker &W = Workers[static_cast<std::size_t>(Wi)];
+  if (W.Mailbox.empty())
+    return;
+  int Req = W.Mailbox.back();
+  W.Mailbox.pop_back();
+  SimWorker &Rq = Workers[static_cast<std::size_t>(Req)];
+
+  // Oldest level with untried choices.
+  std::size_t Split = W.Stack.size();
+  for (std::size_t I = 0; I < W.Stack.size(); ++I)
+    if (W.Stack[I].Next < W.Stack[I].End) {
+      Split = I;
+      break;
+    }
+  if (Split == W.Stack.size()) {
+    Rq.HasResponse = true;
+    Rq.Response.Deny = true;
+    Rq.Response.ReadyAt = W.Now;
+    ++R.RequestsDenied;
+    return;
+  }
+
+  SimFrame &F = W.Stack[Split];
+  int Untried = F.End - F.Next;
+  int Give = (Untried + 1) / 2;
+
+  // Temporary backtracking: undo/redo down to the split level + one
+  // workspace copy.
+  double Cost = 2.0 * static_cast<double>(W.Stack.size() - Split) *
+                    C.BacktrackStepNs +
+                C.CopyNsPerByte * C.StateBytes;
+  W.Now += Cost;
+  W.B.OverheadNs += Cost;
+  ++R.Copies;
+
+  long long DonatedNodes = 0;
+  SimFrame DF;
+  DF.Kids.assign(F.Kids.begin() + (F.End - Give), F.Kids.begin() + F.End);
+  for (const SimTreeNode &K : DF.Kids)
+    DonatedNodes += K.Size;
+  DF.End = static_cast<int>(DF.Kids.size());
+  DF.Mode = FrameMode::Seq;
+  Job *J = newJob(DonatedNodes, F.NodeJob);
+  DF.NodeJob = J;
+  F.WaitJobs.push_back(J);
+  F.End -= Give;
+
+  Rq.HasResponse = true;
+  Rq.Response.Deny = false;
+  Rq.Response.ReadyAt = W.Now;
+  Rq.Response.Frame = std::move(DF);
+}
+
+} // namespace
+
+SimReport atc::simulate(const SimTree &Tree, const SimOptions &Opts,
+                        const CostModel &Costs) {
+  Simulator S(Tree, Opts, Costs);
+  return S.run();
+}

@@ -1,0 +1,42 @@
+//===- support/Compiler.h - Compiler abstraction macros ---------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small set of compiler abstraction macros used throughout the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_SUPPORT_COMPILER_H
+#define ATC_SUPPORT_COMPILER_H
+
+#include <cstddef>
+
+/// Branch prediction hints for hot scheduler paths.
+#define ATC_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define ATC_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+/// Size of a destructive-interference cache line. Used to pad per-worker
+/// state so that independent workers do not false-share.
+#define ATC_CACHE_LINE_SIZE 64
+
+/// Marks a point in the code that is never reached. In builds with
+/// assertions this aborts with a message; otherwise it is an optimizer hint.
+#if defined(NDEBUG)
+#define ATC_UNREACHABLE(msg) __builtin_unreachable()
+#else
+#define ATC_UNREACHABLE(msg) ::atc::atc_unreachable_internal(msg, __FILE__, __LINE__)
+#endif
+
+namespace atc {
+
+/// Prints \p Msg with source location and aborts. Implements the checked
+/// flavour of ATC_UNREACHABLE.
+[[noreturn]] void atc_unreachable_internal(const char *Msg, const char *File,
+                                           unsigned Line);
+
+} // namespace atc
+
+#endif // ATC_SUPPORT_COMPILER_H

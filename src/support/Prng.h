@@ -1,0 +1,91 @@
+//===- support/Prng.h - Deterministic pseudo-random generators --*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generators.
+///
+/// The paper (Table 3) generates its unbalanced trees with a linear
+/// congruential generator "x_i = (x_{i-1} * A + C) mod M" seeded per node so
+/// that the same tree is regenerated on every execution. Lcg implements
+/// exactly that recurrence. SplitMix64 is used wherever a better-mixed
+/// deterministic stream is needed (victim selection, property tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_SUPPORT_PRNG_H
+#define ATC_SUPPORT_PRNG_H
+
+#include <cstdint>
+
+namespace atc {
+
+/// Linear congruential generator with the classic Numerical Recipes
+/// constants. Matches the paper's per-node tree-shaping recurrence.
+class Lcg {
+public:
+  static constexpr std::uint64_t DefaultA = 6364136223846793005ULL;
+  static constexpr std::uint64_t DefaultC = 1442695040888963407ULL;
+
+  explicit Lcg(std::uint64_t Seed, std::uint64_t A = DefaultA,
+               std::uint64_t C = DefaultC)
+      : X(Seed), A(A), C(C) {}
+
+  /// Advances the recurrence and returns the new state.
+  std::uint64_t next() {
+    X = X * A + C; // mod 2^64 by wraparound
+    return X;
+  }
+
+  /// Returns a value in [0, Bound). \p Bound must be non-zero.
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    // Use the high bits; low LCG bits have short periods.
+    return (next() >> 16) % Bound;
+  }
+
+  /// Returns a double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  std::uint64_t state() const { return X; }
+
+private:
+  std::uint64_t X;
+  std::uint64_t A;
+  std::uint64_t C;
+};
+
+/// SplitMix64: tiny, fast, well-mixed generator. Suitable for seeding and
+/// for randomized victim selection in the schedulers.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : X(Seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t Z = (X += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value in [0, Bound). \p Bound must be non-zero.
+  std::uint64_t nextBelow(std::uint64_t Bound) { return next() % Bound; }
+
+private:
+  std::uint64_t X;
+};
+
+/// Mixes a 64-bit value into a well-distributed hash. Stateless counterpart
+/// of SplitMix64; used to derive per-node seeds from node ids.
+inline std::uint64_t mix64(std::uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace atc
+
+#endif // ATC_SUPPORT_PRNG_H

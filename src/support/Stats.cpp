@@ -1,0 +1,50 @@
+//===- support/Stats.cpp - Small statistics helpers -----------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace atc;
+
+double atc::median(std::vector<double> Values) {
+  assert(!Values.empty() && "median of empty sample");
+  std::sort(Values.begin(), Values.end());
+  std::size_t N = Values.size();
+  if (N % 2 == 1)
+    return Values[N / 2];
+  return 0.5 * (Values[N / 2 - 1] + Values[N / 2]);
+}
+
+double atc::mean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "mean of empty sample");
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double atc::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Acc = 0;
+  for (double V : Values)
+    Acc += (V - M) * (V - M);
+  return std::sqrt(Acc / static_cast<double>(Values.size() - 1));
+}
+
+double atc::geomean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "geomean of empty sample");
+  double LogSum = 0;
+  for (double V : Values) {
+    assert(V > 0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}

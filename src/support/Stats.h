@@ -1,0 +1,51 @@
+//===- support/Stats.h - Small statistics helpers ---------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics helpers used by the benchmark harnesses. The paper reports
+/// "the median execution time of 3 successive executions"; median() is the
+/// canonical entry point for that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_SUPPORT_STATS_H
+#define ATC_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace atc {
+
+/// Returns the median of \p Values. For an even count returns the mean of
+/// the two middle elements. \p Values must be non-empty.
+double median(std::vector<double> Values);
+
+/// Arithmetic mean. \p Values must be non-empty.
+double mean(const std::vector<double> &Values);
+
+/// Sample standard deviation (N-1 denominator); 0 for fewer than 2 samples.
+double stddev(const std::vector<double> &Values);
+
+/// Geometric mean. All values must be positive; \p Values must be non-empty.
+double geomean(const std::vector<double> &Values);
+
+/// Runs \p Fn \p Repeats times and returns the median of the measured
+/// wall-clock seconds (the paper's measurement protocol with Repeats = 3).
+template <typename FnT> double medianSeconds(FnT &&Fn, int Repeats = 3);
+
+} // namespace atc
+
+#include "support/Timer.h"
+
+template <typename FnT> double atc::medianSeconds(FnT &&Fn, int Repeats) {
+  std::vector<double> Times;
+  Times.reserve(static_cast<std::size_t>(Repeats));
+  for (int I = 0; I < Repeats; ++I)
+    Times.push_back(timeSeconds(Fn));
+  return median(std::move(Times));
+}
+
+#endif // ATC_SUPPORT_STATS_H

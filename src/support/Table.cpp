@@ -1,0 +1,105 @@
+//===- support/Table.cpp - Text table / CSV emission ----------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace atc;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+/// Escapes one CSV cell per RFC 4180.
+static std::string csvEscape(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string TextTable::renderText() const {
+  // Compute column widths over header + all rows.
+  std::vector<std::size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (std::size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Cells) {
+    for (std::size_t I = 0; I < Widths.size(); ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      Out += Cell;
+      if (I + 1 == Widths.size())
+        break;
+      Out.append(Widths[I] - Cell.size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+  if (!Header.empty()) {
+    Emit(Header);
+    std::size_t Total = 0;
+    for (std::size_t W : Widths)
+      Total += W + 2;
+    Out.append(Total > 2 ? Total - 2 : Total, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}
+
+std::string TextTable::renderCsv() const {
+  std::string Out;
+  auto Emit = [&Out](const std::vector<std::string> &Cells) {
+    for (std::size_t I = 0; I < Cells.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += csvEscape(Cells[I]);
+    }
+    Out += '\n';
+  };
+  if (!Header.empty())
+    Emit(Header);
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}
+
+void TextTable::print(std::FILE *Out) const {
+  std::string Text = renderText();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+}
+
+std::string TextTable::fmt(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string TextTable::fmt(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  return Buf;
+}

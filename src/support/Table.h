@@ -1,0 +1,58 @@
+//===- support/Table.h - Text table / CSV emission --------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TextTable renders rows of strings as an aligned plain-text table (the
+/// format every figure/table harness prints) and optionally as CSV so the
+/// series can be re-plotted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_SUPPORT_TABLE_H
+#define ATC_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace atc {
+
+/// Accumulates rows of cells and prints them with aligned columns.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row. Rows may have differing cell counts; short rows
+  /// are padded with empty cells on output.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table with space-aligned columns.
+  std::string renderText() const;
+
+  /// Renders the table as CSV (header first). Cells containing commas or
+  /// quotes are quoted per RFC 4180.
+  std::string renderCsv() const;
+
+  /// Prints renderText() to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  std::size_t numRows() const { return Rows.size(); }
+
+  /// Formats a double with \p Digits fractional digits.
+  static std::string fmt(double Value, int Digits = 2);
+
+  /// Formats an integer value.
+  static std::string fmt(long long Value);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace atc
+
+#endif // ATC_SUPPORT_TABLE_H

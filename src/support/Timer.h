@@ -1,0 +1,59 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer used by the benchmark harnesses and the
+/// scheduler's overhead instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_SUPPORT_TIMER_H
+#define ATC_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace atc {
+
+/// Returns a monotonic timestamp in nanoseconds.
+inline std::uint64_t nowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple start/stop stopwatch accumulating elapsed nanoseconds.
+class Stopwatch {
+public:
+  void start() { StartNs = nowNanos(); }
+
+  /// Stops the watch and adds the elapsed interval to the total.
+  void stop() { TotalNs += nowNanos() - StartNs; }
+
+  /// Total accumulated time in nanoseconds.
+  std::uint64_t elapsedNanos() const { return TotalNs; }
+
+  /// Total accumulated time in seconds.
+  double elapsedSeconds() const { return static_cast<double>(TotalNs) * 1e-9; }
+
+  void reset() { TotalNs = 0; }
+
+private:
+  std::uint64_t StartNs = 0;
+  std::uint64_t TotalNs = 0;
+};
+
+/// Measures one invocation of \p Fn in seconds.
+template <typename FnT> double timeSeconds(FnT &&Fn) {
+  std::uint64_t Begin = nowNanos();
+  Fn();
+  return static_cast<double>(nowNanos() - Begin) * 1e-9;
+}
+
+} // namespace atc
+
+#endif // ATC_SUPPORT_TIMER_H

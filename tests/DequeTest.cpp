@@ -1,0 +1,261 @@
+//===- tests/DequeTest.cpp - work-stealing deque unit tests ---------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deque/ChaseLevDeque.h"
+#include "deque/TheDeque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace atc;
+
+namespace {
+
+void *ptr(std::uintptr_t V) { return reinterpret_cast<void *>(V); }
+
+TEST(TheDeque, PushPopLifo) {
+  TheDeque D(16);
+  EXPECT_TRUE(D.tryPush(ptr(1)));
+  EXPECT_TRUE(D.tryPush(ptr(2)));
+  EXPECT_EQ(D.size(), 2);
+  EXPECT_EQ(D.pop(), PopResult::Success);
+  EXPECT_EQ(D.pop(), PopResult::Success);
+  EXPECT_TRUE(D.empty());
+}
+
+TEST(TheDeque, StealTakesHead) {
+  TheDeque D(16);
+  D.tryPush(ptr(1));
+  D.tryPush(ptr(2));
+  StealResult R = D.steal();
+  ASSERT_EQ(R.Status, StealResult::Status::Success);
+  EXPECT_EQ(R.Frame, ptr(1));
+  R = D.steal();
+  ASSERT_EQ(R.Status, StealResult::Status::Success);
+  EXPECT_EQ(R.Frame, ptr(2));
+  EXPECT_EQ(D.steal().Status, StealResult::Status::Empty);
+}
+
+TEST(TheDeque, StealFromEmptyFails) {
+  TheDeque D(16);
+  EXPECT_EQ(D.steal().Status, StealResult::Status::Empty);
+}
+
+TEST(TheDeque, PopAfterStealOfOnlyEntryFails) {
+  TheDeque D(16);
+  D.tryPush(ptr(1));
+  ASSERT_EQ(D.steal().Status, StealResult::Status::Success);
+  EXPECT_EQ(D.pop(), PopResult::Failure);
+  // The deque must read as empty afterwards (indices restored).
+  EXPECT_TRUE(D.empty());
+  // And be reusable.
+  EXPECT_TRUE(D.tryPush(ptr(2)));
+  EXPECT_EQ(D.pop(), PopResult::Success);
+}
+
+TEST(TheDeque, SpecialAtHeadIsSkippedByThief) {
+  TheDeque D(16);
+  D.tryPush(ptr(10), /*Special=*/true);
+  // Only the special present: nothing stealable.
+  EXPECT_EQ(D.steal().Status, StealResult::Status::Empty);
+  D.tryPush(ptr(11)); // the special's child
+  StealResult R = D.steal();
+  ASSERT_EQ(R.Status, StealResult::Status::Success);
+  EXPECT_EQ(R.Frame, ptr(11)) << "thief must steal the special's child";
+}
+
+TEST(TheDeque, PopSpecialSuccessWhenChildNotStolen) {
+  TheDeque D(16);
+  D.tryPush(ptr(10), /*Special=*/true);
+  EXPECT_EQ(D.popSpecial(), PopResult::Success);
+  EXPECT_TRUE(D.empty());
+}
+
+TEST(TheDeque, PopSpecialFailsAfterChildStolen) {
+  TheDeque D(16);
+  D.tryPush(ptr(10), /*Special=*/true);
+  D.tryPush(ptr(11));
+  ASSERT_EQ(D.steal().Status, StealResult::Status::Success); // takes child
+  // The child's own pop fails first (it was stolen)...
+  EXPECT_EQ(D.pop(), PopResult::Failure);
+  // ...then pop_specialtask reports the stolen child and resets H = T.
+  EXPECT_EQ(D.popSpecial(), PopResult::Failure);
+  EXPECT_TRUE(D.empty());
+}
+
+TEST(TheDeque, NormalEntriesBelowSpecialStolenFirst) {
+  TheDeque D(16);
+  D.tryPush(ptr(1));
+  D.tryPush(ptr(2), /*Special=*/true);
+  D.tryPush(ptr(3));
+  StealResult R = D.steal();
+  ASSERT_EQ(R.Status, StealResult::Status::Success);
+  EXPECT_EQ(R.Frame, ptr(1));
+  R = D.steal();
+  ASSERT_EQ(R.Status, StealResult::Status::Success);
+  EXPECT_EQ(R.Frame, ptr(3)) << "special skipped, child stolen";
+}
+
+TEST(TheDeque, OverflowReportedAndCounted) {
+  TheDeque D(2);
+  EXPECT_TRUE(D.tryPush(ptr(1)));
+  EXPECT_TRUE(D.tryPush(ptr(2)));
+  EXPECT_FALSE(D.tryPush(ptr(3)));
+  EXPECT_EQ(D.overflowCount(), 1u);
+  EXPECT_EQ(D.size(), 2);
+}
+
+TEST(TheDeque, OnStealCallbackRunsForEachSteal) {
+  TheDeque D(16);
+  D.tryPush(ptr(1));
+  D.tryPush(ptr(2));
+  int Count = 0;
+  auto CB = [](void *, void *Ctx) { ++*static_cast<int *>(Ctx); };
+  EXPECT_EQ(D.steal(CB, &Count).Status, StealResult::Status::Success);
+  EXPECT_EQ(D.steal(CB, &Count).Status, StealResult::Status::Success);
+  EXPECT_EQ(D.steal(CB, &Count).Status, StealResult::Status::Empty);
+  EXPECT_EQ(Count, 2);
+}
+
+TEST(TheDeque, HighWaterMarkTracksDepth) {
+  TheDeque D(16);
+  for (int I = 0; I < 5; ++I)
+    D.tryPush(ptr(1));
+  for (int I = 0; I < 5; ++I)
+    D.pop();
+  EXPECT_EQ(D.highWaterMark(), 5);
+}
+
+/// Concurrency stress with exact-once accounting: the owner tracks its own
+/// pops via a shadow stack (mirroring how the schedulers know which frame
+/// they popped), so every token is attributed exactly once — either to a
+/// successful owner pop or to the thief.
+TEST(TheDeque, ExactlyOnceConsumption) {
+  constexpr int NumTokens = 50000;
+  TheDeque D(512);
+  std::atomic<bool> Stop{false};
+  std::vector<char> StolenSeen(NumTokens + 1, 0);
+  std::vector<char> PoppedSeen(NumTokens + 1, 0);
+  std::mutex StolenLock;
+
+  std::thread Thief([&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      StealResult R = D.steal();
+      if (R.Status == StealResult::Status::Success) {
+        std::lock_guard<std::mutex> G(StolenLock);
+        StolenSeen[reinterpret_cast<std::uintptr_t>(R.Frame)] += 1;
+      }
+    }
+  });
+
+  std::vector<std::uintptr_t> Shadow;
+  for (std::uintptr_t I = 1; I <= NumTokens; ++I) {
+    while (!D.tryPush(ptr(I)))
+      std::this_thread::yield();
+    Shadow.push_back(I);
+    if (I % 2 == 0) {
+      // Pop everything we believe is there; stop at first failure.
+      while (!Shadow.empty()) {
+        if (D.pop() == PopResult::Success) {
+          PoppedSeen[Shadow.back()] += 1;
+          Shadow.pop_back();
+        } else {
+          // Stolen from under us: everything still in the shadow stack
+          // belongs to the thief now.
+          Shadow.clear();
+          break;
+        }
+      }
+    }
+  }
+  while (!Shadow.empty()) {
+    if (D.pop() == PopResult::Success) {
+      PoppedSeen[Shadow.back()] += 1;
+      Shadow.pop_back();
+    } else {
+      Shadow.clear();
+    }
+  }
+  // Give the thief a moment to drain any remainder, then stop it.
+  while (!D.empty())
+    std::this_thread::yield();
+  Stop.store(true, std::memory_order_release);
+  Thief.join();
+
+  for (std::uintptr_t I = 1; I <= NumTokens; ++I) {
+    int Total = StolenSeen[I] + PoppedSeen[I];
+    ASSERT_EQ(Total, 1) << "token " << I << " consumed " << Total
+                        << " times";
+  }
+}
+
+TEST(ChaseLev, PushPopLifo) {
+  ChaseLevDeque D;
+  D.push(ptr(1));
+  D.push(ptr(2));
+  EXPECT_EQ(D.pop(), ptr(2));
+  EXPECT_EQ(D.pop(), ptr(1));
+  EXPECT_EQ(D.pop(), nullptr);
+}
+
+TEST(ChaseLev, StealTakesOldest) {
+  ChaseLevDeque D;
+  D.push(ptr(1));
+  D.push(ptr(2));
+  EXPECT_EQ(D.steal(), ptr(1));
+  EXPECT_EQ(D.steal(), ptr(2));
+  EXPECT_EQ(D.steal(), nullptr);
+}
+
+TEST(ChaseLev, GrowsInsteadOfOverflowing) {
+  ChaseLevDeque D(2);
+  for (std::uintptr_t I = 1; I <= 100; ++I)
+    D.push(ptr(I));
+  EXPECT_GT(D.growCount(), 0u);
+  for (std::uintptr_t I = 100; I >= 1; --I)
+    EXPECT_EQ(D.pop(), ptr(I));
+}
+
+TEST(ChaseLev, ExactlyOnceUnderContention) {
+  constexpr int NumTokens = 50000;
+  constexpr int NumThieves = 3;
+  ChaseLevDeque D(8);
+  std::atomic<bool> Stop{false};
+  std::vector<std::atomic<int>> Seen(NumTokens + 1);
+
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T < NumThieves; ++T)
+    Thieves.emplace_back([&] {
+      while (!Stop.load(std::memory_order_acquire)) {
+        if (void *F = D.steal())
+          Seen[reinterpret_cast<std::uintptr_t>(F)].fetch_add(1);
+      }
+    });
+
+  for (std::uintptr_t I = 1; I <= NumTokens; ++I) {
+    D.push(ptr(I));
+    if (I % 4 == 0)
+      if (void *F = D.pop())
+        Seen[reinterpret_cast<std::uintptr_t>(F)].fetch_add(1);
+  }
+  while (void *F = D.pop())
+    Seen[reinterpret_cast<std::uintptr_t>(F)].fetch_add(1);
+  while (!D.empty())
+    std::this_thread::yield();
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &T : Thieves)
+    T.join();
+
+  for (int I = 1; I <= NumTokens; ++I)
+    ASSERT_EQ(Seen[static_cast<std::size_t>(I)].load(), 1)
+        << "token " << I;
+}
+
+} // namespace

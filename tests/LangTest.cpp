@@ -1,0 +1,355 @@
+//===- tests/LangTest.cpp - ATC compiler unit tests -----------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Compile.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace atc;
+using namespace atc::lang;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src) {
+  std::vector<std::string> Errors;
+  auto Tokens = Lexer::tokenize(Src, Errors);
+  EXPECT_TRUE(Errors.empty()) << (Errors.empty() ? "" : Errors[0]);
+  return Tokens;
+}
+
+/// Compiles and returns the error list (empty = accepted).
+std::vector<std::string> errorsOf(const std::string &Src) {
+  return compileAtc(Src).Errors;
+}
+
+bool hasErrorContaining(const std::vector<std::string> &Errors,
+                        const std::string &Needle) {
+  for (const std::string &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto T = lex("cilk spawn sync taskprivate foo _bar");
+  ASSERT_EQ(T.size(), 7u); // + Eof
+  EXPECT_EQ(T[0].Kind, TokenKind::KwCilk);
+  EXPECT_EQ(T[1].Kind, TokenKind::KwSpawn);
+  EXPECT_EQ(T[2].Kind, TokenKind::KwSync);
+  EXPECT_EQ(T[3].Kind, TokenKind::KwTaskprivate);
+  EXPECT_EQ(T[4].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[4].Text, "foo");
+  EXPECT_EQ(T[5].Text, "_bar");
+}
+
+TEST(Lexer, IntAndHexLiterals) {
+  auto T = lex("42 0x2A 0");
+  EXPECT_EQ(T[0].IntValue, 42);
+  EXPECT_EQ(T[1].IntValue, 42);
+  EXPECT_EQ(T[2].IntValue, 0);
+}
+
+TEST(Lexer, CharLiteralsWithEscapes) {
+  auto T = lex("'a' '\\n' '\\0'");
+  EXPECT_EQ(T[0].IntValue, 'a');
+  EXPECT_EQ(T[1].IntValue, '\n');
+  EXPECT_EQ(T[2].IntValue, 0);
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto T = lex("+= -> && || == != <= >= ++ --");
+  EXPECT_EQ(T[0].Kind, TokenKind::PlusAssign);
+  EXPECT_EQ(T[1].Kind, TokenKind::Arrow);
+  EXPECT_EQ(T[2].Kind, TokenKind::AmpAmp);
+  EXPECT_EQ(T[3].Kind, TokenKind::PipePipe);
+  EXPECT_EQ(T[4].Kind, TokenKind::EqEq);
+  EXPECT_EQ(T[5].Kind, TokenKind::NotEq);
+  EXPECT_EQ(T[6].Kind, TokenKind::LessEq);
+  EXPECT_EQ(T[7].Kind, TokenKind::GreaterEq);
+  EXPECT_EQ(T[8].Kind, TokenKind::PlusPlus);
+  EXPECT_EQ(T[9].Kind, TokenKind::MinusMinus);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto T = lex("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto T = lex("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1);
+  EXPECT_EQ(T[0].Loc.Col, 1);
+  EXPECT_EQ(T[1].Loc.Line, 2);
+  EXPECT_EQ(T[1].Loc.Col, 3);
+}
+
+TEST(Lexer, ReportsBadCharacters) {
+  std::vector<std::string> Errors;
+  Lexer::tokenize("int a = @;", Errors);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("unexpected character"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, ParsesMinimalProgram) {
+  auto R = compileAtc("int main() { return 0; }");
+  EXPECT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  ASSERT_EQ(R.Ast.Funcs.size(), 1u);
+  EXPECT_EQ(R.Ast.Funcs[0]->Name, "main");
+}
+
+TEST(Parser, ParsesTaskprivateClause) {
+  auto R = compileAtc("cilk int f(int n, char *x)\n"
+                      "taskprivate: (*x) (n * sizeof(char));\n"
+                      "{ sync; return 0; }\n"
+                      "int main() { return 0; }");
+  ASSERT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  const FuncDecl *F = R.Ast.findFunc("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->IsCilk);
+  EXPECT_TRUE(F->Taskprivate.Present);
+  EXPECT_EQ(F->Taskprivate.VarName, "x");
+}
+
+TEST(Parser, ParsesStructsAndMemberAccess) {
+  auto R = compileAtc("struct P { int x; int y[4]; };\n"
+                      "int get(struct P *p) { return p->x + p->y[1]; }\n"
+                      "int main() { struct P p; p.x = 3; p.y[1] = 4;\n"
+                      "  return get(&p); }");
+  EXPECT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  ASSERT_EQ(R.Ast.Structs.size(), 1u);
+  EXPECT_EQ(R.Ast.Structs[0].Fields.size(), 2u);
+}
+
+TEST(Parser, PrecedenceInDump) {
+  auto R = compileAtc("int f(int a, int b) { return a + b * 2; }\n"
+                      "int main() { return 0; }");
+  ASSERT_TRUE(R.Success);
+  std::string Dump = dumpProgram(R.Ast);
+  // a + (b * 2): Add is the root with Mul nested under it.
+  std::size_t Add = Dump.find("Binary Add");
+  std::size_t Mul = Dump.find("Binary Mul");
+  ASSERT_NE(Add, std::string::npos);
+  ASSERT_NE(Mul, std::string::npos);
+  EXPECT_LT(Add, Mul);
+}
+
+TEST(Parser, SpawnMustBeAccumulatorForm) {
+  auto Errors = errorsOf("cilk int f(int n) { if (n) { spawn f(n - 1); } "
+                         "return 0; }\n"
+                         "int main() { return 0; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "spawn must appear as"));
+}
+
+TEST(Parser, ReportsMissingSemicolon) {
+  auto Errors = errorsOf("int main() { return 0 }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "expected ';'"));
+}
+
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  auto Errors = errorsOf("int main() { int a = ; int b = ; return 0; }");
+  EXPECT_GE(Errors.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, AcceptsTheNQueensExample) {
+  const char *Src = R"(
+    int ok(int depth, char *x, int j) {
+      for (int i = 0; i < depth; i = i + 1) {
+        int d = x[i] - j;
+        if (d == 0 || d == depth - i || d == i - depth) return 0;
+      }
+      return 1;
+    }
+    cilk int nqueens(int depth, int n, char *x)
+    taskprivate: (*x) (n * sizeof(char));
+    {
+      long sn = 0;
+      if (depth == n) return 1;
+      for (int j = 0; j < n; j = j + 1) {
+        if (ok(depth, x, j)) { x[depth] = j;
+          sn += spawn nqueens(depth + 1, n, x); } }
+      sync;
+      return sn;
+    }
+    int main() { char b[16]; long c = nqueens(0, 8, b);
+      print_long(c); return 0; }
+  )";
+  auto R = compileAtc(Src);
+  EXPECT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  EXPECT_EQ(R.Ast.findFunc("nqueens")->NumSpawns, 1);
+}
+
+TEST(Sema, SpawnOutsideCilkRejected) {
+  auto Errors =
+      errorsOf("cilk int f(int n) { return n; }\n"
+               "int g() { long s = 0; s += spawn f(1); return 0; }\n"
+               "int main() { return 0; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "spawn outside of a cilk"));
+}
+
+TEST(Sema, SyncOutsideCilkRejected) {
+  auto Errors = errorsOf("int main() { sync; return 0; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "sync outside of a cilk"));
+}
+
+TEST(Sema, SpawnOfNonCilkRejected) {
+  auto Errors = errorsOf("int g(int n) { return n; }\n"
+                         "cilk int f(int n) { long s = 0; "
+                         "s += spawn g(n); sync; return s; }\n"
+                         "int main() { return 0; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "is not a cilk function"));
+}
+
+TEST(Sema, CilkCallInsideCilkRejected) {
+  auto Errors = errorsOf("cilk int f(int n) { return n; }\n"
+                         "cilk int g(int n) { return f(n); }\n"
+                         "int main() { return 0; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "must be invoked with spawn"));
+}
+
+TEST(Sema, CilkCallFromMainAllowed) {
+  auto R = compileAtc("cilk int f(int n) { return n; }\n"
+                      "int main() { return f(3); }");
+  EXPECT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+}
+
+TEST(Sema, TaskprivateMustBePointerParameter) {
+  auto Errors = errorsOf("cilk int f(int n)\n"
+                         "taskprivate: (*n) (4);\n"
+                         "{ return n; }\n"
+                         "int main() { return 0; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "must be a pointer"));
+
+  Errors = errorsOf("cilk int f(int n)\n"
+                    "taskprivate: (*y) (4);\n"
+                    "{ return n; }\n"
+                    "int main() { return 0; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "is not a parameter"));
+}
+
+TEST(Sema, CilkFunctionMustReturnIntegral) {
+  auto Errors = errorsOf("cilk char *f(char *p) { return p; }\n"
+                         "int main() { return 0; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "must return an integral"));
+}
+
+TEST(Sema, ArrayLocalsInCilkRejected) {
+  auto Errors = errorsOf("cilk int f(int n) { char buf[8]; return n; }\n"
+                         "int main() { return 0; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "array locals are not supported"));
+}
+
+TEST(Sema, UnknownVariableRejected) {
+  auto Errors = errorsOf("int main() { return nope; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "unknown variable 'nope'"));
+}
+
+TEST(Sema, ArityMismatchRejected) {
+  auto Errors = errorsOf("int f(int a, int b) { return a + b; }\n"
+                         "int main() { return f(1); }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "expects 2 arguments, got 1"));
+}
+
+TEST(Sema, BreakOutsideLoopRejected) {
+  auto Errors = errorsOf("int main() { break; return 0; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "break outside of a loop"));
+}
+
+TEST(Sema, MemberOfUnknownFieldRejected) {
+  auto Errors = errorsOf("struct P { int x; };\n"
+                         "int main() { struct P p; return p.z; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "has no field 'z'"));
+}
+
+TEST(Sema, DerefNonPointerRejected) {
+  auto Errors = errorsOf("int main() { int a = 0; return *a; }");
+  EXPECT_TRUE(hasErrorContaining(Errors, "cannot dereference"));
+}
+
+//===----------------------------------------------------------------------===//
+// CodeGen: structural golden checks
+//===----------------------------------------------------------------------===//
+
+TEST(CodeGen, EmitsAllFiveVersionsAndFrame) {
+  auto R = compileAtc("cilk int f(int n) { long s = 0;\n"
+                      "  if (n < 2) return n;\n"
+                      "  s += spawn f(n - 1); s += spawn f(n - 2);\n"
+                      "  sync; return s; }\n"
+                      "int main() { return f(5); }");
+  ASSERT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  for (const char *Needle :
+       {"struct f_frame : atcgen::TaskInfoBase", "long f_fast(",
+        "long f_fast2(", "long f_check(", "long f_seq(", "void f_slow(",
+        "_w.push(_f);", "_w.pushSpecial(_f);", "_w.needTask()",
+        "case 0: goto _resume_0;", "case 1: goto _resume_1;",
+        "_resume_0: ;", "if (_dp < _w.cutoff())",
+        "if (_dp < 2 * _w.cutoff())"})
+    EXPECT_NE(R.Cpp.find(Needle), std::string::npos)
+        << "missing in generated code: " << Needle;
+}
+
+TEST(CodeGen, TaskprivateCopyOnlyInTaskVersions) {
+  auto R = compileAtc("cilk int f(int n, char *x)\n"
+                      "taskprivate: (*x) (n * sizeof(char));\n"
+                      "{ long s = 0; if (n < 1) return 1;\n"
+                      "  s += spawn f(n - 1, x); sync; return s; }\n"
+                      "int main() { char b[4]; return f(3, b); }");
+  ASSERT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  // The sequence version shares the parent workspace: it must contain a
+  // plain recursive call and no workspace allocation.
+  // Skip the forward declarations: locate the *definitions*.
+  std::size_t SeqBegin =
+      R.Cpp.find("long f_seq(", R.Cpp.find("long f_seq(") + 1);
+  std::size_t SeqEnd =
+      R.Cpp.find("long f_check(", R.Cpp.find("long f_check(") + 1);
+  ASSERT_NE(SeqBegin, std::string::npos);
+  ASSERT_NE(SeqEnd, std::string::npos);
+  std::string Seq = R.Cpp.substr(SeqBegin, SeqEnd - SeqBegin);
+  EXPECT_EQ(Seq.find("allocWorkspace"), std::string::npos);
+  EXPECT_NE(Seq.find("f_seq(_w, (n - 1), x)"), std::string::npos);
+  // The task versions allocate + memcpy.
+  EXPECT_NE(R.Cpp.find("allocWorkspace"), std::string::npos);
+  EXPECT_NE(R.Cpp.find("std::memcpy(_tp0"), std::string::npos);
+}
+
+TEST(CodeGen, HoistsShadowedLocalsWithUniqueNames) {
+  auto R = compileAtc("cilk int f(int n) {\n"
+                      "  long s = 0;\n"
+                      "  if (n > 0) { int t = 1; s = s + t; }\n"
+                      "  if (n > 1) { int t = 2; s = s + t; }\n"
+                      "  return s; }\n"
+                      "int main() { return f(2); }");
+  ASSERT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  EXPECT_NE(R.Cpp.find("int t;"), std::string::npos);
+  EXPECT_NE(R.Cpp.find("int t_1;"), std::string::npos);
+}
+
+TEST(CodeGen, UserMainIsWrapped) {
+  auto R = compileAtc("int main() { return 7; }");
+  ASSERT_TRUE(R.Success);
+  EXPECT_NE(R.Cpp.find("atc_user_main"), std::string::npos);
+  EXPECT_NE(R.Cpp.find("int main()"), std::string::npos);
+  EXPECT_NE(R.Cpp.find("ATCGEN_CUTOFF"), std::string::npos);
+}
+
+} // namespace

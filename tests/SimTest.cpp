@@ -1,0 +1,275 @@
+//===- tests/SimTest.cpp - simulator unit and property tests --------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimEngine.h"
+#include "sim/TreeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace atc;
+
+namespace {
+
+constexpr long long TestScale = 40'000;
+
+SimReport runSim(const std::string &Preset, SchedulerKind Kind, int Workers,
+                 long long Scale = TestScale, int Cutoff = -1) {
+  SimTree Tree(SimTree::preset(Preset, Scale));
+  SimOptions Opts;
+  Opts.Kind = Kind;
+  Opts.NumWorkers = Workers;
+  Opts.Cutoff = Cutoff;
+  CostModel Costs; // defaults
+  return simulate(Tree, Opts, Costs);
+}
+
+//===----------------------------------------------------------------------===//
+// Tree generation
+//===----------------------------------------------------------------------===//
+
+class TreePresets : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TreePresets, SizesPartitionExactly) {
+  SimTree Tree(SimTree::preset(GetParam(), 20'000));
+  auto Stats = Tree.walk();
+  EXPECT_EQ(Stats.Nodes, 20'000) << GetParam();
+  EXPECT_GT(Stats.Leaves, 0);
+  EXPECT_GT(Stats.MaxDepth, 1);
+}
+
+TEST_P(TreePresets, DeterministicAcrossWalks) {
+  SimTree A(SimTree::preset(GetParam(), 20'000));
+  SimTree B(SimTree::preset(GetParam(), 20'000));
+  auto SA = A.walk();
+  auto SB = B.walk();
+  EXPECT_EQ(SA.Nodes, SB.Nodes);
+  EXPECT_EQ(SA.Leaves, SB.Leaves);
+  EXPECT_EQ(SA.MaxDepth, SB.MaxDepth);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, TreePresets,
+                         ::testing::ValuesIn(SimTree::presetNames()));
+
+TEST(TreeGen, Tree1Depth1SharesMatchTable3) {
+  SimTree Tree(SimTree::preset("tree1l", 1'000'000));
+  auto Shares = Tree.depth1SharePercent();
+  ASSERT_EQ(Shares.size(), 7u);
+  // Published (sorted desc): 42.512, 25.362, 13.019, 11.771, 4.936,
+  // 1.984, 0.416.
+  EXPECT_NEAR(Shares[0], 42.512, 0.5);
+  EXPECT_NEAR(Shares[1], 25.362, 0.5);
+  EXPECT_NEAR(Shares[2], 13.019, 0.5);
+}
+
+TEST(TreeGen, MirrorReversesDepth1Shares) {
+  SimTree L(SimTree::preset("tree3l", 500'000));
+  SimTree R(SimTree::preset("tree3r", 500'000));
+  auto SL = L.depth1SharePercent();
+  auto SR = R.depth1SharePercent();
+  ASSERT_EQ(SL.size(), SR.size());
+  for (std::size_t I = 0; I < SL.size(); ++I)
+    EXPECT_DOUBLE_EQ(SL[I], SR[SR.size() - 1 - I]);
+}
+
+TEST(TreeGen, Tree3IsMostUnbalanced) {
+  // "Tree3 is the most unbalanced one among these trees."
+  auto First = [](const std::string &Name) {
+    return SimTree(SimTree::preset(Name, 500'000)).depth1SharePercent()[0];
+  };
+  EXPECT_LT(First("tree1l"), First("tree2l"));
+  EXPECT_LT(First("tree2l"), First("tree3l"));
+}
+
+TEST(TreeGen, BalancedPresetSplitsEvenly) {
+  SimTree Tree(SimTree::preset("balanced", 100'000));
+  auto Shares = Tree.depth1SharePercent();
+  ASSERT_GE(Shares.size(), 4u);
+  double Max = *std::max_element(Shares.begin(), Shares.end());
+  double Min = *std::min_element(Shares.begin(), Shares.end());
+  EXPECT_LT(Max / Min, 1.5);
+}
+
+TEST(TreeGen, LeafHasNoChildren) {
+  SimTree Tree(SimTree::preset("balanced", 1000));
+  std::vector<SimTreeNode> Kids;
+  Tree.children({123, 1, 5}, Kids);
+  EXPECT_TRUE(Kids.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Simulation: conservation and determinism
+//===----------------------------------------------------------------------===//
+
+struct SimCase {
+  SchedulerKind Kind;
+  int Workers;
+};
+
+class SimMatrix : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimMatrix, ProcessesEveryNodeOnUnbalancedTree) {
+  SimReport R = runSim("tree2l", GetParam().Kind, GetParam().Workers);
+  EXPECT_EQ(R.NodesProcessed, TestScale);
+  EXPECT_GT(R.MakespanNs, 0.0);
+  EXPECT_GE(R.Total.WorkNs, R.SerialNs * 0.999);
+}
+
+TEST_P(SimMatrix, ProcessesEveryNodeOnBalancedTree) {
+  SimReport R = runSim("balanced", GetParam().Kind, GetParam().Workers);
+  EXPECT_EQ(R.NodesProcessed, TestScale);
+}
+
+TEST_P(SimMatrix, DeterministicReport) {
+  SimReport A = runSim("fig8", GetParam().Kind, GetParam().Workers);
+  SimReport B = runSim("fig8", GetParam().Kind, GetParam().Workers);
+  EXPECT_DOUBLE_EQ(A.MakespanNs, B.MakespanNs);
+  EXPECT_EQ(A.Steals, B.Steals);
+  EXPECT_EQ(A.TasksCreated, B.TasksCreated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SimMatrix,
+    ::testing::Values(SimCase{SchedulerKind::Cilk, 1},
+                      SimCase{SchedulerKind::Cilk, 4},
+                      SimCase{SchedulerKind::Cilk, 8},
+                      SimCase{SchedulerKind::CilkSynched, 8},
+                      SimCase{SchedulerKind::Cutoff, 8},
+                      SimCase{SchedulerKind::AdaptiveTC, 1},
+                      SimCase{SchedulerKind::AdaptiveTC, 4},
+                      SimCase{SchedulerKind::AdaptiveTC, 8},
+                      SimCase{SchedulerKind::Tascell, 4},
+                      SimCase{SchedulerKind::Tascell, 8}),
+    [](const ::testing::TestParamInfo<SimCase> &Info) {
+      std::string Name = schedulerKindName(Info.param.Kind);
+      for (char &Ch : Name)
+        if (Ch == '-')
+          Ch = '_';
+      return Name + "_w" + std::to_string(Info.param.Workers);
+    });
+
+//===----------------------------------------------------------------------===//
+// Simulation: qualitative shapes from the paper
+//===----------------------------------------------------------------------===//
+
+TEST(SimShapes, AllSystemsScaleOnBalancedTrees) {
+  for (SchedulerKind Kind :
+       {SchedulerKind::Cilk, SchedulerKind::CilkSynched,
+        SchedulerKind::AdaptiveTC, SchedulerKind::Tascell}) {
+    SimReport W1 = runSim("balanced", Kind, 1);
+    SimReport W8 = runSim("balanced", Kind, 8);
+    EXPECT_GT(W8.speedup(), W1.speedup() * 3)
+        << schedulerKindName(Kind) << " should scale on balanced trees";
+    EXPECT_GT(W8.speedup(), 3.0) << schedulerKindName(Kind);
+  }
+}
+
+TEST(SimShapes, SingleWorkerOverheadOrdering) {
+  // Table 2 / Figure 6: 1-thread overhead of AdaptiveTC is below Cilk's;
+  // Cilk-SYNCHED sits between.
+  SimReport Cilk = runSim("balanced", SchedulerKind::Cilk, 1);
+  SimReport Syn = runSim("balanced", SchedulerKind::CilkSynched, 1);
+  SimReport Atc = runSim("balanced", SchedulerKind::AdaptiveTC, 1);
+  EXPECT_LT(Atc.MakespanNs, Syn.MakespanNs);
+  EXPECT_LE(Syn.MakespanNs, Cilk.MakespanNs);
+  // AdaptiveTC's 1-worker run is nearly pure work (poll per node only).
+  EXPECT_LT(Atc.MakespanNs / Atc.SerialNs, 1.2);
+  EXPECT_GT(Cilk.MakespanNs / Cilk.SerialNs, 1.2);
+}
+
+TEST(SimShapes, AdaptiveTCCreatesFarFewerTasksThanCilk) {
+  SimReport Cilk = runSim("fig8", SchedulerKind::Cilk, 8);
+  SimReport Atc = runSim("fig8", SchedulerKind::AdaptiveTC, 8);
+  EXPECT_LT(Atc.TasksCreated, Cilk.TasksCreated / 20);
+  EXPECT_LT(Atc.MaxStealableFrames, Cilk.MaxStealableFrames)
+      << "AdaptiveTC is less prone to deque overflow";
+}
+
+TEST(SimShapes, AdaptiveTCPublishesSpecialTasksUnderPressure) {
+  SimReport R = runSim("fig8", SchedulerKind::AdaptiveTC, 8);
+  EXPECT_GT(R.SpecialTasks, 0u)
+      << "unbalanced trees must trigger check->fast_2 transitions";
+}
+
+TEST(SimShapes, CutoffStarvesOnUnbalancedTreeAdaptiveTCDoesNot) {
+  // Figure 9: fixed cut-off strategies starve with > 4 threads on the
+  // Sudoku input1 tree; AdaptiveTC keeps scaling. Needs paper-like scale:
+  // at tiny tree sizes the need_task publish latency dominates
+  // AdaptiveTC.
+  constexpr long long Fig9Scale = 2'000'000;
+  SimReport Cut4 = runSim("fig8", SchedulerKind::Cutoff, 4, Fig9Scale,
+                          /*Cutoff=*/3);
+  SimReport Cut8 = runSim("fig8", SchedulerKind::Cutoff, 8, Fig9Scale,
+                          /*Cutoff=*/3);
+  SimReport Atc8 = runSim("fig8", SchedulerKind::AdaptiveTC, 8, Fig9Scale);
+  // Cut-off plateaus beyond 4 threads (starvation)...
+  EXPECT_LT(Cut8.speedup() - Cut4.speedup(), 0.3 * Cut4.speedup());
+  // ...while AdaptiveTC keeps scaling and ends on top.
+  EXPECT_GT(Atc8.speedup(), Cut8.speedup());
+  EXPECT_GT(Atc8.speedup(), 5.0);
+}
+
+TEST(SimShapes, CutoffLibraryPaysCopiesEverywhere) {
+  SimTree Tree(SimTree::preset("fig8", TestScale));
+  CostModel Costs;
+  SimOptions Opts;
+  Opts.Kind = SchedulerKind::Cutoff;
+  Opts.NumWorkers = 8;
+  Opts.Cutoff = 3;
+  SimReport Programmer = simulate(Tree, Opts, Costs);
+  Opts.CutoffCopiesEverywhere = true;
+  SimReport Library = simulate(Tree, Opts, Costs);
+  EXPECT_GT(Library.Copies, Programmer.Copies * 10);
+  EXPECT_LT(Library.speedup(), Programmer.speedup());
+}
+
+TEST(SimShapes, TascellWaitsMoreOnRightHeavyTrees) {
+  // Figure 10 / Section 5.3.2: Tascell spends far more time waiting for
+  // children on right-heavy trees (8.08% on Tree3L vs 51.99% on Tree3R).
+  SimReport L = runSim("tree3l", SchedulerKind::Tascell, 8);
+  SimReport R = runSim("tree3r", SchedulerKind::Tascell, 8);
+  EXPECT_GT(R.Total.WaitChildrenNs, L.Total.WaitChildrenNs * 1.5);
+  EXPECT_GT(L.speedup(), R.speedup());
+}
+
+TEST(SimShapes, CilkInsensitiveToTreeOrientation) {
+  SimReport L = runSim("tree3l", SchedulerKind::Cilk, 8);
+  SimReport R = runSim("tree3r", SchedulerKind::Cilk, 8);
+  double Ratio = L.speedup() / R.speedup();
+  EXPECT_GT(Ratio, 0.8);
+  EXPECT_LT(Ratio, 1.25);
+}
+
+TEST(SimShapes, TascellWaitShareGrowsWithThreads) {
+  // Figure 7's direction: wait_children's share of Tascell's time grows
+  // as workers are added (more donations outstanding at each unwind).
+  SimReport W2 = runSim("balanced", SchedulerKind::Tascell, 2);
+  SimReport W8 = runSim("balanced", SchedulerKind::Tascell, 8);
+  double Share2 = W2.Total.WaitChildrenNs / W2.Total.totalNs();
+  double Share8 = W8.Total.WaitChildrenNs / W8.Total.totalNs();
+  EXPECT_GT(Share8, Share2);
+}
+
+TEST(SimShapes, WorkConservationAcrossAllKinds) {
+  // Virtual work must equal the serial total regardless of policy: the
+  // simulator may move nodes between workers but never duplicate or drop
+  // them.
+  for (SchedulerKind Kind :
+       {SchedulerKind::Cilk, SchedulerKind::CilkSynched,
+        SchedulerKind::Cutoff, SchedulerKind::AdaptiveTC,
+        SchedulerKind::Tascell}) {
+    SimReport R = runSim("tree1l", Kind, 8);
+    EXPECT_NEAR(R.Total.WorkNs, R.SerialNs, R.SerialNs * 1e-9)
+        << schedulerKindName(Kind);
+  }
+}
+
+TEST(SimShapes, TascellPaysNoTaskCreation) {
+  SimReport R = runSim("balanced", SchedulerKind::Tascell, 4);
+  EXPECT_EQ(R.TasksCreated, 0u);
+  EXPECT_GT(R.Requests, 0u);
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/SupportTest.cpp - support library unit tests -----------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Options.h"
+#include "support/Prng.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace atc;
+
+TEST(Prng, LcgIsDeterministic) {
+  Lcg A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Prng, LcgMatchesRecurrence) {
+  // x1 = x0 * A + C (mod 2^64).
+  std::uint64_t X0 = 7;
+  Lcg G(X0);
+  EXPECT_EQ(G.next(), X0 * Lcg::DefaultA + Lcg::DefaultC);
+}
+
+TEST(Prng, LcgBoundsRespected) {
+  Lcg G(123);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(G.nextBelow(17), 17u);
+}
+
+TEST(Prng, LcgDoubleInUnitInterval) {
+  Lcg G(99);
+  for (int I = 0; I < 1000; ++I) {
+    double D = G.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Prng, SplitMixProducesDistinctValues) {
+  SplitMix64 G(1);
+  std::set<std::uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(G.next());
+  EXPECT_EQ(Seen.size(), 1000u);
+}
+
+TEST(Prng, Mix64IsAPermutationSample) {
+  // Distinct inputs must map to distinct outputs for a bijective mixer.
+  std::set<std::uint64_t> Seen;
+  for (std::uint64_t I = 0; I < 1000; ++I)
+    Seen.insert(mix64(I));
+  EXPECT_EQ(Seen.size(), 1000u);
+}
+
+TEST(Stats, MedianOdd) { EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0); }
+
+TEST(Stats, MedianEven) { EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5); }
+
+TEST(Stats, MedianSingle) { EXPECT_DOUBLE_EQ(median({7}), 7.0); }
+
+TEST(Stats, Mean) { EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5); }
+
+TEST(Stats, StddevOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(stddev({5, 5, 5}), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is sqrt(32/7).
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, Geomean) { EXPECT_NEAR(geomean({1, 4}), 2.0, 1e-12); }
+
+TEST(Table, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "22"});
+  std::string Text = T.renderText();
+  EXPECT_NE(Text.find("name    value"), std::string::npos);
+  EXPECT_NE(Text.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  TextTable T;
+  T.setHeader({"a"});
+  T.addRow({"x,y"});
+  EXPECT_NE(T.renderCsv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, CsvEscapesQuotes) {
+  TextTable T;
+  T.addRow({"say \"hi\""});
+  EXPECT_EQ(T.renderCsv(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, FmtDouble) { EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14"); }
+
+TEST(Table, FmtInt) { EXPECT_EQ(TextTable::fmt(42LL), "42"); }
+
+TEST(Options, ParsesAllKinds) {
+  long long N = 0;
+  double X = 0;
+  std::string S;
+  bool F = false;
+  OptionSet Opts;
+  Opts.addInt("n", &N, "int");
+  Opts.addDouble("x", &X, "double");
+  Opts.addString("s", &S, "string");
+  Opts.addFlag("f", &F, "flag");
+  const char *Argv[] = {"prog", "--n=5", "--x", "2.5", "--s=hello", "--f",
+                        "pos1"};
+  Opts.parse(7, Argv);
+  EXPECT_EQ(N, 5);
+  EXPECT_DOUBLE_EQ(X, 2.5);
+  EXPECT_EQ(S, "hello");
+  EXPECT_TRUE(F);
+  ASSERT_EQ(Opts.positionalArgs().size(), 1u);
+  EXPECT_EQ(Opts.positionalArgs()[0], "pos1");
+}
+
+TEST(Options, FlagAcceptsExplicitFalse) {
+  bool F = true;
+  OptionSet Opts;
+  Opts.addFlag("f", &F, "flag");
+  const char *Argv[] = {"prog", "--f=false"};
+  Opts.parse(2, Argv);
+  EXPECT_FALSE(F);
+}
+
+TEST(Options, UsageMentionsEveryOption) {
+  long long N = 0;
+  OptionSet Opts("demo");
+  Opts.addInt("threads", &N, "worker count");
+  std::string U = Opts.usage("prog");
+  EXPECT_NE(U.find("--threads=N"), std::string::npos);
+  EXPECT_NE(U.find("worker count"), std::string::npos);
+}
