@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common/BenchCommon.cpp" "bench/CMakeFiles/atc_bench_common.dir/common/BenchCommon.cpp.o" "gcc" "bench/CMakeFiles/atc_bench_common.dir/common/BenchCommon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/problems/CMakeFiles/atc_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deque/CMakeFiles/atc_deque.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/atc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

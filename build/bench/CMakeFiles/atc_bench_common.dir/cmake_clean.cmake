@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atc_bench_common.dir/common/BenchCommon.cpp.o"
+  "CMakeFiles/atc_bench_common.dir/common/BenchCommon.cpp.o.d"
+  "libatc_bench_common.a"
+  "libatc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_unbalanced.dir/fig10_unbalanced.cpp.o"
+  "CMakeFiles/fig10_unbalanced.dir/fig10_unbalanced.cpp.o.d"
+  "fig10_unbalanced"
+  "fig10_unbalanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_unbalanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_speedup8.dir/fig5_speedup8.cpp.o"
+  "CMakeFiles/fig5_speedup8.dir/fig5_speedup8.cpp.o.d"
+  "fig5_speedup8"
+  "fig5_speedup8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_speedup8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_breakdown1t.dir/fig6_breakdown1t.cpp.o"
+  "CMakeFiles/fig6_breakdown1t.dir/fig6_breakdown1t.cpp.o.d"
+  "fig6_breakdown1t"
+  "fig6_breakdown1t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_breakdown1t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

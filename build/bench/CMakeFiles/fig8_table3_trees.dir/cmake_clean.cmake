@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_table3_trees.dir/fig8_table3_trees.cpp.o"
+  "CMakeFiles/fig8_table3_trees.dir/fig8_table3_trees.cpp.o.d"
+  "fig8_table3_trees"
+  "fig8_table3_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_table3_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cutoff.dir/fig9_cutoff.cpp.o"
+  "CMakeFiles/fig9_cutoff.dir/fig9_cutoff.cpp.o.d"
+  "fig9_cutoff"
+  "fig9_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

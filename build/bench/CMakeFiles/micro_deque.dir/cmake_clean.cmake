@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_deque.dir/micro_deque.cpp.o"
+  "CMakeFiles/micro_deque.dir/micro_deque.cpp.o.d"
+  "micro_deque"
+  "micro_deque.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_deque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

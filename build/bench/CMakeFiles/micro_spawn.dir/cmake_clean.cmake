@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_spawn.dir/micro_spawn.cpp.o"
+  "CMakeFiles/micro_spawn.dir/micro_spawn.cpp.o.d"
+  "micro_spawn"
+  "micro_spawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_overhead1t.dir/table2_overhead1t.cpp.o"
+  "CMakeFiles/table2_overhead1t.dir/table2_overhead1t.cpp.o.d"
+  "table2_overhead1t"
+  "table2_overhead1t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_overhead1t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

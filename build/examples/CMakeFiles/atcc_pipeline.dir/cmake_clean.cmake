@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcc_pipeline.dir/atcc_pipeline.cpp.o"
+  "CMakeFiles/atcc_pipeline.dir/atcc_pipeline.cpp.o.d"
+  "atcc_pipeline"
+  "atcc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

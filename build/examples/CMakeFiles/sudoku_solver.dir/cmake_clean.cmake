@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_solver.dir/sudoku_solver.cpp.o"
+  "CMakeFiles/sudoku_solver.dir/sudoku_solver.cpp.o.d"
+  "sudoku_solver"
+  "sudoku_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

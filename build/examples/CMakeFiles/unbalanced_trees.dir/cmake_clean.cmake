@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unbalanced_trees.dir/unbalanced_trees.cpp.o"
+  "CMakeFiles/unbalanced_trees.dir/unbalanced_trees.cpp.o.d"
+  "unbalanced_trees"
+  "unbalanced_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unbalanced_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atc_core.dir/Scheduler.cpp.o"
+  "CMakeFiles/atc_core.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/atc_core.dir/SchedulerStats.cpp.o"
+  "CMakeFiles/atc_core.dir/SchedulerStats.cpp.o.d"
+  "libatc_core.a"
+  "libatc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atc_deque.dir/ChaseLevDeque.cpp.o"
+  "CMakeFiles/atc_deque.dir/ChaseLevDeque.cpp.o.d"
+  "CMakeFiles/atc_deque.dir/TheDeque.cpp.o"
+  "CMakeFiles/atc_deque.dir/TheDeque.cpp.o.d"
+  "libatc_deque.a"
+  "libatc_deque.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atc_deque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

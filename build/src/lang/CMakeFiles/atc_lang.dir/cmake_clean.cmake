@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atc_lang.dir/AstDump.cpp.o"
+  "CMakeFiles/atc_lang.dir/AstDump.cpp.o.d"
+  "CMakeFiles/atc_lang.dir/CodeGen.cpp.o"
+  "CMakeFiles/atc_lang.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/atc_lang.dir/Compile.cpp.o"
+  "CMakeFiles/atc_lang.dir/Compile.cpp.o.d"
+  "CMakeFiles/atc_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/atc_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/atc_lang.dir/Parser.cpp.o"
+  "CMakeFiles/atc_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/atc_lang.dir/Sema.cpp.o"
+  "CMakeFiles/atc_lang.dir/Sema.cpp.o.d"
+  "libatc_lang.a"
+  "libatc_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atc_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atc_problems.dir/Pentomino.cpp.o"
+  "CMakeFiles/atc_problems.dir/Pentomino.cpp.o.d"
+  "CMakeFiles/atc_problems.dir/Sudoku.cpp.o"
+  "CMakeFiles/atc_problems.dir/Sudoku.cpp.o.d"
+  "libatc_problems.a"
+  "libatc_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atc_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

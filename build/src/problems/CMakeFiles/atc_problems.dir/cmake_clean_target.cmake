@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatc_problems.a"
+)

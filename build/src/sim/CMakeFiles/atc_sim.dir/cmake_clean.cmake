@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atc_sim.dir/CostModel.cpp.o"
+  "CMakeFiles/atc_sim.dir/CostModel.cpp.o.d"
+  "CMakeFiles/atc_sim.dir/SimEngine.cpp.o"
+  "CMakeFiles/atc_sim.dir/SimEngine.cpp.o.d"
+  "CMakeFiles/atc_sim.dir/TreeGen.cpp.o"
+  "CMakeFiles/atc_sim.dir/TreeGen.cpp.o.d"
+  "libatc_sim.a"
+  "libatc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atc_support.dir/Error.cpp.o"
+  "CMakeFiles/atc_support.dir/Error.cpp.o.d"
+  "CMakeFiles/atc_support.dir/Options.cpp.o"
+  "CMakeFiles/atc_support.dir/Options.cpp.o.d"
+  "CMakeFiles/atc_support.dir/Stats.cpp.o"
+  "CMakeFiles/atc_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/atc_support.dir/Table.cpp.o"
+  "CMakeFiles/atc_support.dir/Table.cpp.o.d"
+  "libatc_support.a"
+  "libatc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deque_test.dir/DequeTest.cpp.o"
+  "CMakeFiles/deque_test.dir/DequeTest.cpp.o.d"
+  "deque_test"
+  "deque_test.pdb"
+  "deque_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deque_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_e2e_test.dir/LangEndToEndTest.cpp.o"
+  "CMakeFiles/lang_e2e_test.dir/LangEndToEndTest.cpp.o.d"
+  "lang_e2e_test"
+  "lang_e2e_test.pdb"
+  "lang_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

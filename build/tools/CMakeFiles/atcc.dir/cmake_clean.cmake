@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atcc.dir/atcc.cpp.o"
+  "CMakeFiles/atcc.dir/atcc.cpp.o.d"
+  "atcc"
+  "atcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
