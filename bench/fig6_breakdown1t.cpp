@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/common/BenchCommon.h"
+#include "support/Error.h"
 #include "support/Options.h"
 #include "support/Stats.h"
 #include "support/Table.h"
@@ -38,7 +39,14 @@ int main(int argc, char **argv) {
                "use the published input sizes (slow)");
   Opts.addInt("repeats", &Repeats, "runs per configuration (median)");
   Opts.addString("csv", &CsvPath, "also write results as CSV to this file");
+  std::string Deque = "the";
+  Opts.addString("deque", &Deque,
+                 "ready-deque implementation: the (mutex, paper-fidelity) "
+                 "or atomic (lock-free CAS)");
   Opts.parse(argc, argv);
+  DequeKind DQ;
+  if (!parseDequeKind(Deque, DQ))
+    reportFatalError("unknown deque kind '" + Deque + "'");
 
   // Figure 6 uses these three benchmarks.
   const char *Wanted[] = {"Nqueen-array", "Nqueen-compute", "Fib"};
@@ -76,6 +84,7 @@ int main(int argc, char **argv) {
         continue;
       SchedulerConfig Cfg;
       Cfg.Kind = K;
+      Cfg.Deque = DQ;
       Cfg.NumWorkers = 1;
       std::vector<double> Times;
       SchedulerStats Stats;

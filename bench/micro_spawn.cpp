@@ -25,10 +25,12 @@ namespace {
 
 constexpr int FibN = 20;
 
-template <SchedulerKind Kind> void BM_Fib1Thread(benchmark::State &State) {
+template <SchedulerKind Kind, DequeKind Deque = DequeKind::The>
+void BM_Fib1Thread(benchmark::State &State) {
   FibProblem Prob;
   SchedulerConfig Cfg;
   Cfg.Kind = Kind;
+  Cfg.Deque = Deque;
   Cfg.NumWorkers = 1;
   long long Expected = FibProblem::fibValue(FibN);
   for (auto _ : State) {
@@ -61,6 +63,13 @@ BENCHMARK(BM_Fib1Thread<SchedulerKind::CilkSynched>)
     ->Name("Fib20/Cilk-SYNCHED");
 BENCHMARK(BM_Fib1Thread<SchedulerKind::Tascell>)->Name("Fib20/Tascell");
 BENCHMARK(BM_Fib1Thread<SchedulerKind::AdaptiveTC>)->Name("Fib20/AdaptiveTC");
+
+// Owner-side cost of the lock-free deque relative to the THE deque (the
+// steal-path benefits need thieves; see micro_deque for those).
+BENCHMARK(BM_Fib1Thread<SchedulerKind::Cilk, DequeKind::Atomic>)
+    ->Name("Fib20/Cilk-atomic-deque");
+BENCHMARK(BM_Fib1Thread<SchedulerKind::AdaptiveTC, DequeKind::Atomic>)
+    ->Name("Fib20/AdaptiveTC-atomic-deque");
 
 BENCHMARK(BM_NQueens1Thread<SchedulerKind::Sequential>)
     ->Name("NQueens9/Sequential");

@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/common/BenchCommon.h"
+#include "support/Error.h"
 #include "support/Options.h"
 #include "support/Stats.h"
 #include "support/Table.h"
@@ -36,7 +37,14 @@ int main(int argc, char **argv) {
   Opts.addInt("repeats", &Repeats,
               "runs per configuration; the median is reported (paper: 3)");
   Opts.addString("csv", &CsvPath, "also write results as CSV to this file");
+  std::string Deque = "the";
+  Opts.addString("deque", &Deque,
+                 "ready-deque implementation: the (mutex, paper-fidelity) "
+                 "or atomic (lock-free CAS)");
   Opts.parse(argc, argv);
+  DequeKind DQ;
+  if (!parseDequeKind(Deque, DQ))
+    reportFatalError("unknown deque kind '" + Deque + "'");
 
   const SchedulerKind Systems[] = {
       SchedulerKind::Tascell, SchedulerKind::Cilk,
@@ -70,6 +78,7 @@ int main(int argc, char **argv) {
       }
       SchedulerConfig Cfg;
       Cfg.Kind = K;
+      Cfg.Deque = DQ;
       Cfg.NumWorkers = 1;
       std::vector<double> Times;
       for (int I = 0; I < Repeats; ++I) {

@@ -18,6 +18,7 @@
 
 #include "core/Runtime.h"
 #include "problems/NQueens.h"
+#include "support/Error.h"
 #include "support/Options.h"
 #include "support/Table.h"
 #include "support/Timer.h"
@@ -29,10 +30,17 @@ using namespace atc;
 int main(int argc, char **argv) {
   long long Threads = 4;
   long long BoardSize = 11;
+  std::string Deque = "the";
   OptionSet Opts("Quickstart: n-queens under every scheduler");
   Opts.addInt("threads", &Threads, "worker threads (default 4)");
   Opts.addInt("n", &BoardSize, "board size (default 11)");
+  Opts.addString("deque", &Deque,
+                 "ready-deque implementation: the (mutex, paper-fidelity) "
+                 "or atomic (lock-free CAS)");
   Opts.parse(argc, argv);
+  DequeKind DQ;
+  if (!parseDequeKind(Deque, DQ))
+    reportFatalError("unknown deque kind '" + Deque + "'");
 
   // 1. A problem is a type with the choice-loop shape: isLeaf /
   //    leafResult / numChoices / applyChoice / undoChoice over a
@@ -59,6 +67,7 @@ int main(int argc, char **argv) {
         SchedulerKind::Tascell, SchedulerKind::AdaptiveTC}) {
     SchedulerConfig Cfg;
     Cfg.Kind = Kind;
+    Cfg.Deque = DQ;
     Cfg.NumWorkers = static_cast<int>(Threads);
     RunResult<long long> R;
     double Sec = timeSeconds([&] { R = runProblem(Prob, Root, Cfg); });

@@ -39,20 +39,27 @@ int main(int argc, char **argv) {
   Opts.addString("scheduler", &Scheduler,
                  "sequential, cilk, cilk-synched, tascell, cutoff, or "
                  "adaptivetc");
+  std::string Deque = "the";
+  Opts.addString("deque", &Deque,
+                 "ready-deque implementation: the (mutex, paper-fidelity) "
+                 "or atomic (lock-free CAS)");
   Opts.addInt("threads", &Threads, "worker threads");
   Opts.parse(argc, argv);
 
   SchedulerConfig Cfg;
   if (!parseSchedulerKind(Scheduler, Cfg.Kind))
     reportFatalError("unknown scheduler '" + Scheduler + "'");
+  if (!parseDequeKind(Deque, Cfg.Deque))
+    reportFatalError("unknown deque kind '" + Deque + "'");
   Cfg.NumWorkers = static_cast<int>(Threads);
 
   Sudoku Prob;
   Sudoku::State Root = Grid.empty() ? Sudoku::makeInstance(Instance)
                                     : Sudoku::makeRoot(Grid);
-  std::printf("grid: %s (%d free cells), scheduler %s, %lld threads\n",
+  std::printf("grid: %s (%d free cells), scheduler %s, deque %s, "
+              "%lld threads\n",
               Grid.empty() ? Instance.c_str() : "(custom)", Root.NumFree,
-              schedulerKindName(Cfg.Kind), Threads);
+              schedulerKindName(Cfg.Kind), dequeKindName(Cfg.Deque), Threads);
 
   RunResult<long long> R;
   double Sec = timeSeconds([&] { R = runProblem(Prob, Root, Cfg); });

@@ -1,0 +1,38 @@
+//===- core/Backoff.h - Idle-thief backoff policy ---------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared backoff policy for idle thieves (FrameEngine steal loop,
+/// TascellScheduler request loop, sync_specialtask help-first wait).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_BACKOFF_H
+#define ATC_CORE_BACKOFF_H
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace atc {
+
+/// Truncated-exponential backoff after \p FailStreak consecutive failed
+/// steal attempts: a few plain yields, then sleeps doubling from 1us up to
+/// a 128us cap. Compared to a fixed yield/linear-sleep ladder this backs
+/// off contended deque lines faster under heavy contention while still
+/// reaching freshly published work quickly after short droughts.
+inline void stealBackoff(int FailStreak) {
+  if (FailStreak <= 4) {
+    std::this_thread::yield();
+    return;
+  }
+  int Shift = std::min(FailStreak - 5, 7); // 1us << {0..7} = 1..128us
+  std::this_thread::sleep_for(std::chrono::microseconds(1 << Shift));
+}
+
+} // namespace atc
+
+#endif // ATC_CORE_BACKOFF_H

@@ -35,13 +35,22 @@
 ///                 task if children are outstanding.
 ///
 /// Join protocol (who assembles the result of a stolen task):
-///  * At steal time — under the deque lock, so the owner's pop failure
-///    has a happens-before edge — the frame's JoinCount is incremented:
+///  * At steal time the thief increments the stolen frame's JoinCount:
 ///    the victim's in-flight child chain owes it exactly one deposit.
-///    On the frame's *first* steal, if its Parent is a special task the
-///    parent's JoinCount is also incremented (a special is never stolen,
-///    so it gets no increment of its own; its deposits arrive from the
-///    completion of its detached children).
+///    With TheDeque this runs under the deque lock; with AtomicDeque it
+///    runs after the claiming CAS with no happens-before edge to the
+///    owner's pop failure — which is safe, because the only party that
+///    reads JoinCount before the join completes is the thief itself (at
+///    its sync), and a transiently negative count (child deposited before
+///    the increment) cannot trigger a resume since Suspended is set only
+///    by the thief.
+///  * A special task is never stolen, so it gets no steal-time increment;
+///    instead the *owner* increments the special's JoinCount at each
+///    popSpecial failure in checkBody (1:1 with steals of the special's
+///    children). Keeping this owner-side avoids the thief dereferencing a
+///    special frame the owner may already have freed — with a lock-free
+///    deque nothing orders the thief's access against the owner's exit
+///    from checkBody.
 ///  * The victim's first failed pop deposits the just-returned child value
 ///    into the stolen frame, then the whole spawn chain unwinds (every
 ///    enclosing frame was stolen head-first before this one).
@@ -53,6 +62,7 @@
 #ifndef ATC_CORE_FRAMEENGINE_H
 #define ATC_CORE_FRAMEENGINE_H
 
+#include "core/Backoff.h"
 #include "core/Problem.h"
 #include "core/Scheduler.h"
 #include "core/SchedulerStats.h"
@@ -68,14 +78,17 @@
 
 namespace atc {
 
-/// Deque-based scheduler engine for problem type \p P. One engine instance
-/// per run configuration; run() may be called repeatedly (stats are reset
-/// per run).
-template <SearchProblem P> class FrameEngine {
+/// Deque-based scheduler engine for problem type \p P over ready-deque
+/// implementation \p DequeT (TheDeque or AtomicDeque, selected via
+/// SchedulerConfig::Deque — see runtime/Runtime.h for the dispatch). One
+/// engine instance per run configuration; run() may be called repeatedly
+/// (stats are reset per run).
+template <SearchProblem P, typename DequeT = TheDeque> class FrameEngine {
 public:
   using State = typename P::State;
   using Result = typename P::Result;
   using Frame = TaskFrame<P>;
+  using Worker = WorkerContextT<DequeT>;
 
   FrameEngine(P &Prob, SchedulerConfig Cfg) : Prob(Prob), Cfg(Cfg) {
     assert(Cfg.NumWorkers >= 1 && "need at least one worker");
@@ -114,32 +127,36 @@ private:
   }
 
   void workerMain(int Id);
-  void stealLoop(WorkerContext &W);
+  void stealLoop(Worker &W);
+  Frame *tryStealOnce(Worker &W, bool Helping);
 
-  ExecResult<Result> taskBody(WorkerContext &W, State &S, int Depth,
+  ExecResult<Result> taskBody(Worker &W, State &S, int Depth,
                               Frame *Parent, int Dp, bool Fast2,
                               bool OwnsState);
-  Result checkBody(WorkerContext &W, State &S, int Depth);
-  Result seqBody(WorkerContext &W, State &S, int Depth);
-  void runContinuation(WorkerContext &W, Frame *F);
+  Result checkBody(Worker &W, State &S, int Depth);
+  Result seqBody(Worker &W, State &S, int Depth);
+  void runContinuation(Worker &W, Frame *F);
 
-  void depositTo(WorkerContext &W, Frame *F, Result Value);
-  void completeDetached(WorkerContext &W, Frame *F, Result Total);
+  void depositTo(Worker &W, Frame *F, Result Value);
+  void completeDetached(Worker &W, Frame *F, Result Total);
   void publishFinal(Result Value);
 
-  /// Invoked under the victim deque's lock for every successful steal.
+  /// Invoked by the thief for every successful steal — under the victim
+  /// deque's lock with TheDeque, after the claiming CAS with AtomicDeque
+  /// (no happens-before edge to the owner's pop failure; see the join
+  /// protocol notes in the file comment).
   static void onSteal(void *FrameV, void *);
 
-  State *allocState(WorkerContext &W);
-  void freeState(WorkerContext &W, State *S);
-  Frame *allocFrame(WorkerContext &W);
-  void freeFrame(WorkerContext &W, Frame *F);
+  State *allocState(Worker &W);
+  void freeState(Worker &W, State *S);
+  Frame *allocFrame(Worker &W);
+  void freeFrame(Worker &W, Frame *F);
 
   P &Prob;
   SchedulerConfig Cfg;
   int CutoffDepth = 0;
 
-  std::vector<std::unique_ptr<WorkerContext>> Workers;
+  std::vector<std::unique_ptr<Worker>> Workers;
   std::vector<std::vector<State *>> StatePools;
   std::vector<std::vector<Frame *>> FramePools;
   State *RootStatePtr = nullptr;
@@ -156,8 +173,8 @@ private:
 // Implementation
 //===----------------------------------------------------------------------===//
 
-template <SearchProblem P>
-typename P::Result FrameEngine<P>::run(const State &Root) {
+template <SearchProblem P, typename DequeT>
+typename P::Result FrameEngine<P, DequeT>::run(const State &Root) {
   CutoffDepth = Cfg.effectiveCutoff();
   Done.store(false, std::memory_order_relaxed);
   HaveResult = false;
@@ -166,7 +183,7 @@ typename P::Result FrameEngine<P>::run(const State &Root) {
   StatePools.assign(static_cast<std::size_t>(Cfg.NumWorkers), {});
   FramePools.assign(static_cast<std::size_t>(Cfg.NumWorkers), {});
   for (int I = 0; I < Cfg.NumWorkers; ++I)
-    Workers.push_back(std::make_unique<WorkerContext>(
+    Workers.push_back(std::make_unique<Worker>(
         I, Cfg.DequeCapacity, Cfg.Seed + static_cast<std::uint64_t>(I)));
 
   State RootCopy = Root;
@@ -187,9 +204,11 @@ typename P::Result FrameEngine<P>::run(const State &Root) {
 
   Total = SchedulerStats();
   for (int I = 0; I < Cfg.NumWorkers; ++I) {
-    WorkerContext &W = *Workers[I];
+    Worker &W = *Workers[I];
     Total += W.Stats;
     Total.DequeOverflows += W.Deque.overflowCount();
+    Total.CasRetries += W.Deque.casRetryCount();
+    Total.LockAcquires += W.Deque.lockAcquireCount();
     Total.DequeHighWater =
         std::max(Total.DequeHighWater, W.Deque.highWaterMark());
     for (State *S : StatePools[static_cast<std::size_t>(I)])
@@ -204,8 +223,8 @@ typename P::Result FrameEngine<P>::run(const State &Root) {
   return FinalResult;
 }
 
-template <SearchProblem P> void FrameEngine<P>::workerMain(int Id) {
-  WorkerContext &W = *Workers[static_cast<std::size_t>(Id)];
+template <SearchProblem P, typename DequeT> void FrameEngine<P, DequeT>::workerMain(int Id) {
+  Worker &W = *Workers[static_cast<std::size_t>(Id)];
   if (Id == 0) {
     ExecResult<Result> R =
         taskBody(W, *RootStatePtr, /*Depth=*/0, /*Parent=*/nullptr,
@@ -216,7 +235,7 @@ template <SearchProblem P> void FrameEngine<P>::workerMain(int Id) {
   stealLoop(W);
 }
 
-template <SearchProblem P> void FrameEngine<P>::publishFinal(Result Value) {
+template <SearchProblem P, typename DequeT> void FrameEngine<P, DequeT>::publishFinal(Result Value) {
   {
     std::lock_guard<std::mutex> Guard(ResultLock);
     FinalResult = Value;
@@ -225,63 +244,99 @@ template <SearchProblem P> void FrameEngine<P>::publishFinal(Result Value) {
   Done.store(true, std::memory_order_release);
 }
 
-template <SearchProblem P> void FrameEngine<P>::onSteal(void *FrameV, void *) {
+template <SearchProblem P, typename DequeT> void FrameEngine<P, DequeT>::onSteal(void *FrameV, void *) {
   auto *F = static_cast<Frame *>(FrameV);
   F->JoinCount.fetch_add(1, std::memory_order_acq_rel);
-  if (!F->Detached) {
-    F->Detached = true;
-    // A special parent never gets a steal increment of its own; account
-    // for this child's eventual completion deposit here (see file
-    // comment).
-    if (F->Parent && F->Parent->Special)
-      F->Parent->JoinCount.fetch_add(1, std::memory_order_acq_rel);
-  }
+  F->Detached = true;
+  // Note: the special-parent JoinCount increment happens owner-side, at
+  // the popSpecial() failure in checkBody — NOT here. With the lock-free
+  // deque this callback runs with no happens-before edge to the owner's
+  // pop failure, so touching F->Parent (a frame the owner may already
+  // have freed) would be a use-after-free; the owner observes each child
+  // steal 1:1 through the popSpecial failure and does the bookkeeping on
+  // its own frame.
 }
 
-template <SearchProblem P> void FrameEngine<P>::stealLoop(WorkerContext &W) {
+/// One steal attempt: pick a victim (last-successful victim first, random
+/// otherwise), probe its deque for emptiness without touching the lock /
+/// CAS line, then steal. Returns the stolen frame, or nullptr on failure
+/// (the caller runs the continuation so it can account idle time
+/// correctly). Failed attempts perform the paper's stolen_num / need_task
+/// signalling — the emptiness probe counts as a failed steal for that
+/// protocol, since an AdaptiveTC victim busy in fake tasks has an *empty*
+/// deque precisely when it needs to be told to publish special tasks.
+template <SearchProblem P, typename DequeT>
+typename FrameEngine<P, DequeT>::Frame *
+FrameEngine<P, DequeT>::tryStealOnce(Worker &W, bool Helping) {
+  // Victim selection: affinity first — the last deque we stole from is
+  // the most likely to still hold work — falling back to random.
+  int V = W.LastVictim;
+  bool Affine = (V >= 0 && V != W.Id);
+  if (!Affine) {
+    V = static_cast<int>(
+        W.Rng.nextBelow(static_cast<std::uint64_t>(Cfg.NumWorkers - 1)));
+    if (V >= W.Id)
+      ++V;
+  }
+  Worker &Victim = *Workers[static_cast<std::size_t>(V)];
+
+  StealResult SR;
+  if (Victim.Deque.empty()) {
+    // Lock-free probe: do not touch the deque's synchronisation state for
+    // a victim with nothing to take.
+    ++W.Stats.EmptyProbes;
+    SR.Status = StealResult::Status::Empty;
+    SR.Frame = nullptr;
+  } else {
+    SR = Victim.Deque.steal(&FrameEngine::onSteal, nullptr);
+  }
+
+  if (SR.Status == StealResult::Status::Success) {
+    ++W.Stats.Steals;
+    if (Affine)
+      ++W.Stats.AffinityHits;
+    if (Helping)
+      ++W.Stats.HelpSteals;
+    W.LastVictim = V;
+    // "When the thief thread succeeds in stealing a task, it clears the
+    // victim thread's stolen_num and need_task."
+    Victim.StolenNum.store(0, std::memory_order_relaxed);
+    Victim.NeedTask.store(false, std::memory_order_relaxed);
+    return static_cast<Frame *>(SR.Frame);
+  }
+
+  // Failed attempt: inform the victim it is being asked for tasks, and
+  // stop favouring it.
+  ++W.Stats.StealFails;
+  W.LastVictim = -1;
+  int SN = Victim.StolenNum.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (SN > Cfg.MaxStolenNum)
+    Victim.NeedTask.store(true, std::memory_order_relaxed);
+  return nullptr;
+}
+
+template <SearchProblem P, typename DequeT>
+void FrameEngine<P, DequeT>::stealLoop(Worker &W) {
   if (Cfg.NumWorkers == 1)
     return;
   int FailStreak = 0;
   std::uint64_t IdleBegin = nowNanos();
   while (!Done.load(std::memory_order_acquire)) {
-    // Random victim selection (excluding self).
-    int V = static_cast<int>(
-        W.Rng.nextBelow(static_cast<std::uint64_t>(Cfg.NumWorkers - 1)));
-    if (V >= W.Id)
-      ++V;
-    WorkerContext &Victim = *Workers[static_cast<std::size_t>(V)];
-
-    StealResult SR = Victim.Deque.steal(&FrameEngine::onSteal, nullptr);
-    if (SR.Status == StealResult::Status::Success) {
-      ++W.Stats.Steals;
-      // "When the thief thread succeeds in stealing a task, it clears the
-      // victim thread's stolen_num and need_task."
-      Victim.StolenNum.store(0, std::memory_order_relaxed);
-      Victim.NeedTask.store(false, std::memory_order_relaxed);
+    if (Frame *F = tryStealOnce(W, /*Helping=*/false)) {
       FailStreak = 0;
       W.Stats.StealWaitNs += nowNanos() - IdleBegin;
-      runContinuation(W, static_cast<Frame *>(SR.Frame));
+      runContinuation(W, F);
       IdleBegin = nowNanos();
       continue;
     }
-
-    // Failed attempt: inform the victim it is being asked for tasks.
-    ++W.Stats.StealFails;
-    int SN = Victim.StolenNum.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (SN > Cfg.MaxStolenNum)
-      Victim.NeedTask.store(true, std::memory_order_relaxed);
     ++FailStreak;
-    if (FailStreak < 8)
-      std::this_thread::yield();
-    else
-      std::this_thread::sleep_for(std::chrono::microseconds(
-          std::min(FailStreak, 100)));
+    stealBackoff(FailStreak);
   }
   W.Stats.StealWaitNs += nowNanos() - IdleBegin;
 }
 
-template <SearchProblem P>
-typename P::State *FrameEngine<P>::allocState(WorkerContext &W) {
+template <SearchProblem P, typename DequeT>
+typename P::State *FrameEngine<P, DequeT>::allocState(Worker &W) {
   // Cilk models a fresh allocation per child ("Cilk_alloca + memcpy");
   // SYNCHED / AdaptiveTC / Cutoff reuse buffers through a per-worker pool
   // (space reuse is what the SYNCHED variable buys — the copy itself
@@ -297,8 +352,8 @@ typename P::State *FrameEngine<P>::allocState(WorkerContext &W) {
   return static_cast<State *>(::operator new(sizeof(State)));
 }
 
-template <SearchProblem P>
-void FrameEngine<P>::freeState(WorkerContext &W, State *S) {
+template <SearchProblem P, typename DequeT>
+void FrameEngine<P, DequeT>::freeState(Worker &W, State *S) {
   if (Cfg.Kind != SchedulerKind::Cilk) {
     auto &Pool = StatePools[static_cast<std::size_t>(W.Id)];
     if (Pool.size() < 4096) {
@@ -309,8 +364,8 @@ void FrameEngine<P>::freeState(WorkerContext &W, State *S) {
   ::operator delete(S);
 }
 
-template <SearchProblem P>
-typename FrameEngine<P>::Frame *FrameEngine<P>::allocFrame(WorkerContext &W) {
+template <SearchProblem P, typename DequeT>
+typename FrameEngine<P, DequeT>::Frame *FrameEngine<P, DequeT>::allocFrame(Worker &W) {
   // All systems pool task frames (Cilk 5.4.6 has a fast closure
   // allocator); the pooled frame is reset to its freshly-constructed
   // state.
@@ -337,8 +392,8 @@ typename FrameEngine<P>::Frame *FrameEngine<P>::allocFrame(WorkerContext &W) {
   return new Frame();
 }
 
-template <SearchProblem P>
-void FrameEngine<P>::freeFrame(WorkerContext &W, Frame *F) {
+template <SearchProblem P, typename DequeT>
+void FrameEngine<P, DequeT>::freeFrame(Worker &W, Frame *F) {
   auto &Pool = FramePools[static_cast<std::size_t>(W.Id)];
   if (Pool.size() < 4096) {
     Pool.push_back(F);
@@ -347,9 +402,9 @@ void FrameEngine<P>::freeFrame(WorkerContext &W, Frame *F) {
   delete F;
 }
 
-template <SearchProblem P>
+template <SearchProblem P, typename DequeT>
 ExecResult<typename P::Result>
-FrameEngine<P>::taskBody(WorkerContext &W, State &S, int Depth, Frame *Parent,
+FrameEngine<P, DequeT>::taskBody(Worker &W, State &S, int Depth, Frame *Parent,
                          int Dp, bool Fast2, bool OwnsState) {
   ++W.Stats.TasksCreated;
   if (Prob.isLeaf(S, Depth)) {
@@ -430,8 +485,8 @@ FrameEngine<P>::taskBody(WorkerContext &W, State &S, int Depth, Frame *Parent,
   return {Acc, false};
 }
 
-template <SearchProblem P>
-typename P::Result FrameEngine<P>::checkBody(WorkerContext &W, State &S,
+template <SearchProblem P, typename DequeT>
+typename P::Result FrameEngine<P, DequeT>::checkBody(Worker &W, State &S,
                                              int Depth) {
   ++W.Stats.FakeTasks;
   if (Prob.isLeaf(S, Depth))
@@ -479,8 +534,15 @@ typename P::Result FrameEngine<P>::checkBody(WorkerContext &W, State &S,
 
     ExecResult<Result> R = taskBody(W, *CB, Depth + 1, SF, /*Dp=*/0,
                                     /*Fast2=*/true, /*OwnsState=*/true);
-    if (W.Deque.popSpecial() == PopResult::Failure)
-      StolenFlag = true; // the special's child was stolen
+    if (W.Deque.popSpecial() == PopResult::Failure) {
+      // The special's child chain was stolen. A special is never stolen
+      // itself, so it gets no steal-time JoinCount increment; the owner
+      // accounts for the detached chain's eventual completion deposit
+      // here, exactly once per stolen child. (Thief-side accounting would
+      // race with SF's free with the lock-free deque.)
+      StolenFlag = true;
+      SF->JoinCount.fetch_add(1, std::memory_order_acq_rel);
+    }
     if (!R.Stolen)
       Acc += R.Value; // else: arrives through SF->Deposits
     Prob.undoChoice(S, Depth, K);
@@ -488,11 +550,27 @@ typename P::Result FrameEngine<P>::checkBody(WorkerContext &W, State &S,
 
   if (SF) {
     if (StolenFlag) {
-      // sync_specialtask: a special task cannot be suspended; wait for
-      // its children to complete (Fig. 3c polls with usleep(100)).
+      // sync_specialtask: a special task cannot be suspended, so the
+      // owner must stay here until its detached children complete. Rather
+      // than the paper's usleep(100) poll, help-first: steal and run
+      // other tasks while waiting (work-conserving; each executed task is
+      // counted in HelpSteals). Backoff only when there is nothing to
+      // steal. Helping can deepen the native stack (stolen work can reach
+      // another sync_specialtask and help in turn), trading stack depth
+      // for zero idle time — the usual help-first bargain.
       std::uint64_t T0 = nowNanos();
-      while (SF->JoinCount.load(std::memory_order_acquire) != 0)
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      int FailStreak = 0;
+      while (SF->JoinCount.load(std::memory_order_acquire) != 0) {
+        if (Cfg.NumWorkers > 1) {
+          if (Frame *HF = tryStealOnce(W, /*Helping=*/true)) {
+            runContinuation(W, HF);
+            FailStreak = 0;
+            continue;
+          }
+        }
+        ++FailStreak;
+        stealBackoff(FailStreak);
+      }
       W.Stats.WaitChildrenNs += nowNanos() - T0;
     }
     {
@@ -504,8 +582,8 @@ typename P::Result FrameEngine<P>::checkBody(WorkerContext &W, State &S,
   return Acc;
 }
 
-template <SearchProblem P>
-typename P::Result FrameEngine<P>::seqBody(WorkerContext &W, State &S,
+template <SearchProblem P, typename DequeT>
+typename P::Result FrameEngine<P, DequeT>::seqBody(Worker &W, State &S,
                                            int Depth) {
   ++W.Stats.FakeTasks;
   if (Prob.isLeaf(S, Depth))
@@ -521,8 +599,8 @@ typename P::Result FrameEngine<P>::seqBody(WorkerContext &W, State &S,
   return Acc;
 }
 
-template <SearchProblem P>
-void FrameEngine<P>::runContinuation(WorkerContext &W, Frame *F) {
+template <SearchProblem P, typename DequeT>
+void FrameEngine<P, DequeT>::runContinuation(Worker &W, Frame *F) {
   // The slow version: restore the live state and "PC", undo the choice
   // whose child is running elsewhere, and continue the spawning loop.
   State &S = *F->StatePtr;
@@ -591,8 +669,8 @@ void FrameEngine<P>::runContinuation(WorkerContext &W, Frame *F) {
   completeDetached(W, F, Total);
 }
 
-template <SearchProblem P>
-void FrameEngine<P>::depositTo(WorkerContext &W, Frame *F, Result Value) {
+template <SearchProblem P, typename DequeT>
+void FrameEngine<P, DequeT>::depositTo(Worker &W, Frame *F, Result Value) {
   ++W.Stats.Deposits;
   F->Lock.lock();
   F->Deposits += Value;
@@ -607,8 +685,8 @@ void FrameEngine<P>::depositTo(WorkerContext &W, Frame *F, Result Value) {
   }
 }
 
-template <SearchProblem P>
-void FrameEngine<P>::completeDetached(WorkerContext &W, Frame *F,
+template <SearchProblem P, typename DequeT>
+void FrameEngine<P, DequeT>::completeDetached(Worker &W, Frame *F,
                                       Result Total) {
   for (;;) {
     Frame *Parent = F->Parent;

@@ -56,11 +56,22 @@ RunResult<typename P::Result> runProblem(P &Prob,
   case SchedulerKind::Cilk:
   case SchedulerKind::CilkSynched:
   case SchedulerKind::Cutoff:
-  case SchedulerKind::AdaptiveTC: {
-    FrameEngine<P> Engine(Prob, Cfg);
-    typename P::Result Value = Engine.run(Root);
-    return {Value, Engine.stats()};
-  }
+  case SchedulerKind::AdaptiveTC:
+    // Deque selection is a compile-time template parameter (no virtual
+    // dispatch on the push/pop hot path); branch once per run here.
+    switch (Cfg.Deque) {
+    case DequeKind::The: {
+      FrameEngine<P, TheDeque> Engine(Prob, Cfg);
+      typename P::Result Value = Engine.run(Root);
+      return {Value, Engine.stats()};
+    }
+    case DequeKind::Atomic: {
+      FrameEngine<P, AtomicDeque> Engine(Prob, Cfg);
+      typename P::Result Value = Engine.run(Root);
+      return {Value, Engine.stats()};
+    }
+    }
+    ATC_UNREACHABLE("unhandled deque kind");
   }
   ATC_UNREACHABLE("unhandled scheduler kind");
 }

@@ -65,6 +65,35 @@ bool atc::parseSchedulerKind(const std::string &Name, SchedulerKind &Out) {
   return false;
 }
 
+const char *atc::dequeKindName(DequeKind Kind) {
+  switch (Kind) {
+  case DequeKind::The:
+    return "the";
+  case DequeKind::Atomic:
+    return "atomic";
+  }
+  ATC_UNREACHABLE("unhandled deque kind");
+}
+
+bool atc::parseDequeKind(const std::string &Name, DequeKind &Out) {
+  std::string Key;
+  Key.reserve(Name.size());
+  for (char C : Name) {
+    if (C == '-' || C == '_')
+      continue;
+    Key += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  }
+  if (Key == "the" || Key == "mutex" || Key == "lock") {
+    Out = DequeKind::The;
+    return true;
+  }
+  if (Key == "atomic" || Key == "cas" || Key == "lockfree") {
+    Out = DequeKind::Atomic;
+    return true;
+  }
+  return false;
+}
+
 int SchedulerConfig::effectiveCutoff() const {
   if (Cutoff >= 0)
     return Cutoff;

@@ -48,6 +48,24 @@ const char *schedulerKindName(SchedulerKind Kind);
 /// Returns true on success.
 bool parseSchedulerKind(const std::string &Name, SchedulerKind &Out);
 
+/// The ready-deque implementation used by the deque-based engines.
+///
+///  * The    - the paper's simplified Cilk THE-protocol deque (Fig. 3):
+///             thieves serialize on the victim's mutex. The paper-fidelity
+///             baseline and the default.
+///  * Atomic - lock-free Chase-Lev-style deque with CAS-on-Head steals,
+///             extended with the special-task protocol (AtomicDeque.h).
+enum class DequeKind {
+  The,
+  Atomic,
+};
+
+/// Returns the display name ("the" / "atomic").
+const char *dequeKindName(DequeKind Kind);
+
+/// Parses a deque kind name (case-insensitive). Returns true on success.
+bool parseDequeKind(const std::string &Name, DequeKind &Out);
+
 /// Shared scheduler configuration.
 struct SchedulerConfig {
   SchedulerKind Kind = SchedulerKind::AdaptiveTC;
@@ -58,6 +76,10 @@ struct SchedulerConfig {
 
   /// Capacity of each worker's fixed-array deque.
   int DequeCapacity = 8192;
+
+  /// Ready-deque implementation. The THE-protocol deque is the default
+  /// (paper fidelity); Atomic selects the lock-free steal path.
+  DequeKind Deque = DequeKind::The;
 
   /// Task-creation cut-off. -1 selects the paper's default of log2(N)
   /// ("the cut-off ... is initially set to log N by the runtime system").

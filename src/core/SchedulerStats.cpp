@@ -18,6 +18,11 @@ SchedulerStats &SchedulerStats::operator+=(const SchedulerStats &Other) {
   Spawns += Other.Spawns;
   Steals += Other.Steals;
   StealFails += Other.StealFails;
+  EmptyProbes += Other.EmptyProbes;
+  AffinityHits += Other.AffinityHits;
+  CasRetries += Other.CasRetries;
+  LockAcquires += Other.LockAcquires;
+  HelpSteals += Other.HelpSteals;
   WorkspaceCopies += Other.WorkspaceCopies;
   CopiedBytes += Other.CopiedBytes;
   Suspensions += Other.Suspensions;
@@ -34,11 +39,13 @@ SchedulerStats &SchedulerStats::operator+=(const SchedulerStats &Other) {
 }
 
 std::string SchedulerStats::summary() const {
-  char Buf[512];
+  char Buf[768];
   std::snprintf(
       Buf, sizeof(Buf),
       "tasks=%llu fake=%llu special=%llu spawns=%llu steals=%llu "
-      "steal_fails=%llu copies=%llu copied_bytes=%llu suspensions=%llu "
+      "steal_fails=%llu empty_probes=%llu affinity_hits=%llu "
+      "cas_retries=%llu lock_acquires=%llu help_steals=%llu "
+      "copies=%llu copied_bytes=%llu suspensions=%llu "
       "overflows=%llu deque_hw=%d wait_children_ms=%.2f steal_wait_ms=%.2f",
       static_cast<unsigned long long>(TasksCreated),
       static_cast<unsigned long long>(FakeTasks),
@@ -46,6 +53,11 @@ std::string SchedulerStats::summary() const {
       static_cast<unsigned long long>(Spawns),
       static_cast<unsigned long long>(Steals),
       static_cast<unsigned long long>(StealFails),
+      static_cast<unsigned long long>(EmptyProbes),
+      static_cast<unsigned long long>(AffinityHits),
+      static_cast<unsigned long long>(CasRetries),
+      static_cast<unsigned long long>(LockAcquires),
+      static_cast<unsigned long long>(HelpSteals),
       static_cast<unsigned long long>(WorkspaceCopies),
       static_cast<unsigned long long>(CopiedBytes),
       static_cast<unsigned long long>(Suspensions),

@@ -30,6 +30,11 @@ struct SchedulerStats {
   std::uint64_t Spawns = 0;          ///< Deque push/pop pairs performed.
   std::uint64_t Steals = 0;          ///< Successful steals.
   std::uint64_t StealFails = 0;      ///< Failed steal attempts.
+  std::uint64_t EmptyProbes = 0;     ///< Steal probes skipped: victim empty.
+  std::uint64_t AffinityHits = 0;    ///< Steals from the remembered victim.
+  std::uint64_t CasRetries = 0;      ///< Lost steal CASes (atomic deque).
+  std::uint64_t LockAcquires = 0;    ///< Deque protocol-lock acquisitions.
+  std::uint64_t HelpSteals = 0;      ///< Steals run while waiting at a sync.
   std::uint64_t WorkspaceCopies = 0; ///< Workspace (taskprivate) copies.
   std::uint64_t CopiedBytes = 0;     ///< Bytes memcpy'd for workspaces.
   std::uint64_t Suspensions = 0;     ///< Tasks suspended at a sync point.

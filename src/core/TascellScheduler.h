@@ -36,6 +36,7 @@
 #ifndef ATC_CORE_TASCELLSCHEDULER_H
 #define ATC_CORE_TASCELLSCHEDULER_H
 
+#include "core/Backoff.h"
 #include "core/Problem.h"
 #include "core/Scheduler.h"
 #include "core/SchedulerStats.h"
@@ -100,6 +101,16 @@ private:
     SplitMix64 Rng;
     std::vector<ChoicePoint> Stack;
     State Live;
+
+    /// Last victim a request succeeded against (affinity); -1 when unset.
+    /// Owner-only.
+    int LastVictim = -1;
+
+    /// Published copy of Stack.size(), so idle workers can probe "does
+    /// this victim have any choice points at all?" without posting a
+    /// request into its mailbox (the Tascell analogue of the deque
+    /// emptiness probe).
+    std::atomic<int> StackDepth{0};
 
     std::mutex MailLock;
     std::vector<int> Requests;          ///< Requester worker ids.
@@ -177,6 +188,8 @@ typename P::Result TascellScheduler<P>::runNode(TWorker &W, int Depth) {
   CP.NextUntried = 0;
   CP.NumChoices = Prob.numChoices(W.Live, Depth);
   W.Stack.push_back(std::move(CP));
+  W.StackDepth.store(static_cast<int>(W.Stack.size()),
+                     std::memory_order_relaxed);
   ++W.Stats.FakeTasks; // nested-function bookkeeping, no task frame
   return runChoices(W, Depth);
 }
@@ -201,6 +214,8 @@ typename P::Result TascellScheduler<P>::runChoices(TWorker &W, int Depth) {
   }
   waitOutstanding(W, MyIdx, Acc);
   W.Stack.pop_back();
+  W.StackDepth.store(static_cast<int>(W.Stack.size()),
+                     std::memory_order_relaxed);
   return Acc;
 }
 
@@ -306,14 +321,32 @@ void TascellScheduler<P>::respond(TWorker &W, int Requester) {
 }
 
 template <SearchProblem P> void TascellScheduler<P>::requestLoop(TWorker &W) {
+  int FailStreak = 0;
   std::uint64_t IdleBegin = nowNanos();
   while (!Done.load(std::memory_order_acquire)) {
-    // Post a request to a random victim.
-    int V = static_cast<int>(
-        W.Rng.nextBelow(static_cast<std::uint64_t>(Cfg.NumWorkers - 1)));
-    if (V >= W.Id)
-      ++V;
+    // Victim selection: affinity first (the worker that last donated is
+    // the most likely to still have untried choices), random fallback.
+    int V = W.LastVictim;
+    bool Affine = (V >= 0 && V != W.Id);
+    if (!Affine) {
+      V = static_cast<int>(
+          W.Rng.nextBelow(static_cast<std::uint64_t>(Cfg.NumWorkers - 1)));
+      if (V >= W.Id)
+        ++V;
+    }
     TWorker &Victim = *Workers[static_cast<std::size_t>(V)];
+
+    // Emptiness probe: a victim with no choice points on its execution
+    // stack cannot donate; skip the mailbox round-trip entirely.
+    if (Victim.StackDepth.load(std::memory_order_relaxed) == 0) {
+      ++W.Stats.EmptyProbes;
+      ++W.Stats.StealFails;
+      W.LastVictim = -1;
+      ++FailStreak;
+      stealBackoff(FailStreak);
+      continue;
+    }
+
     W.Response.store(nullptr, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> Guard(Victim.MailLock);
@@ -336,11 +369,18 @@ template <SearchProblem P> void TascellScheduler<P>::requestLoop(TWorker &W) {
       break; // terminated while waiting
     if (D == denySentinel()) {
       ++W.Stats.StealFails;
+      W.LastVictim = -1;
+      ++FailStreak;
+      stealBackoff(FailStreak);
       continue;
     }
 
     // Execute the donated task.
     ++W.Stats.Steals;
+    if (Affine)
+      ++W.Stats.AffinityHits;
+    W.LastVictim = V;
+    FailStreak = 0;
     W.Stats.StealWaitNs += nowNanos() - IdleBegin;
     W.Live = D->St;
     ChoicePoint CP;
@@ -348,6 +388,8 @@ template <SearchProblem P> void TascellScheduler<P>::requestLoop(TWorker &W) {
     CP.NextUntried = D->ChoiceBegin;
     CP.NumChoices = D->ChoiceEnd;
     W.Stack.push_back(std::move(CP));
+    W.StackDepth.store(static_cast<int>(W.Stack.size()),
+                       std::memory_order_relaxed);
     Result Value = runChoices(W, D->Depth);
     D->Value = Value;
     D->DoneFlag.store(true, std::memory_order_release);

@@ -16,6 +16,7 @@
 #define ATC_CORE_WORKERCONTEXT_H
 
 #include "core/SchedulerStats.h"
+#include "deque/AtomicDeque.h"
 #include "deque/TheDeque.h"
 #include "support/Compiler.h"
 #include "support/Prng.h"
@@ -24,19 +25,25 @@
 
 namespace atc {
 
-/// Per-worker scheduler state. One instance per worker thread; the deque
-/// and the need_task fields are the only members touched by other threads.
-struct WorkerContext {
-  WorkerContext(int Id, int DequeCapacity, std::uint64_t Seed)
+/// Per-worker scheduler state, parameterized by the ready-deque
+/// implementation (TheDeque or AtomicDeque — see SchedulerConfig::Deque).
+/// One instance per worker thread; the deque and the need_task fields are
+/// the only members touched by other threads.
+template <typename DequeT> struct WorkerContextT {
+  WorkerContextT(int Id, int DequeCapacity, std::uint64_t Seed)
       : Id(Id), Deque(DequeCapacity), Rng(Seed) {}
 
   const int Id;
 
   /// Ready-task deque ("d-e-que" in the paper).
-  TheDeque Deque;
+  DequeT Deque;
 
   /// Deterministic victim-selection stream.
   SplitMix64 Rng;
+
+  /// Last victim a steal succeeded against, tried first on the next
+  /// attempt (steal affinity); -1 when unset. Owner-only.
+  int LastVictim = -1;
 
   /// Count of consecutive failed steal attempts against this worker,
   /// incremented by thieves (Fig. 3d). When it exceeds max_stolen_num the
@@ -51,6 +58,9 @@ struct WorkerContext {
   /// written only by the owner thread).
   SchedulerStats Stats;
 };
+
+/// The paper-fidelity default configuration.
+using WorkerContext = WorkerContextT<TheDeque>;
 
 } // namespace atc
 

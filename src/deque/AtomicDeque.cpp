@@ -1,0 +1,159 @@
+//===- deque/AtomicDeque.cpp - Lock-free special-task WS deque ------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Memory-ordering discipline: every protocol-critical access to Head and
+// Tail is seq_cst, mirroring the fence placement of the C11 Chase-Lev
+// formulation (Le et al., PPoPP'13) but with seq_cst operations instead of
+// standalone fences — ThreadSanitizer models operations precisely while
+// its fence support is incomplete, and the ISSUE requires a TSan-clean
+// steal path. The correctness argument (sketched in AtomicDeque.h and
+// DESIGN.md) leans on the single-total-order guarantee: once the owner's
+// Tail store + Head load pair completes, any thief whose Head read
+// postdates a conflicting CAS is guaranteed to read the owner's new Tail,
+// so stale-index claims are impossible. Slot contents are relaxed atomics
+// published by the Tail store and validated by the claiming CAS.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deque/AtomicDeque.h"
+
+using namespace atc;
+
+AtomicDeque::AtomicDeque(int Capacity)
+    : Cap(Capacity), Slots(std::make_unique<Slot[]>(
+                         static_cast<std::size_t>(Capacity))) {
+  assert(Capacity > 0 && "deque capacity must be positive");
+}
+
+bool AtomicDeque::tryPush(void *Frame, bool Special) {
+  std::int64_t T = Tail.load(std::memory_order_relaxed);
+  std::int64_t H = Head.load(std::memory_order_acquire);
+  if (ATC_UNLIKELY(T - H >= static_cast<std::int64_t>(Cap))) {
+    Overflows.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Slot &S = slot(T);
+  S.Frame.store(Frame, std::memory_order_relaxed);
+  S.Special.store(Special, std::memory_order_relaxed);
+  // Publish the entry before the index: a thief that observes the new
+  // Tail must see the slot contents (release part of seq_cst).
+  Tail.store(T + 1, std::memory_order_seq_cst);
+  int Depth = static_cast<int>(T + 1 - H);
+  if (Depth > HighWater.load(std::memory_order_relaxed))
+    HighWater.store(Depth, std::memory_order_relaxed);
+  return true;
+}
+
+PopResult AtomicDeque::pop() {
+  std::int64_t T = Tail.load(std::memory_order_relaxed) - 1; // our entry
+  Tail.store(T, std::memory_order_seq_cst);
+  std::int64_t H = Head.load(std::memory_order_seq_cst);
+
+  if (ATC_LIKELY(H < T)) {
+    if (H == T - 1 && slot(H).Special.load(std::memory_order_relaxed)) {
+      // A special sits directly below our entry at the head: a thief's
+      // H += 2 jump can claim our entry even though Head never points at
+      // it. Arbitrate by executing the jump ourselves; that consumes the
+      // special entry too, so on success re-publish it at the new head.
+      // The deque must keep reading [special] after a successful child
+      // pop — exactly TheDeque's state here — so that the spawn loop's
+      // subsequent pushes stay under the special's protection and the
+      // eventual popSpecial() finds the entry.
+      void *SpecialFrame = slot(H).Frame.load(std::memory_order_relaxed);
+      if (Head.compare_exchange_strong(H, H + 2, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        Slot &S = slot(H + 2);
+        S.Frame.store(SpecialFrame, std::memory_order_relaxed);
+        S.Special.store(true, std::memory_order_relaxed);
+        // Publish the slot before the index (release part of seq_cst).
+        Tail.store(T + 2, std::memory_order_seq_cst); // [special] at H+2
+        return PopResult::Success;
+      }
+      // A thief's jump won the race: our entry was stolen.
+      Tail.store(T + 1, std::memory_order_seq_cst);
+      return PopResult::Failure;
+    }
+    // At least one non-jumpable entry below ours: plain take. Safe by the
+    // Chase-Lev argument — a thief claiming index T would have had to
+    // observe Head at T (or T-1 with a special), contradicting our fenced
+    // read of H < T-1 (or the non-special slot at T-1).
+    return PopResult::Success;
+  }
+
+  if (H == T) {
+    // Single entry: the classic Chase-Lev race, resolved by CAS.
+    bool Won = Head.compare_exchange_strong(
+        H, H + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    Tail.store(T + 1, std::memory_order_seq_cst);
+    return Won ? PopResult::Success : PopResult::Failure;
+  }
+
+  // H > T: the entry was already claimed before we decremented Tail.
+  assert(H == T + 1 && "head advanced past an unpublished entry");
+  Tail.store(H, std::memory_order_seq_cst);
+  return PopResult::Failure;
+}
+
+PopResult AtomicDeque::popSpecial() {
+  std::int64_t T = Tail.load(std::memory_order_relaxed) - 1; // special's idx
+  Tail.store(T, std::memory_order_seq_cst);
+  std::int64_t H = Head.load(std::memory_order_seq_cst);
+  if (H <= T) {
+    // The special entry is intact; nothing below it is jumpable and a
+    // special alone is unstealable, so no thief can contend: plain take.
+    return PopResult::Success;
+  }
+  // A thief's jump consumed the special together with its stolen child.
+  // The owner's failed pop() of the stolen child already restored Tail to
+  // Head, so after our decrement the gap reads as exactly one.
+  assert(H == T + 1 && "head in impossible state past a special");
+  Tail.store(H, std::memory_order_seq_cst); // the THE "H = T" reset
+  return PopResult::Failure;
+}
+
+StealResult AtomicDeque::steal(void (*OnSteal)(void *Frame, void *Ctx),
+                               void *Ctx) {
+  std::int64_t H = Head.load(std::memory_order_seq_cst);
+  std::int64_t T = Tail.load(std::memory_order_seq_cst);
+  if (H >= T)
+    return {StealResult::Status::Empty, nullptr};
+
+  Slot &S = slot(H);
+  if (ATC_LIKELY(!S.Special.load(std::memory_order_relaxed))) {
+    // Read the frame before the CAS: the slot may be recycled once Head
+    // moves past it, and the CAS succeeding is what certifies the read.
+    void *Frame = S.Frame.load(std::memory_order_relaxed);
+    if (!Head.compare_exchange_strong(H, H + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      CasRetries.fetch_add(1, std::memory_order_relaxed);
+      return {StealResult::Status::Empty, nullptr};
+    }
+    if (OnSteal)
+      OnSteal(Frame, Ctx);
+    return {StealResult::Status::Success, Frame};
+  }
+
+  // Special at the head: it can never be stolen; claim its child (the
+  // next entry) with a single CAS Head -> Head+2 when one is present.
+  if (T - H < 2)
+    return {StealResult::Status::Empty, nullptr};
+  void *Frame = slot(H + 1).Frame.load(std::memory_order_relaxed);
+  if (!Head.compare_exchange_strong(H, H + 2, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    CasRetries.fetch_add(1, std::memory_order_relaxed);
+    return {StealResult::Status::Empty, nullptr};
+  }
+  if (OnSteal)
+    OnSteal(Frame, Ctx);
+  return {StealResult::Status::Success, Frame};
+}
+
+void AtomicDeque::reset() {
+  // Keep the indices monotonic (pull Tail down to Head) so a stale thief
+  // can never observe a reused index value.
+  std::int64_t H = Head.load(std::memory_order_seq_cst);
+  Tail.store(H, std::memory_order_seq_cst);
+}

@@ -1,0 +1,179 @@
+//===- deque/AtomicDeque.h - Lock-free special-task WS deque ----*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free alternative to the THE-protocol deque (TheDeque) with the
+/// same interface and the same AdaptiveTC special-task semantics. Thieves
+/// claim entries with a CAS on Head (Chase & Lev, SPAA'05; C11 formulation
+/// after Le, Pop, Cohen, Zappa Nardelli, PPoPP'13) instead of taking the
+/// victim's mutex, so steal attempts — and in particular the very common
+/// probe of an *empty* deque — never serialize on a lock.
+///
+/// Differences from the textbook Chase-Lev deque:
+///
+///  * Entries carry a Special marker. A special task is never stolen: a
+///    thief that finds a special at the head claims the special's *child*
+///    (the next entry) with a single CAS Head -> Head+2, the lock-free
+///    equivalent of the paper's "H += 2" protocol (Fig. 3e).
+///  * popSpecial() reports whether the special's child was stolen, the
+///    lock-free equivalent of Fig. 3b (the THE deque resets H = T there;
+///    with monotonic indices the same state is reached by restoring Tail
+///    to the observed Head).
+///  * The buffer is a fixed-size circular array: tryPush reports overflow
+///    instead of growing, so the schedulers can count overflow pressure
+///    exactly as with the fixed THE array.
+///
+/// Index discipline: Head and Tail are monotonically increasing 64-bit
+/// counters over a circular buffer (slot = index % capacity). They are
+/// never reset mid-run, which is what makes the CAS on Head ABA-free —
+/// the THE deque's H = T / Tail-restore resets would re-issue old index
+/// values and let a stale thief claim a recycled slot.
+///
+/// Owner-side races. A thief can only claim the owner's bottom entry
+/// (index T-1) in two states, and only there must pop() arbitrate with a
+/// CAS of its own:
+///
+///  * H == T-1: the classic single-entry race (Chase-Lev pop).
+///  * H == T-2 with a special at H: a thief's H += 2 jump claims H+1 ==
+///    T-1 without Head ever pointing at it. The owner claims by executing
+///    the same jump itself (CAS Head -> Head+2), which consumes the
+///    special entry as a side effect — so the owner immediately
+///    re-publishes the special at the new head. The deque must keep
+///    reading [special] after a successful child pop (exactly TheDeque's
+///    state there): later pushes stay under the special's protection and
+///    popSpecial() still finds the entry. A flag-based shortcut instead of
+///    re-publication is wrong — the child's spawn loop keeps pushing
+///    after the pop, and those entries would be stealable as *plain*
+///    entries while popSpecial() later reported "nothing stolen".
+///
+/// For H < T-2 (or H == T-2 with a non-special head entry) the plain
+/// fenced take is safe by the standard Chase-Lev argument extended to
+/// jumps: claiming the bottom entry requires a thief to observe Head at
+/// T-1 (plain claim) or T-2-with-special (jump), and the monotonicity of
+/// Head makes either observation contradict the owner's fenced read.
+///
+/// Thread-safety contract: one owner thread calls tryPush/pop/popSpecial/
+/// reset; any number of thief threads call steal. Identical to TheDeque.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_DEQUE_ATOMICDEQUE_H
+#define ATC_DEQUE_ATOMICDEQUE_H
+
+#include "deque/TheDeque.h" // PopResult / StealResult
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace atc {
+
+/// Fixed-capacity lock-free work-stealing deque with AdaptiveTC
+/// special-task support. Drop-in replacement for TheDeque.
+class AtomicDeque {
+public:
+  /// Creates a deque with room for \p Capacity entries.
+  explicit AtomicDeque(int Capacity = 8192);
+
+  AtomicDeque(const AtomicDeque &) = delete;
+  AtomicDeque &operator=(const AtomicDeque &) = delete;
+
+  /// Owner: pushes \p Frame at the tail. Returns false on overflow.
+  bool tryPush(void *Frame, bool Special = false);
+
+  /// Owner: pops the tail entry. Failure means the entry was stolen (or
+  /// claimed by a thief's special-child jump); the indices are restored
+  /// so the deque reads as empty.
+  PopResult pop();
+
+  /// Owner: pops a special task from the tail. Failure means the
+  /// special's child was stolen (the thief's H += 2 jump consumed the
+  /// special entry as well).
+  PopResult popSpecial();
+
+  /// Thief: steals the head entry; if the head is special, steals the
+  /// special's child via a single CAS Head -> Head+2.
+  ///
+  /// \p OnSteal, when non-null, runs with the stolen frame immediately
+  /// after the claiming CAS. Unlike TheDeque there is no lock, so there
+  /// is NO happens-before edge to the owner's pop/popSpecial failure:
+  /// callers must tolerate the callback's effects racing with the
+  /// owner's failure handling (FrameEngine's join protocol does — see
+  /// DESIGN.md "Lock-free steal path").
+  StealResult steal(void (*OnSteal)(void *Frame, void *Ctx) = nullptr,
+                    void *Ctx = nullptr);
+
+  /// True when no entry is present (approximate under concurrency).
+  /// Relaxed loads only — this is the thieves' lock-free emptiness probe.
+  bool empty() const {
+    return Head.load(std::memory_order_relaxed) >=
+           Tail.load(std::memory_order_relaxed);
+  }
+
+  /// Number of entries between head and tail (approximate).
+  int size() const {
+    std::int64_t H = Head.load(std::memory_order_relaxed);
+    std::int64_t T = Tail.load(std::memory_order_relaxed);
+    return T > H ? static_cast<int>(T - H) : 0;
+  }
+
+  int capacity() const { return Cap; }
+
+  /// Number of tryPush calls rejected due to a full array.
+  std::uint64_t overflowCount() const {
+    return Overflows.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of the deque depth (entries present at once).
+  int highWaterMark() const {
+    return HighWater.load(std::memory_order_relaxed);
+  }
+
+  /// Thief-side CAS attempts that lost a race (to another thief or to the
+  /// owner) and had to report Empty.
+  std::uint64_t casRetryCount() const {
+    return CasRetries.load(std::memory_order_relaxed);
+  }
+
+  /// Lock acquisitions — always 0; present so the engines can report the
+  /// same steal-path observability for either deque kind.
+  std::uint64_t lockAcquireCount() const { return 0; }
+
+  /// Owner: drops all entries. Must not race with thieves. Indices stay
+  /// monotonic (Tail is pulled down to Head) so stale thieves can never
+  /// observe a reused index value.
+  void reset();
+
+private:
+  /// Slot contents are atomic because a thief may read a slot while the
+  /// owner recycles it for a new push; the claiming CAS discards any such
+  /// stale read (the thief only uses the value if its CAS succeeds, and
+  /// a slot is only rewritten once Head has moved past it).
+  struct Slot {
+    std::atomic<void *> Frame{nullptr};
+    std::atomic<bool> Special{false};
+  };
+
+  Slot &slot(std::int64_t I) { return Slots[static_cast<std::size_t>(
+      I % static_cast<std::int64_t>(Cap))]; }
+
+  const int Cap;
+  std::unique_ptr<Slot[]> Slots;
+
+  /// Head (steal end) and Tail (owner end); Head <= Tail when quiescent.
+  alignas(ATC_CACHE_LINE_SIZE) std::atomic<std::int64_t> Head{0};
+  alignas(ATC_CACHE_LINE_SIZE) std::atomic<std::int64_t> Tail{0};
+
+  std::atomic<std::uint64_t> Overflows{0};
+  std::atomic<std::uint64_t> CasRetries{0};
+  std::atomic<int> HighWater{0};
+};
+
+} // namespace atc
+
+#endif // ATC_DEQUE_ATOMICDEQUE_H

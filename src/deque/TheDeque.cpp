@@ -39,6 +39,7 @@ PopResult TheDeque::pop() {
 
   // Conflict: restore Tail and retry under the lock.
   Tail.store(T + 1, std::memory_order_seq_cst);
+  LockAcquires.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> Guard(Lock);
   Tail.store(T, std::memory_order_seq_cst);
   H = Head.load(std::memory_order_seq_cst);
@@ -54,6 +55,7 @@ PopResult TheDeque::pop() {
 PopResult TheDeque::popSpecial() {
   // Fig. 3b: always under the lock; on failure reset H = T so the special
   // task stays at the head (a special task can never be stolen).
+  LockAcquires.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> Guard(Lock);
   int T = Tail.load(std::memory_order_relaxed) - 1;
   Tail.store(T, std::memory_order_seq_cst);
@@ -67,6 +69,17 @@ PopResult TheDeque::popSpecial() {
 
 StealResult TheDeque::steal(void (*OnSteal)(void *Frame, void *Ctx),
                             void *Ctx) {
+  // Lock-free emptiness pre-check: most steal attempts under high worker
+  // counts probe deques with nothing stealable, and taking the victim's
+  // mutex for those serializes the whole steal path on lock and cache
+  // line contention. A relaxed H >= T read can only misreport "empty" for
+  // a deque that momentarily was (or will immediately read as) empty,
+  // which a failed steal attempt already means.
+  if (Head.load(std::memory_order_relaxed) >=
+      Tail.load(std::memory_order_relaxed))
+    return {StealResult::Status::Empty, nullptr};
+
+  LockAcquires.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> Guard(Lock);
   int H = Head.load(std::memory_order_relaxed);
   int T = Tail.load(std::memory_order_seq_cst);
@@ -103,6 +116,11 @@ StealResult TheDeque::steal(void (*OnSteal)(void *Frame, void *Ctx),
 }
 
 void TheDeque::reset() {
+  // Under the lock so an in-flight thief (already past the lock-free
+  // emptiness pre-check) cannot interleave with the index rewind. The
+  // pre-check itself tolerates a racing reset: a stale read can only turn
+  // into a spurious "empty", which a failed steal attempt already means.
+  std::lock_guard<std::mutex> Guard(Lock);
   Head.store(0, std::memory_order_seq_cst);
   Tail.store(0, std::memory_order_seq_cst);
 }

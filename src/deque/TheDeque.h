@@ -82,6 +82,12 @@ public:
   /// Thief: steals the head entry (Fig. 3d). If the head entry is special,
   /// steals the special's child instead via the H += 2 protocol (Fig. 3e).
   ///
+  /// A relaxed H/T emptiness check runs *before* the lock is acquired, so
+  /// thieves probing an empty deque never contend on the mutex (the
+  /// common case under high worker counts). The check is conservative:
+  /// it can only report empty for a deque that really was empty at some
+  /// point during the call, which is all a steal attempt may assume.
+  ///
   /// \p OnSteal, when non-null, is invoked with the stolen frame *while the
   /// protocol lock is still held*. The schedulers use this to bump join
   /// counters with a happens-before edge to the owner's pop/popSpecial
@@ -114,6 +120,16 @@ public:
     return HighWater.load(std::memory_order_relaxed);
   }
 
+  /// Number of protocol-lock acquisitions (thief steals past the empty
+  /// pre-check, owner pop conflicts, popSpecial calls).
+  std::uint64_t lockAcquireCount() const {
+    return LockAcquires.load(std::memory_order_relaxed);
+  }
+
+  /// CAS retries — always 0; present so the engines can report the same
+  /// steal-path observability for either deque kind.
+  std::uint64_t casRetryCount() const { return 0; }
+
   /// Owner: resets the deque to the empty state. Must not race with
   /// thieves.
   void reset();
@@ -135,6 +151,7 @@ private:
   std::mutex Lock;
 
   std::atomic<std::uint64_t> Overflows{0};
+  std::atomic<std::uint64_t> LockAcquires{0};
   std::atomic<int> HighWater{0};
 };
 

@@ -3,13 +3,25 @@
 // Part of the AdaptiveTC project, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Protocol tests shared by both ready-deque implementations (the mutex
+/// THE deque and the lock-free AtomicDeque) run as a typed suite: the two
+/// kinds must be behaviourally indistinguishable to the engine, including
+/// the special-task H += 2 / pop_specialtask reset protocol and
+/// exactly-once consumption under owner-vs-many-thieves contention. The
+/// growable Chase-Lev deque (related work) keeps its own tests.
+///
+//===----------------------------------------------------------------------===//
 
+#include "deque/AtomicDeque.h"
 #include "deque/ChaseLevDeque.h"
 #include "deque/TheDeque.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -20,8 +32,12 @@ namespace {
 
 void *ptr(std::uintptr_t V) { return reinterpret_cast<void *>(V); }
 
-TEST(TheDeque, PushPopLifo) {
-  TheDeque D(16);
+template <typename DequeT> class WsDeque : public ::testing::Test {};
+using DequeKinds = ::testing::Types<TheDeque, AtomicDeque>;
+TYPED_TEST_SUITE(WsDeque, DequeKinds);
+
+TYPED_TEST(WsDeque, PushPopLifo) {
+  TypeParam D(16);
   EXPECT_TRUE(D.tryPush(ptr(1)));
   EXPECT_TRUE(D.tryPush(ptr(2)));
   EXPECT_EQ(D.size(), 2);
@@ -30,8 +46,8 @@ TEST(TheDeque, PushPopLifo) {
   EXPECT_TRUE(D.empty());
 }
 
-TEST(TheDeque, StealTakesHead) {
-  TheDeque D(16);
+TYPED_TEST(WsDeque, StealTakesHead) {
+  TypeParam D(16);
   D.tryPush(ptr(1));
   D.tryPush(ptr(2));
   StealResult R = D.steal();
@@ -43,13 +59,13 @@ TEST(TheDeque, StealTakesHead) {
   EXPECT_EQ(D.steal().Status, StealResult::Status::Empty);
 }
 
-TEST(TheDeque, StealFromEmptyFails) {
-  TheDeque D(16);
+TYPED_TEST(WsDeque, StealFromEmptyFails) {
+  TypeParam D(16);
   EXPECT_EQ(D.steal().Status, StealResult::Status::Empty);
 }
 
-TEST(TheDeque, PopAfterStealOfOnlyEntryFails) {
-  TheDeque D(16);
+TYPED_TEST(WsDeque, PopAfterStealOfOnlyEntryFails) {
+  TypeParam D(16);
   D.tryPush(ptr(1));
   ASSERT_EQ(D.steal().Status, StealResult::Status::Success);
   EXPECT_EQ(D.pop(), PopResult::Failure);
@@ -60,8 +76,8 @@ TEST(TheDeque, PopAfterStealOfOnlyEntryFails) {
   EXPECT_EQ(D.pop(), PopResult::Success);
 }
 
-TEST(TheDeque, SpecialAtHeadIsSkippedByThief) {
-  TheDeque D(16);
+TYPED_TEST(WsDeque, SpecialAtHeadIsSkippedByThief) {
+  TypeParam D(16);
   D.tryPush(ptr(10), /*Special=*/true);
   // Only the special present: nothing stealable.
   EXPECT_EQ(D.steal().Status, StealResult::Status::Empty);
@@ -71,15 +87,49 @@ TEST(TheDeque, SpecialAtHeadIsSkippedByThief) {
   EXPECT_EQ(R.Frame, ptr(11)) << "thief must steal the special's child";
 }
 
-TEST(TheDeque, PopSpecialSuccessWhenChildNotStolen) {
-  TheDeque D(16);
+TYPED_TEST(WsDeque, PopSpecialSuccessWhenChildNotStolen) {
+  TypeParam D(16);
   D.tryPush(ptr(10), /*Special=*/true);
   EXPECT_EQ(D.popSpecial(), PopResult::Success);
   EXPECT_TRUE(D.empty());
 }
 
-TEST(TheDeque, PopSpecialFailsAfterChildStolen) {
-  TheDeque D(16);
+TYPED_TEST(WsDeque, PopOwnChildThenPopSpecial) {
+  // The no-steal round trip of the check version: the owner pops its own
+  // child back and then retires the special. On the AtomicDeque the child
+  // pop is the jump-claim arbitration path (CAS Head -> Head + 2, with
+  // the special entry re-published at the new head).
+  TypeParam D(16);
+  D.tryPush(ptr(10), /*Special=*/true);
+  D.tryPush(ptr(11));
+  EXPECT_EQ(D.pop(), PopResult::Success);
+  EXPECT_EQ(D.popSpecial(), PopResult::Success);
+  EXPECT_TRUE(D.empty());
+}
+
+TYPED_TEST(WsDeque, SpecialGuardsPushesAfterChildPop) {
+  // Regression test: after the owner pops its own child back, the special
+  // must still sit at the head guarding whatever the spawn loop pushes
+  // next — a later child must be stolen through the H += 2 jump and show
+  // up in popSpecial, not be taken as a plain entry. (An AtomicDeque
+  // owner-pop that consumed the special without re-publishing it broke
+  // exactly this, silently downgrading later steals to unaccounted
+  // plain steals.)
+  TypeParam D(16);
+  D.tryPush(ptr(10), /*Special=*/true);
+  D.tryPush(ptr(11));
+  ASSERT_EQ(D.pop(), PopResult::Success); // child back; special remains
+  D.tryPush(ptr(12)); // next child in the same check-version round
+  StealResult R = D.steal();
+  ASSERT_EQ(R.Status, StealResult::Status::Success);
+  EXPECT_EQ(R.Frame, ptr(12)) << "must be stolen as the special's child";
+  EXPECT_EQ(D.pop(), PopResult::Failure);
+  EXPECT_EQ(D.popSpecial(), PopResult::Failure);
+  EXPECT_TRUE(D.empty());
+}
+
+TYPED_TEST(WsDeque, PopSpecialFailsAfterChildStolen) {
+  TypeParam D(16);
   D.tryPush(ptr(10), /*Special=*/true);
   D.tryPush(ptr(11));
   ASSERT_EQ(D.steal().Status, StealResult::Status::Success); // takes child
@@ -90,8 +140,8 @@ TEST(TheDeque, PopSpecialFailsAfterChildStolen) {
   EXPECT_TRUE(D.empty());
 }
 
-TEST(TheDeque, NormalEntriesBelowSpecialStolenFirst) {
-  TheDeque D(16);
+TYPED_TEST(WsDeque, NormalEntriesBelowSpecialStolenFirst) {
+  TypeParam D(16);
   D.tryPush(ptr(1));
   D.tryPush(ptr(2), /*Special=*/true);
   D.tryPush(ptr(3));
@@ -103,8 +153,8 @@ TEST(TheDeque, NormalEntriesBelowSpecialStolenFirst) {
   EXPECT_EQ(R.Frame, ptr(3)) << "special skipped, child stolen";
 }
 
-TEST(TheDeque, OverflowReportedAndCounted) {
-  TheDeque D(2);
+TYPED_TEST(WsDeque, OverflowReportedAndCounted) {
+  TypeParam D(2);
   EXPECT_TRUE(D.tryPush(ptr(1)));
   EXPECT_TRUE(D.tryPush(ptr(2)));
   EXPECT_FALSE(D.tryPush(ptr(3)));
@@ -112,8 +162,8 @@ TEST(TheDeque, OverflowReportedAndCounted) {
   EXPECT_EQ(D.size(), 2);
 }
 
-TEST(TheDeque, OnStealCallbackRunsForEachSteal) {
-  TheDeque D(16);
+TYPED_TEST(WsDeque, OnStealCallbackRunsForEachSteal) {
+  TypeParam D(16);
   D.tryPush(ptr(1));
   D.tryPush(ptr(2));
   int Count = 0;
@@ -124,8 +174,8 @@ TEST(TheDeque, OnStealCallbackRunsForEachSteal) {
   EXPECT_EQ(Count, 2);
 }
 
-TEST(TheDeque, HighWaterMarkTracksDepth) {
-  TheDeque D(16);
+TYPED_TEST(WsDeque, HighWaterMarkTracksDepth) {
+  TypeParam D(16);
   for (int I = 0; I < 5; ++I)
     D.tryPush(ptr(1));
   for (int I = 0; I < 5; ++I)
@@ -133,42 +183,45 @@ TEST(TheDeque, HighWaterMarkTracksDepth) {
   EXPECT_EQ(D.highWaterMark(), 5);
 }
 
-/// Concurrency stress with exact-once accounting: the owner tracks its own
-/// pops via a shadow stack (mirroring how the schedulers know which frame
-/// they popped), so every token is attributed exactly once — either to a
-/// successful owner pop or to the thief.
-TEST(TheDeque, ExactlyOnceConsumption) {
-  constexpr int NumTokens = 50000;
-  TheDeque D(512);
+/// Owner-vs-N-thieves stress with exact-once accounting: the owner tracks
+/// its own pops via a shadow stack (mirroring how the schedulers know
+/// which frame they popped), so every token is attributed exactly once —
+/// either to a successful owner pop or to exactly one thief. A pop
+/// failure means the head passed the owner's Tail, i.e. everything still
+/// in the shadow stack belongs to the thieves.
+TYPED_TEST(WsDeque, ExactlyOnceOwnerVsManyThieves) {
+  constexpr int NumTokens = 30000;
+  constexpr int NumThieves = 3;
+  // TheDeque indices are absolute (Head only climbs), so size the array
+  // for the worst case of every token being stolen.
+  TypeParam D(NumTokens + 8);
   std::atomic<bool> Stop{false};
-  std::vector<char> StolenSeen(NumTokens + 1, 0);
-  std::vector<char> PoppedSeen(NumTokens + 1, 0);
-  std::mutex StolenLock;
+  std::vector<std::atomic<int>> Seen(NumTokens + 1);
 
-  std::thread Thief([&] {
-    while (!Stop.load(std::memory_order_acquire)) {
-      StealResult R = D.steal();
-      if (R.Status == StealResult::Status::Success) {
-        std::lock_guard<std::mutex> G(StolenLock);
-        StolenSeen[reinterpret_cast<std::uintptr_t>(R.Frame)] += 1;
+  std::vector<std::thread> Thieves;
+  Thieves.reserve(NumThieves);
+  for (int T = 0; T < NumThieves; ++T)
+    Thieves.emplace_back([&] {
+      while (!Stop.load(std::memory_order_acquire)) {
+        StealResult R = D.steal();
+        if (R.Status == StealResult::Status::Success)
+          Seen[reinterpret_cast<std::uintptr_t>(R.Frame)].fetch_add(1);
       }
-    }
-  });
+    });
 
   std::vector<std::uintptr_t> Shadow;
   for (std::uintptr_t I = 1; I <= NumTokens; ++I) {
-    while (!D.tryPush(ptr(I)))
-      std::this_thread::yield();
+    ASSERT_TRUE(D.tryPush(ptr(I)));
     Shadow.push_back(I);
+    if (I % 16 == 0)
+      std::this_thread::yield(); // give the thieves a slice
     if (I % 2 == 0) {
       // Pop everything we believe is there; stop at first failure.
       while (!Shadow.empty()) {
         if (D.pop() == PopResult::Success) {
-          PoppedSeen[Shadow.back()] += 1;
+          Seen[Shadow.back()].fetch_add(1);
           Shadow.pop_back();
         } else {
-          // Stolen from under us: everything still in the shadow stack
-          // belongs to the thief now.
           Shadow.clear();
           break;
         }
@@ -177,23 +230,135 @@ TEST(TheDeque, ExactlyOnceConsumption) {
   }
   while (!Shadow.empty()) {
     if (D.pop() == PopResult::Success) {
-      PoppedSeen[Shadow.back()] += 1;
+      Seen[Shadow.back()].fetch_add(1);
       Shadow.pop_back();
     } else {
       Shadow.clear();
     }
   }
-  // Give the thief a moment to drain any remainder, then stop it.
+  // Let the thieves drain any remainder, then stop them.
   while (!D.empty())
     std::this_thread::yield();
   Stop.store(true, std::memory_order_release);
-  Thief.join();
+  for (std::thread &T : Thieves)
+    T.join();
 
-  for (std::uintptr_t I = 1; I <= NumTokens; ++I) {
-    int Total = StolenSeen[I] + PoppedSeen[I];
-    ASSERT_EQ(Total, 1) << "token " << I << " consumed " << Total
-                        << " times";
+  for (int I = 1; I <= NumTokens; ++I)
+    ASSERT_EQ(Seen[static_cast<std::size_t>(I)].load(), 1)
+        << "token " << I;
+}
+
+/// The full AdaptiveTC special-task protocol under contention: every
+/// round the owner publishes a special plus its child, then runs the
+/// check-version epilogue (pop the child, pop_specialtask). Invariants:
+/// the two results always agree (child kept -> special intact, child
+/// stolen -> H = T reset), a special is never stolen, each child is
+/// consumed exactly once, and the deque is empty between rounds.
+TYPED_TEST(WsDeque, SpecialProtocolOwnerVsManyThieves) {
+  constexpr int Rounds = 4000;
+  constexpr int NumThieves = 3;
+  // TheDeque's absolute indices climb by one per stolen round.
+  TypeParam D(Rounds + 8);
+  std::atomic<bool> Stop{false};
+  // Children are 1..Rounds; specials are Rounds+1..2*Rounds.
+  std::vector<std::atomic<int>> Seen(2 * Rounds + 1);
+
+  std::vector<std::thread> Thieves;
+  Thieves.reserve(NumThieves);
+  for (int T = 0; T < NumThieves; ++T)
+    Thieves.emplace_back([&] {
+      while (!Stop.load(std::memory_order_acquire)) {
+        StealResult R = D.steal();
+        if (R.Status == StealResult::Status::Success)
+          Seen[reinterpret_cast<std::uintptr_t>(R.Frame)].fetch_add(1);
+      }
+    });
+
+  int OwnerKept = 0, StolenRounds = 0;
+  for (std::uintptr_t I = 1; I <= Rounds; ++I) {
+    ASSERT_TRUE(D.tryPush(ptr(Rounds + I), /*Special=*/true));
+    ASSERT_TRUE(D.tryPush(ptr(I)));
+    if (I % 16 == 0)
+      std::this_thread::yield(); // window for the thieves to jump in
+    PopResult Child = D.pop();
+    PopResult Special = D.popSpecial();
+    ASSERT_EQ(Special, Child)
+        << "round " << I
+        << ": pop_specialtask must mirror the child pop result";
+    if (Child == PopResult::Success) {
+      Seen[I].fetch_add(1);
+      ++OwnerKept;
+    } else {
+      ++StolenRounds;
+    }
+    ASSERT_TRUE(D.empty()) << "round " << I;
   }
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &T : Thieves)
+    T.join();
+
+  for (int I = 1; I <= Rounds; ++I)
+    ASSERT_EQ(Seen[static_cast<std::size_t>(I)].load(), 1)
+        << "child " << I << " (owner kept " << OwnerKept << ", stolen "
+        << StolenRounds << ")";
+  for (int I = Rounds + 1; I <= 2 * Rounds; ++I)
+    ASSERT_EQ(Seen[static_cast<std::size_t>(I)].load(), 0)
+        << "special " << I << " was stolen";
+}
+
+//===----------------------------------------------------------------------===//
+// Implementation-specific behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(TheDeque, EmptyProbeSkipsTheLock) {
+  TheDeque D(16);
+  EXPECT_EQ(D.steal().Status, StealResult::Status::Empty);
+  EXPECT_EQ(D.lockAcquireCount(), 0u)
+      << "an empty steal probe must not take the mutex";
+  D.tryPush(ptr(1));
+  EXPECT_EQ(D.steal().Status, StealResult::Status::Success);
+  EXPECT_EQ(D.lockAcquireCount(), 1u);
+}
+
+TEST(AtomicDeque, NeverTakesALock) {
+  AtomicDeque D(16);
+  D.tryPush(ptr(1));
+  EXPECT_EQ(D.steal().Status, StealResult::Status::Success);
+  EXPECT_EQ(D.lockAcquireCount(), 0u);
+}
+
+TEST(AtomicDeque, CircularBufferRecyclesSlots) {
+  // Unlike TheDeque's absolute indices, the AtomicDeque maps monotonic
+  // indices onto a small circular buffer: steady-state churn far beyond
+  // the capacity needs no reset.
+  AtomicDeque D(4);
+  for (std::uintptr_t I = 1; I <= 100; ++I) {
+    ASSERT_TRUE(D.tryPush(ptr(I), /*Special=*/I % 5 == 0));
+    ASSERT_TRUE(D.tryPush(ptr(1000 + I)));
+    if (I % 2 == 0) {
+      StealResult R = D.steal();
+      ASSERT_EQ(R.Status, StealResult::Status::Success);
+      // The head entry, or — every tenth round — the special's child.
+      ASSERT_EQ(R.Frame, I % 5 == 0 ? ptr(1000 + I) : ptr(I));
+      ASSERT_EQ(D.pop(), I % 5 == 0 ? PopResult::Failure
+                                    : PopResult::Success);
+      if (I % 5 == 0) {
+        ASSERT_EQ(D.popSpecial(), PopResult::Failure);
+      }
+    } else {
+      // Popping the child jump-claims the special when one sits below it
+      // and re-publishes it; popSpecial then retires the re-published
+      // entry instead of a second pop.
+      ASSERT_EQ(D.pop(), PopResult::Success);
+      if (I % 5 == 0) {
+        ASSERT_EQ(D.popSpecial(), PopResult::Success);
+      } else {
+        ASSERT_EQ(D.pop(), PopResult::Success);
+      }
+    }
+    ASSERT_TRUE(D.empty()) << "round " << I;
+  }
+  EXPECT_EQ(D.overflowCount(), 0u);
 }
 
 TEST(ChaseLev, PushPopLifo) {

@@ -30,6 +30,7 @@ namespace {
 struct MatrixCase {
   SchedulerKind Kind;
   int Threads;
+  DequeKind Deque = DequeKind::The;
 };
 
 std::string caseName(const ::testing::TestParamInfo<MatrixCase> &Info) {
@@ -37,6 +38,8 @@ std::string caseName(const ::testing::TestParamInfo<MatrixCase> &Info) {
   for (char &C : Name)
     if (C == '-')
       C = '_';
+  if (Info.param.Deque != DequeKind::The)
+    Name += std::string("_") + dequeKindName(Info.param.Deque);
   return Name + "_t" + std::to_string(Info.param.Threads);
 }
 
@@ -44,8 +47,11 @@ SchedulerConfig makeConfig(const MatrixCase &MC) {
   SchedulerConfig Cfg;
   Cfg.Kind = MC.Kind;
   Cfg.NumWorkers = MC.Threads;
+  Cfg.Deque = MC.Deque;
   return Cfg;
 }
+
+constexpr DequeKind AtomicDQ = DequeKind::Atomic;
 
 const MatrixCase AllCases[] = {
     {SchedulerKind::Cilk, 1},        {SchedulerKind::Cilk, 2},
@@ -57,6 +63,19 @@ const MatrixCase AllCases[] = {
     {SchedulerKind::AdaptiveTC, 4},  {SchedulerKind::AdaptiveTC, 8},
     {SchedulerKind::Tascell, 1},     {SchedulerKind::Tascell, 2},
     {SchedulerKind::Tascell, 4},     {SchedulerKind::Tascell, 8},
+    // The same deque-backed engine kinds over the lock-free AtomicDeque:
+    // the deque choice must be invisible to the results.
+    {SchedulerKind::Cilk, 1, AtomicDQ},
+    {SchedulerKind::Cilk, 4, AtomicDQ},
+    {SchedulerKind::Cilk, 8, AtomicDQ},
+    {SchedulerKind::CilkSynched, 4, AtomicDQ},
+    {SchedulerKind::CilkSynched, 8, AtomicDQ},
+    {SchedulerKind::Cutoff, 4, AtomicDQ},
+    {SchedulerKind::Cutoff, 8, AtomicDQ},
+    {SchedulerKind::AdaptiveTC, 1, AtomicDQ},
+    {SchedulerKind::AdaptiveTC, 2, AtomicDQ},
+    {SchedulerKind::AdaptiveTC, 4, AtomicDQ},
+    {SchedulerKind::AdaptiveTC, 8, AtomicDQ},
 };
 
 class SchedulerMatrix : public ::testing::TestWithParam<MatrixCase> {};
@@ -276,6 +295,27 @@ TEST(SchedulerBehaviour, SpecialTasksFireUnderStealPressure) {
   }
   EXPECT_GT(Specials, 0u)
       << "check->fast_2 transition never fired under forced pressure";
+}
+
+TEST(SchedulerBehaviour, SpecialTasksFireWithAtomicDeque) {
+  // The same forced-pressure scenario over the lock-free deque: the CAS
+  // Head += 2 jump and the owner-side popSpecial accounting must carry
+  // the special-task protocol end to end.
+  NQueensArray Prob;
+  SchedulerConfig Cfg;
+  Cfg.Kind = SchedulerKind::AdaptiveTC;
+  Cfg.Deque = DequeKind::Atomic;
+  Cfg.NumWorkers = 4;
+  Cfg.MaxStolenNum = 0;
+  std::uint64_t Specials = 0;
+  for (int Attempt = 0; Attempt < 10 && Specials == 0; ++Attempt) {
+    Cfg.Seed = 177 + static_cast<std::uint64_t>(Attempt);
+    auto R = runProblem(Prob, NQueensArray::makeRoot(11), Cfg);
+    ASSERT_EQ(R.Value, 2680) << "attempt " << Attempt;
+    Specials = R.Stats.SpecialTasks;
+  }
+  EXPECT_GT(Specials, 0u)
+      << "special-task path never fired on the atomic deque";
 }
 
 TEST(SchedulerBehaviour, StatsAggregateAcrossRuns) {
