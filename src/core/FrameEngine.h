@@ -68,6 +68,7 @@
 #include "core/SchedulerStats.h"
 #include "core/TaskFrame.h"
 #include "core/WorkerContext.h"
+#include "support/Arena.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -149,16 +150,24 @@ private:
 
   State *allocState(Worker &W);
   void freeState(Worker &W, State *S);
+  void freeStateOf(Worker &W, Frame *F);
   Frame *allocFrame(Worker &W);
   void freeFrame(Worker &W, Frame *F);
+  void releaseFrame(Worker &W, Frame *F);
 
   P &Prob;
   SchedulerConfig Cfg;
   int CutoffDepth = 0;
 
   std::vector<std::unique_ptr<Worker>> Workers;
-  std::vector<std::vector<State *>> StatePools;
-  std::vector<std::vector<Frame *>> FramePools;
+  /// Per-worker slab arenas for child workspaces and task frames
+  /// (support/Arena.h). Sized by Cfg.PoolCap; rebuilt per run. A frame
+  /// and its owned workspace are always carved by the same worker
+  /// (Frame::AllocWorker), which is how cross-thread frees find their way
+  /// back to the right arena. StateArenas is empty for the Cilk kind,
+  /// which models a fresh heap allocation per child.
+  std::vector<std::unique_ptr<SlabArena>> StateArenas;
+  std::vector<std::unique_ptr<ObjectArena<Frame>>> FrameArenas;
   State *RootStatePtr = nullptr;
 
   std::atomic<bool> Done{false};
@@ -180,14 +189,27 @@ typename P::Result FrameEngine<P, DequeT>::run(const State &Root) {
   HaveResult = false;
   FinalResult = Result{};
   Workers.clear();
-  StatePools.assign(static_cast<std::size_t>(Cfg.NumWorkers), {});
-  FramePools.assign(static_cast<std::size_t>(Cfg.NumWorkers), {});
-  for (int I = 0; I < Cfg.NumWorkers; ++I)
+  StateArenas.clear();
+  FrameArenas.clear();
+  for (int I = 0; I < Cfg.NumWorkers; ++I) {
     Workers.push_back(std::make_unique<Worker>(
         I, Cfg.DequeCapacity, Cfg.Seed + static_cast<std::uint64_t>(I)));
+    if (Cfg.Kind != SchedulerKind::Cilk)
+      StateArenas.push_back(
+          std::make_unique<SlabArena>(sizeof(State), Cfg.PoolCap));
+    FrameArenas.push_back(
+        std::make_unique<ObjectArena<Frame>>(Cfg.PoolCap));
+  }
 
-  State RootCopy = Root;
-  RootStatePtr = &RootCopy;
+  // The root workspace is a copy source for depth-0 spawns, so it must be
+  // stride-padded like every other workspace (copyLiveLines reads whole
+  // cache lines). Zero-fill the tail so the rounded reads see initialized
+  // bytes.
+  const std::size_t RootBytes = SlabArena::strideFor(sizeof(State));
+  void *RootBuf = ::operator new(RootBytes);
+  std::memset(RootBuf, 0, RootBytes);
+  std::memcpy(RootBuf, static_cast<const void *>(&Root), sizeof(State));
+  RootStatePtr = static_cast<State *>(RootBuf);
 
   if (Cfg.NumWorkers == 1) {
     // Single worker: run inline (no thread spawn) — this is the
@@ -211,13 +233,23 @@ typename P::Result FrameEngine<P, DequeT>::run(const State &Root) {
     Total.LockAcquires += W.Deque.lockAcquireCount();
     Total.DequeHighWater =
         std::max(Total.DequeHighWater, W.Deque.highWaterMark());
-    for (State *S : StatePools[static_cast<std::size_t>(I)])
-      ::operator delete(S);
-    StatePools[static_cast<std::size_t>(I)].clear();
-    for (Frame *F : FramePools[static_cast<std::size_t>(I)])
-      delete F;
-    FramePools[static_cast<std::size_t>(I)].clear();
+    if (!StateArenas.empty()) {
+      const SlabArena &A = *StateArenas[static_cast<std::size_t>(I)];
+      Total.PoolOverflows +=
+          A.stats().OverflowFrees + A.remoteOverflowFrees();
+      Total.ArenaHighWater =
+          std::max(Total.ArenaHighWater, A.stats().HighWater);
+    }
+    const ObjectArena<Frame> &FA = *FrameArenas[static_cast<std::size_t>(I)];
+    Total.PoolOverflows +=
+        FA.stats().OverflowFrees + FA.remoteOverflowFrees();
+    Total.ArenaHighWater =
+        std::max(Total.ArenaHighWater, FA.stats().HighWater);
   }
+  StateArenas.clear();
+  FrameArenas.clear();
+  RootStatePtr = nullptr;
+  ::operator delete(RootBuf);
 
   assert(HaveResult && "computation finished without a result");
   return FinalResult;
@@ -338,76 +370,90 @@ void FrameEngine<P, DequeT>::stealLoop(Worker &W) {
 template <SearchProblem P, typename DequeT>
 typename P::State *FrameEngine<P, DequeT>::allocState(Worker &W) {
   // Cilk models a fresh allocation per child ("Cilk_alloca + memcpy");
-  // SYNCHED / AdaptiveTC / Cutoff reuse buffers through a per-worker pool
-  // (space reuse is what the SYNCHED variable buys — the copy itself
-  // still happens at the call site).
-  if (Cfg.Kind != SchedulerKind::Cilk) {
-    auto &Pool = StatePools[static_cast<std::size_t>(W.Id)];
-    if (!Pool.empty()) {
-      State *S = Pool.back();
-      Pool.pop_back();
-      return S;
-    }
-  }
-  return static_cast<State *>(::operator new(sizeof(State)));
+  // SYNCHED / AdaptiveTC / Cutoff reuse buffers through the per-worker
+  // slab arena (space reuse is what the SYNCHED variable buys — the copy
+  // itself still happens at the call site).
+  if (Cfg.Kind != SchedulerKind::Cilk)
+    return static_cast<State *>(
+        StateArenas[static_cast<std::size_t>(W.Id)]->alloc().Ptr);
+  // Hinted problems copy whole cache lines (copyLiveState), so the
+  // buffer must be padded to slab stride; hint-less problems copy exact
+  // sizeof(State) and keep the exact allocation (padding would only
+  // shift malloc size classes).
+  if constexpr (HasLiveBytes<P>)
+    return static_cast<State *>(
+        ::operator new(SlabArena::strideFor(sizeof(State))));
+  else
+    return static_cast<State *>(::operator new(sizeof(State)));
 }
 
+/// Owner-side free of a workspace \p W itself carved (the common case:
+/// the spawn loop frees the child buffer it just allocated).
 template <SearchProblem P, typename DequeT>
 void FrameEngine<P, DequeT>::freeState(Worker &W, State *S) {
   if (Cfg.Kind != SchedulerKind::Cilk) {
-    auto &Pool = StatePools[static_cast<std::size_t>(W.Id)];
-    if (Pool.size() < 4096) {
-      Pool.push_back(S);
-      return;
-    }
+    StateArenas[static_cast<std::size_t>(W.Id)]->free(S);
+    return;
   }
   ::operator delete(S);
+}
+
+/// Frees \p F's owned workspace from any worker, routing it back to the
+/// carving worker's arena (F->AllocWorker — a frame and its workspace
+/// always come from the same worker) via the lock-free remote stack when
+/// \p W is not that worker.
+template <SearchProblem P, typename DequeT>
+void FrameEngine<P, DequeT>::freeStateOf(Worker &W, Frame *F) {
+  if (Cfg.Kind == SchedulerKind::Cilk) {
+    ::operator delete(F->StatePtr); // thread-safe, no routing needed
+    return;
+  }
+  SlabArena &A = *StateArenas[static_cast<std::size_t>(F->AllocWorker)];
+  if (ATC_LIKELY(F->AllocWorker == W.Id))
+    A.free(F->StatePtr);
+  else
+    A.freeRemote(F->StatePtr);
 }
 
 template <SearchProblem P, typename DequeT>
 typename FrameEngine<P, DequeT>::Frame *FrameEngine<P, DequeT>::allocFrame(Worker &W) {
   // All systems pool task frames (Cilk 5.4.6 has a fast closure
-  // allocator); the pooled frame is reset to its freshly-constructed
+  // allocator); the recycled frame is reset to its freshly-constructed
   // state.
-  auto &Pool = FramePools[static_cast<std::size_t>(W.Id)];
-  if (ATC_LIKELY(!Pool.empty())) {
-    Frame *F = Pool.back();
-    Pool.pop_back();
-    F->StatePtr = nullptr;
-    F->PartialAcc = Result{};
-    F->Deposits = Result{};
-    F->SyncAcc = Result{};
-    F->LastChoice = -1;
-    F->Depth = 0;
-    F->SpawnDepth = 0;
-    assert(F->JoinCount.load(std::memory_order_relaxed) == 0 &&
-           "pooled frame with outstanding joins");
-    F->Parent = nullptr;
-    F->Suspended = false;
-    F->Special = false;
-    F->Detached = false;
-    F->OwnsState = false;
-    return F;
-  }
-  return new Frame();
+  Frame *F = FrameArenas[static_cast<std::size_t>(W.Id)]->alloc();
+  assert(F->JoinCount.load(std::memory_order_relaxed) == 0 &&
+         "recycled frame with outstanding joins");
+  F->reset();
+  F->AllocWorker = W.Id;
+  return F;
 }
 
+/// Owner-side frame free: the caller is the worker that carved \p F
+/// (never-stolen frames and special frames are freed by their spawner).
 template <SearchProblem P, typename DequeT>
 void FrameEngine<P, DequeT>::freeFrame(Worker &W, Frame *F) {
-  auto &Pool = FramePools[static_cast<std::size_t>(W.Id)];
-  if (Pool.size() < 4096) {
-    Pool.push_back(F);
-    return;
-  }
-  delete F;
+  assert(F->AllocWorker == W.Id && "owner-side free of a foreign frame");
+  FrameArenas[static_cast<std::size_t>(W.Id)]->free(F);
+}
+
+/// Frees a completed detached frame from any worker, routing it back to
+/// the carving worker's arena.
+template <SearchProblem P, typename DequeT>
+void FrameEngine<P, DequeT>::releaseFrame(Worker &W, Frame *F) {
+  ObjectArena<Frame> &A =
+      *FrameArenas[static_cast<std::size_t>(F->AllocWorker)];
+  if (ATC_LIKELY(F->AllocWorker == W.Id))
+    A.free(F);
+  else
+    A.freeRemote(F);
 }
 
 template <SearchProblem P, typename DequeT>
 ExecResult<typename P::Result>
 FrameEngine<P, DequeT>::taskBody(Worker &W, State &S, int Depth, Frame *Parent,
                          int Dp, bool Fast2, bool OwnsState) {
-  ++W.Stats.TasksCreated;
   if (Prob.isLeaf(S, Depth)) {
+    ++W.Stats.TasksCreated;
     Result R = Prob.leafResult(S, Depth);
     if (OwnsState)
       freeState(W, &S);
@@ -421,6 +467,17 @@ FrameEngine<P, DequeT>::taskBody(Worker &W, State &S, int Depth, Frame *Parent,
   F->Parent = Parent;
   F->OwnsState = OwnsState;
 
+  // Hot counters are batched into locals and flushed once per exit path
+  // (each return is a steal/sync boundary) instead of dirtying the Stats
+  // cache line on every loop iteration.
+  std::uint64_t NSpawns = 0, NCopies = 0, NBytes = 0;
+  auto FlushStats = [&] {
+    ++W.Stats.TasksCreated;
+    W.Stats.Spawns += NSpawns;
+    W.Stats.WorkspaceCopies += NCopies;
+    W.Stats.CopiedBytes += NBytes;
+  };
+
   Result Acc{};
   const int N = Prob.numChoices(S, Depth);
   for (int K = 0; K < N; ++K) {
@@ -432,12 +489,12 @@ FrameEngine<P, DequeT>::taskBody(Worker &W, State &S, int Depth, Frame *Parent,
       // Spawn as a real task: give the child a private workspace copy
       // (the taskprivate copy), then expose our continuation. The copy
       // MUST precede the push — once the frame is stealable, a thief may
-      // start mutating S (undo/redo of our remaining choices).
+      // start mutating S (undo/redo of our remaining choices). Only the
+      // prefix live at the child's depth is copied (Problem.h liveBytes).
       State *CB = allocState(W);
-      std::memcpy(static_cast<void *>(CB), static_cast<const void *>(&S),
-                  sizeof(State));
-      ++W.Stats.WorkspaceCopies;
-      W.Stats.CopiedBytes += sizeof(State);
+      const std::size_t Live = copyLiveState(Prob, CB, S, Depth + 1);
+      ++NCopies;
+      NBytes += Live;
       F->LastChoice = K;
       F->PartialAcc = Acc;
       if (ATC_UNLIKELY(!W.Deque.tryPush(F))) {
@@ -447,7 +504,7 @@ FrameEngine<P, DequeT>::taskBody(Worker &W, State &S, int Depth, Frame *Parent,
         Prob.undoChoice(S, Depth, K);
         continue;
       }
-      ++W.Stats.Spawns;
+      ++NSpawns;
 
       ExecResult<Result> R = taskBody(W, *CB, Depth + 1, F, Dp + 1,
                                       M == ChildMode::Fast2Task,
@@ -456,11 +513,13 @@ FrameEngine<P, DequeT>::taskBody(Worker &W, State &S, int Depth, Frame *Parent,
         // The child's own frame was stolen, which (head-first stealing)
         // implies ours was too: its result reaches F via the frame chain.
         // Unwind without popping or freeing anything we no longer own.
+        FlushStats();
         return {Result{}, true};
       }
       if (W.Deque.pop() == PopResult::Failure) {
         // Our continuation was stolen: deposit the child's value into the
         // (now thief-owned) frame and unwind ("return a dummy value").
+        FlushStats();
         depositTo(W, F, R.Value);
         return {Result{}, true};
       }
@@ -472,6 +531,7 @@ FrameEngine<P, DequeT>::taskBody(Worker &W, State &S, int Depth, Frame *Parent,
     }
     Prob.undoChoice(S, Depth, K);
   }
+  FlushStats();
 
   // Sync point. Owner-path invariant: a frame whose every pop succeeded
   // was never stolen, so all children completed synchronously ("all sync
@@ -494,13 +554,14 @@ typename P::Result FrameEngine<P, DequeT>::checkBody(Worker &W, State &S,
 
   Frame *SF = nullptr; // special task frame, created on demand
   bool StolenFlag = false;
+  std::uint64_t NPolls = 0; // batched; flushed after the loop
   Result Acc{};
   const int N = Prob.numChoices(S, Depth);
   for (int K = 0; K < N; ++K) {
     if (!Prob.applyChoice(S, Depth, K))
       continue;
 
-    ++W.Stats.Polls;
+    ++NPolls;
     if (ATC_LIKELY(!W.NeedTask.load(std::memory_order_relaxed))) {
       // No idle thread waiting: stay a fake task (in-place workspace).
       Acc += checkBody(W, S, Depth + 1);
@@ -510,7 +571,8 @@ typename P::Result FrameEngine<P, DequeT>::checkBody(Worker &W, State &S,
 
     // Some thread is starving: create a special task marking the
     // transition point and publish stealable children through fast_2 with
-    // the spawn depth reset to 0.
+    // the spawn depth reset to 0. (This whole branch is cold — counters
+    // here write straight to Stats.)
     if (!SF) {
       SF = allocFrame(W);
       SF->Special = true;
@@ -520,10 +582,9 @@ typename P::Result FrameEngine<P, DequeT>::checkBody(Worker &W, State &S,
       ++W.Stats.SpecialTasks;
     }
     State *CB = allocState(W);
-    std::memcpy(static_cast<void *>(CB), static_cast<const void *>(&S),
-                sizeof(State));
+    const std::size_t Live = copyLiveState(Prob, CB, S, Depth + 1);
     ++W.Stats.WorkspaceCopies;
-    W.Stats.CopiedBytes += sizeof(State);
+    W.Stats.CopiedBytes += Live;
     if (ATC_UNLIKELY(!W.Deque.tryPush(SF, /*Special=*/true))) {
       freeState(W, CB);
       Acc += seqBody(W, S, Depth + 1);
@@ -547,6 +608,7 @@ typename P::Result FrameEngine<P, DequeT>::checkBody(Worker &W, State &S,
       Acc += R.Value; // else: arrives through SF->Deposits
     Prob.undoChoice(S, Depth, K);
   }
+  W.Stats.Polls += NPolls;
 
   if (SF) {
     if (StolenFlag) {
@@ -582,20 +644,36 @@ typename P::Result FrameEngine<P, DequeT>::checkBody(Worker &W, State &S,
   return Acc;
 }
 
-template <SearchProblem P, typename DequeT>
-typename P::Result FrameEngine<P, DequeT>::seqBody(Worker &W, State &S,
-                                           int Depth) {
-  ++W.Stats.FakeTasks;
+namespace detail {
+
+/// Recursive core of the sequence version: counts visited nodes into a
+/// stack local threaded by reference so the hot loop never touches the
+/// worker's Stats cache line (flushed once by seqBody below).
+template <SearchProblem P>
+typename P::Result seqBodyImpl(P &Prob, typename P::State &S, int Depth,
+                               std::uint64_t &Nodes) {
+  ++Nodes;
   if (Prob.isLeaf(S, Depth))
     return Prob.leafResult(S, Depth);
-  Result Acc{};
+  typename P::Result Acc{};
   const int N = Prob.numChoices(S, Depth);
   for (int K = 0; K < N; ++K) {
     if (!Prob.applyChoice(S, Depth, K))
       continue;
-    Acc += seqBody(W, S, Depth + 1);
+    Acc += seqBodyImpl(Prob, S, Depth + 1, Nodes);
     Prob.undoChoice(S, Depth, K);
   }
+  return Acc;
+}
+
+} // namespace detail
+
+template <SearchProblem P, typename DequeT>
+typename P::Result FrameEngine<P, DequeT>::seqBody(Worker &W, State &S,
+                                           int Depth) {
+  std::uint64_t Nodes = 0;
+  Result Acc = detail::seqBodyImpl(Prob, S, Depth, Nodes);
+  W.Stats.FakeTasks += Nodes;
   return Acc;
 }
 
@@ -618,13 +696,12 @@ void FrameEngine<P, DequeT>::runContinuation(Worker &W, Frame *F) {
     // fast/check rule regardless of which version originally spawned it.
     ChildMode M = childMode(Dp, /*Fast2=*/false);
     if (M == ChildMode::Task) {
-      // As in taskBody: copy the child workspace before the push makes
-      // our continuation (and S) stealable.
+      // As in taskBody: copy the child workspace (live prefix only)
+      // before the push makes our continuation (and S) stealable.
       State *CB = allocState(W);
-      std::memcpy(static_cast<void *>(CB), static_cast<const void *>(&S),
-                  sizeof(State));
+      const std::size_t Live = copyLiveState(Prob, CB, S, Depth + 1);
       ++W.Stats.WorkspaceCopies;
-      W.Stats.CopiedBytes += sizeof(State);
+      W.Stats.CopiedBytes += Live;
       F->LastChoice = K;
       F->PartialAcc = Acc;
       if (ATC_UNLIKELY(!W.Deque.tryPush(F))) {
@@ -690,9 +767,11 @@ void FrameEngine<P, DequeT>::completeDetached(Worker &W, Frame *F,
                                       Result Total) {
   for (;;) {
     Frame *Parent = F->Parent;
+    // May run on a thief: both frees route back to the carving worker's
+    // arena (F->AllocWorker) rather than W's.
     if (F->OwnsState)
-      freeState(W, F->StatePtr);
-    freeFrame(W, F);
+      freeStateOf(W, F);
+    releaseFrame(W, F);
     if (!Parent) {
       publishFinal(Total);
       return;

@@ -45,12 +45,20 @@
 ///    supports `+=` as an associative, commutative combine (results of
 ///    stolen subtrees are deposited in nondeterministic order).
 ///
+/// Problems may additionally provide the optional liveBytes hint (see
+/// HasLiveBytes below) to bound the per-spawn workspace copy to the live
+/// prefix of the State; correctness never depends on it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ATC_CORE_PROBLEM_H
 #define ATC_CORE_PROBLEM_H
 
+#include "support/Arena.h"
+
 #include <concepts>
+#include <cstddef>
+#include <cstring>
 #include <type_traits>
 
 namespace atc {
@@ -69,6 +77,68 @@ concept SearchProblem = requires(P &Prob, typename P::State &S,
   { Prob.undoChoice(S, Depth, K) };
   { R += R };
 };
+
+/// Optional refinement of SearchProblem: the problem knows how much of its
+/// State is live for a search starting at (S, Depth). This is the
+/// library-level form of the paper's `taskprivate: (*x)(n * sizeof(char))`
+/// size clause — the clause already lets the programmer bound the copied
+/// workspace; liveBytes bounds it per *depth*, so a spawn at depth d
+/// copies only the prefix its child can ever read.
+///
+/// Contract: for any node (S, Depth) reached by the reference interpreter,
+/// a State whose first liveBytes(S, Depth) bytes equal S and whose
+/// remaining bytes are arbitrary must explore the identical subtree (same
+/// results, same node counts) under search(·, ·, Depth). In particular the
+/// bytes past the live prefix may be clobbered freely — the allocator
+/// stores freelist links in recycled buffers.
+template <typename P>
+concept HasLiveBytes =
+    SearchProblem<P> &&
+    requires(const P &Prob, const typename P::State &S, int Depth) {
+      { Prob.liveBytes(S, Depth) } -> std::convertible_to<std::size_t>;
+    };
+
+/// Bytes to copy when handing (S, Depth) to a spawned child: the
+/// problem's liveBytes hint when present (clamped to sizeof(State)),
+/// otherwise the full State.
+template <SearchProblem P>
+inline std::size_t liveStateBytes(const P &Prob, const typename P::State &S,
+                                  int Depth) {
+  if constexpr (HasLiveBytes<P>) {
+    std::size_t Live = Prob.liveBytes(S, Depth);
+    return Live < sizeof(typename P::State) ? Live
+                                            : sizeof(typename P::State);
+  } else {
+    (void)Prob;
+    (void)S;
+    (void)Depth;
+    return sizeof(typename P::State);
+  }
+}
+
+/// The per-spawn workspace copy, shaped to what the compiler can do with
+/// it. A problem without a liveBytes hint copies the whole State — a
+/// compile-time-size memcpy, which the compiler expands to the optimal
+/// fixed move sequence. A hinted problem's copy length varies per spawn,
+/// and a variable-length memcpy call costs more in size-dispatch than a
+/// small hint saves; copying whole cache lines (copyLiveLines) keeps it
+/// an inlined fixed-block loop instead. Requires stride-padded buffers
+/// in the hinted case (slab chunks and every engine workspace are).
+/// Returns the live byte count, for the CopiedBytes stat.
+template <SearchProblem P>
+inline std::size_t copyLiveState(const P &Prob, typename P::State *Dst,
+                                 const typename P::State &S, int Depth) {
+  if constexpr (HasLiveBytes<P>) {
+    const std::size_t Live = liveStateBytes(Prob, S, Depth);
+    copyLiveLines(Dst, &S, Live);
+    return Live;
+  } else {
+    (void)Depth;
+    std::memcpy(static_cast<void *>(Dst), static_cast<const void *>(&S),
+                sizeof(typename P::State));
+    return sizeof(typename P::State);
+  }
+}
 
 /// Reference sequential interpreter ("the serial C program" every speedup
 /// in the paper is measured against). Mutates \p S in place and restores

@@ -77,6 +77,12 @@ struct SchedulerConfig {
   /// Capacity of each worker's fixed-array deque.
   int DequeCapacity = 8192;
 
+  /// Per-worker slab-arena capacity, in chunks, for the frame / workspace
+  /// / donation allocators (support/Arena.h). Allocations beyond the cap
+  /// fall back to the heap and are counted in SchedulerStats::
+  /// PoolOverflows when freed.
+  int PoolCap = 4096;
+
   /// Ready-deque implementation. The THE-protocol deque is the default
   /// (paper fidelity); Atomic selects the lock-free steal path.
   DequeKind Deque = DequeKind::The;

@@ -28,6 +28,7 @@ SchedulerStats &SchedulerStats::operator+=(const SchedulerStats &Other) {
   Suspensions += Other.Suspensions;
   Deposits += Other.Deposits;
   DequeOverflows += Other.DequeOverflows;
+  PoolOverflows += Other.PoolOverflows;
   Polls += Other.Polls;
   Requests += Other.Requests;
   RequestsDenied += Other.RequestsDenied;
@@ -35,6 +36,7 @@ SchedulerStats &SchedulerStats::operator+=(const SchedulerStats &Other) {
   StealWaitNs += Other.StealWaitNs;
   BacktrackSteps += Other.BacktrackSteps;
   DequeHighWater = std::max(DequeHighWater, Other.DequeHighWater);
+  ArenaHighWater = std::max(ArenaHighWater, Other.ArenaHighWater);
   return *this;
 }
 
@@ -46,7 +48,8 @@ std::string SchedulerStats::summary() const {
       "steal_fails=%llu empty_probes=%llu affinity_hits=%llu "
       "cas_retries=%llu lock_acquires=%llu help_steals=%llu "
       "copies=%llu copied_bytes=%llu suspensions=%llu "
-      "overflows=%llu deque_hw=%d wait_children_ms=%.2f steal_wait_ms=%.2f",
+      "overflows=%llu pool_overflows=%llu deque_hw=%d arena_hw=%d "
+      "wait_children_ms=%.2f steal_wait_ms=%.2f",
       static_cast<unsigned long long>(TasksCreated),
       static_cast<unsigned long long>(FakeTasks),
       static_cast<unsigned long long>(SpecialTasks),
@@ -61,8 +64,9 @@ std::string SchedulerStats::summary() const {
       static_cast<unsigned long long>(WorkspaceCopies),
       static_cast<unsigned long long>(CopiedBytes),
       static_cast<unsigned long long>(Suspensions),
-      static_cast<unsigned long long>(DequeOverflows), DequeHighWater,
-      static_cast<double>(WaitChildrenNs) * 1e-6,
+      static_cast<unsigned long long>(DequeOverflows),
+      static_cast<unsigned long long>(PoolOverflows), DequeHighWater,
+      ArenaHighWater, static_cast<double>(WaitChildrenNs) * 1e-6,
       static_cast<double>(StealWaitNs) * 1e-6);
   return Buf;
 }

@@ -16,6 +16,8 @@
 #ifndef ATC_CORE_SCHEDULERSTATS_H
 #define ATC_CORE_SCHEDULERSTATS_H
 
+#include "support/Compiler.h"
+
 #include <cstdint>
 #include <string>
 
@@ -23,7 +25,12 @@ namespace atc {
 
 /// Per-run counters. All counts are totals across workers after
 /// aggregation.
-struct SchedulerStats {
+///
+/// The struct is cache-line-aligned and padded (see the static_assert
+/// below): per-worker instances live inside WorkerContextT next to fields
+/// written by thieves (NeedTask, StolenNum), and an unpadded stats block
+/// would false-share its hot owner-side counters with those remote writes.
+struct alignas(ATC_CACHE_LINE_SIZE) SchedulerStats {
   std::uint64_t TasksCreated = 0;    ///< Real task frames allocated.
   std::uint64_t FakeTasks = 0;       ///< Plain recursive calls (no frame).
   std::uint64_t SpecialTasks = 0;    ///< AdaptiveTC special tasks created.
@@ -40,6 +47,7 @@ struct SchedulerStats {
   std::uint64_t Suspensions = 0;     ///< Tasks suspended at a sync point.
   std::uint64_t Deposits = 0;        ///< Results deposited into frames.
   std::uint64_t DequeOverflows = 0;  ///< Rejected pushes (fixed array full).
+  std::uint64_t PoolOverflows = 0;   ///< Arena cap-overflow frees (heap path).
   std::uint64_t Polls = 0;           ///< need_task / request-mailbox polls.
   std::uint64_t Requests = 0;        ///< Tascell task requests sent.
   std::uint64_t RequestsDenied = 0;  ///< Tascell requests answered "none".
@@ -47,6 +55,7 @@ struct SchedulerStats {
   std::uint64_t StealWaitNs = 0;     ///< Time spent idle trying to steal.
   std::uint64_t BacktrackSteps = 0;  ///< Tascell undo/redo reconstruction.
   int DequeHighWater = 0;            ///< Max tail index over all deques.
+  int ArenaHighWater = 0;            ///< Max live slab chunks in any arena.
 
   /// Accumulates \p Other into this.
   SchedulerStats &operator+=(const SchedulerStats &Other);
@@ -54,6 +63,9 @@ struct SchedulerStats {
   /// Renders a compact human-readable summary.
   std::string summary() const;
 };
+
+static_assert(sizeof(SchedulerStats) % ATC_CACHE_LINE_SIZE == 0,
+              "SchedulerStats must pad out to whole cache lines");
 
 } // namespace atc
 

@@ -40,9 +40,11 @@
 #include "core/Problem.h"
 #include "core/Scheduler.h"
 #include "core/SchedulerStats.h"
+#include "support/Arena.h"
 #include "support/Prng.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstring>
@@ -71,7 +73,13 @@ public:
 
 private:
   /// A task donated to a requester: a reconstructed ancestor workspace
-  /// plus an untried choice range of that node.
+  /// plus an untried choice range of that node. Allocated and freed by
+  /// the *victim* (donations are handed out and reaped on the victim's
+  /// side), so each worker recycles them through its own ObjectArena with
+  /// no cross-thread frees. St must stay the first member: the arena
+  /// freelist link lives in its leading bytes while the donation is free,
+  /// and respond()'s workspace copy rewrites them (bytes past the live
+  /// prefix are dead by the liveBytes contract).
   struct Donation {
     State St;
     int Depth;
@@ -94,8 +102,14 @@ private:
     std::vector<Donation *> Outstanding;
   };
 
-  struct TWorker {
-    explicit TWorker(int Id, std::uint64_t Seed) : Id(Id), Rng(Seed) {}
+  /// Per-worker Tascell state. Cache-line aligned, with each
+  /// cross-thread field group (StackDepth probe, mailbox, response slot)
+  /// on its own line so idle workers' probing and posting never
+  /// invalidates the lines the owner's recursion is hot on (Stack, Live,
+  /// Stats).
+  struct alignas(ATC_CACHE_LINE_SIZE) TWorker {
+    TWorker(int Id, std::uint64_t Seed, int PoolCap)
+        : Id(Id), Rng(Seed), Donations(PoolCap) {}
 
     const int Id;
     SplitMix64 Rng;
@@ -106,16 +120,33 @@ private:
     /// Owner-only.
     int LastVictim = -1;
 
+    /// Recycler for this worker's outgoing donations (victim-side alloc
+    /// and free — no remote path needed).
+    ObjectArena<Donation> Donations;
+
+    /// Batched hot counters (owner-only), flushed into Stats at steal /
+    /// donation boundaries and at the end of the run.
+    std::uint64_t LocalNodes = 0; ///< runNode entries (-> Stats.FakeTasks).
+    std::uint64_t LocalPolls = 0; ///< Mailbox polls (-> Stats.Polls).
+
+    void flushLocalCounters() {
+      Stats.FakeTasks += LocalNodes;
+      Stats.Polls += LocalPolls;
+      LocalNodes = 0;
+      LocalPolls = 0;
+    }
+
     /// Published copy of Stack.size(), so idle workers can probe "does
     /// this victim have any choice points at all?" without posting a
     /// request into its mailbox (the Tascell analogue of the deque
     /// emptiness probe).
-    std::atomic<int> StackDepth{0};
+    alignas(ATC_CACHE_LINE_SIZE) std::atomic<int> StackDepth{0};
 
-    std::mutex MailLock;
+    alignas(ATC_CACHE_LINE_SIZE) std::mutex MailLock;
     std::vector<int> Requests;          ///< Requester worker ids.
     std::atomic<int> PendingRequests{0};
-    std::atomic<Donation *> Response{nullptr};
+
+    alignas(ATC_CACHE_LINE_SIZE) std::atomic<Donation *> Response{nullptr};
 
     SchedulerStats Stats;
   };
@@ -146,11 +177,12 @@ typename P::Result TascellScheduler<P>::run(const State &Root) {
   Workers.clear();
   for (int I = 0; I < Cfg.NumWorkers; ++I)
     Workers.push_back(std::make_unique<TWorker>(
-        I, Cfg.Seed + static_cast<std::uint64_t>(I)));
+        I, Cfg.Seed + static_cast<std::uint64_t>(I), Cfg.PoolCap));
   Workers[0]->Live = Root;
 
   if (Cfg.NumWorkers == 1) {
     FinalResult = runNode(*Workers[0], 0);
+    Workers[0]->flushLocalCounters();
   } else {
     std::vector<std::thread> Threads;
     Threads.reserve(static_cast<std::size_t>(Cfg.NumWorkers));
@@ -161,8 +193,13 @@ typename P::Result TascellScheduler<P>::run(const State &Root) {
   }
 
   Total = SchedulerStats();
-  for (auto &W : Workers)
+  for (auto &W : Workers) {
     Total += W->Stats;
+    Total.PoolOverflows += W->Donations.stats().OverflowFrees +
+                           W->Donations.remoteOverflowFrees();
+    Total.ArenaHighWater =
+        std::max(Total.ArenaHighWater, W->Donations.stats().HighWater);
+  }
   return FinalResult;
 }
 
@@ -170,10 +207,12 @@ template <SearchProblem P> void TascellScheduler<P>::workerMain(int Id) {
   TWorker &W = *Workers[static_cast<std::size_t>(Id)];
   if (Id == 0) {
     FinalResult = runNode(W, 0);
+    W.flushLocalCounters();
     Done.store(true, std::memory_order_release);
     return;
   }
   requestLoop(W);
+  W.flushLocalCounters();
 }
 
 template <SearchProblem P>
@@ -190,7 +229,7 @@ typename P::Result TascellScheduler<P>::runNode(TWorker &W, int Depth) {
   W.Stack.push_back(std::move(CP));
   W.StackDepth.store(static_cast<int>(W.Stack.size()),
                      std::memory_order_relaxed);
-  ++W.Stats.FakeTasks; // nested-function bookkeeping, no task frame
+  ++W.LocalNodes; // nested-function bookkeeping, no task frame
   return runChoices(W, Depth);
 }
 
@@ -244,13 +283,13 @@ void TascellScheduler<P>::waitOutstanding(TWorker &W, std::size_t CPIndex,
   W.Stats.WaitChildrenNs += nowNanos() - T0;
   for (Donation *D : CP.Outstanding) {
     Acc += D->Value;
-    delete D;
+    W.Donations.free(D); // victim-side reap into the victim's own arena
   }
   CP.Outstanding.clear();
 }
 
 template <SearchProblem P> void TascellScheduler<P>::pollRequests(TWorker &W) {
-  ++W.Stats.Polls;
+  ++W.LocalPolls;
   if (ATC_LIKELY(W.PendingRequests.load(std::memory_order_relaxed) == 0))
     return;
   int Requester = -1;
@@ -287,7 +326,9 @@ void TascellScheduler<P>::respond(TWorker &W, int Requester) {
   int Untried = CP.NumChoices - CP.NextUntried;
   int Give = (Untried + 1) / 2; // donate half of the untried choices
 
-  auto *D = new Donation();
+  Donation *D = W.Donations.alloc();
+  D->DoneFlag.store(false, std::memory_order_relaxed); // recycled reset
+  D->Value = Result{};
   D->Depth = CP.Depth;
   D->ChoiceBegin = CP.NumChoices - Give;
   D->ChoiceEnd = CP.NumChoices;
@@ -303,10 +344,13 @@ void TascellScheduler<P>::respond(TWorker &W, int Requester) {
     Prob.undoChoice(W.Live, W.Stack[I].Depth, W.Stack[I].CurChoice);
     ++W.Stats.BacktrackSteps;
   }
+  // The requester resumes the search at (St, CP.Depth), so only the
+  // prefix live at that depth needs to survive the copy.
+  const std::size_t Live = liveStateBytes(Prob, W.Live, CP.Depth);
   std::memcpy(static_cast<void *>(&D->St),
-              static_cast<const void *>(&W.Live), sizeof(State));
+              static_cast<const void *>(&W.Live), Live);
   ++W.Stats.WorkspaceCopies;
-  W.Stats.CopiedBytes += sizeof(State);
+  W.Stats.CopiedBytes += Live;
   for (std::size_t I = Split; I < W.Stack.size(); ++I) {
     if (!W.Stack[I].Applied)
       continue;
@@ -393,6 +437,7 @@ template <SearchProblem P> void TascellScheduler<P>::requestLoop(TWorker &W) {
     Result Value = runChoices(W, D->Depth);
     D->Value = Value;
     D->DoneFlag.store(true, std::memory_order_release);
+    W.flushLocalCounters(); // donation boundary
     IdleBegin = nowNanos();
   }
   W.Stats.StealWaitNs += nowNanos() - IdleBegin;

@@ -37,13 +37,21 @@
 namespace atc {
 
 /// Continuation frame for a task instance of problem \p P.
+///
+/// Frames are recycled through a per-worker ObjectArena (support/Arena.h)
+/// without re-running the constructor — reset() below restores the
+/// freshly-constructed state. StatePtr must stay the first member: while
+/// a frame sits on the arena freelist its first word holds the freelist
+/// link, which is safe precisely because every alloc path immediately
+/// rewrites StatePtr.
 template <SearchProblem P> struct TaskFrame {
   using State = typename P::State;
   using Result = typename P::Result;
 
   /// The instance's live workspace buffer. Owned by the frame when
   /// OwnsState is set (all non-root instances); the root instance's state
-  /// is owned by the caller of run().
+  /// is owned by the caller of run(). Must remain the first member (see
+  /// the struct comment).
   State *StatePtr = nullptr;
 
   /// Accumulated result of the children completed before LastChoice.
@@ -93,6 +101,33 @@ template <SearchProblem P> struct TaskFrame {
 
   /// Whether StatePtr is owned (freed at completion).
   bool OwnsState = false;
+
+  /// Id of the worker whose arena carved this frame (and its owned
+  /// workspace — both always come from the same worker). A thief
+  /// completing the frame routes the free back to this arena's
+  /// remote-free stack. Set once at allocation, read-only afterwards.
+  int AllocWorker = 0;
+
+  /// Restores the freshly-constructed state on a recycled frame
+  /// (AllocWorker intentionally excluded — it describes the storage, not
+  /// the task). Adding a field to TaskFrame requires updating this, which
+  /// tests/SchedulerTest.cpp's FrameRecycling test enforces with a sizeof
+  /// guard.
+  void reset() {
+    StatePtr = nullptr;
+    PartialAcc = Result{};
+    Deposits = Result{};
+    SyncAcc = Result{};
+    LastChoice = -1;
+    Depth = 0;
+    SpawnDepth = 0;
+    JoinCount.store(0, std::memory_order_relaxed);
+    Parent = nullptr;
+    Suspended = false;
+    Special = false;
+    Detached = false;
+    OwnsState = false;
+  }
 };
 
 /// Result of executing one task instance on the current worker.

@@ -29,7 +29,14 @@ namespace atc {
 /// implementation (TheDeque or AtomicDeque — see SchedulerConfig::Deque).
 /// One instance per worker thread; the deque and the need_task fields are
 /// the only members touched by other threads.
-template <typename DequeT> struct WorkerContextT {
+///
+/// Layout rule: the struct is cache-line aligned, and each thief-written
+/// field (StolenNum, NeedTask) sits on its own line. NeedTask in
+/// particular is polled by the owner on every fake-task iteration
+/// (millions of reads per run), so a thief's StolenNum increments must
+/// not invalidate the line the owner is polling — nor the line holding
+/// the owner's Stats counters.
+template <typename DequeT> struct alignas(ATC_CACHE_LINE_SIZE) WorkerContextT {
   WorkerContextT(int Id, int DequeCapacity, std::uint64_t Seed)
       : Id(Id), Deque(DequeCapacity), Rng(Seed) {}
 
@@ -51,11 +58,15 @@ template <typename DequeT> struct WorkerContextT {
   alignas(ATC_CACHE_LINE_SIZE) std::atomic<int> StolenNum{0};
 
   /// Set when some idle thread needs this (busy) worker to publish tasks;
-  /// polled by the AdaptiveTC check version.
-  std::atomic<bool> NeedTask{false};
+  /// polled by the AdaptiveTC check version. Own cache line: written
+  /// rarely (by thieves), read on every fake-task iteration (by the
+  /// owner).
+  alignas(ATC_CACHE_LINE_SIZE) std::atomic<bool> NeedTask{false};
 
   /// Per-worker counters; aggregated after the run (no atomics needed —
-  /// written only by the owner thread).
+  /// written only by the owner thread). SchedulerStats is itself
+  /// cache-line aligned and padded, which starts it on a fresh line after
+  /// NeedTask.
   SchedulerStats Stats;
 };
 

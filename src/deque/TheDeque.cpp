@@ -20,7 +20,8 @@ bool TheDeque::tryPush(void *Frame, bool Special) {
     Overflows.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  Slots[T] = {Frame, Special};
+  Slots[T].Frame = Frame;
+  Slots[T].Special.store(Special, std::memory_order_relaxed);
   // Publish the entry before the index: a thief that observes the new Tail
   // must see the slot contents.
   Tail.store(T + 1, std::memory_order_seq_cst);
@@ -86,12 +87,25 @@ StealResult TheDeque::steal(void (*OnSteal)(void *Frame, void *Ctx),
   if (H >= T)
     return {StealResult::Status::Empty, nullptr};
 
-  if (!Slots[H].Special) {
+  // Peek the head entry's kind to pick the claim width. The peek can race
+  // with the owner popping this very slot and re-pushing a different entry
+  // at the same index (the H/T re-check cannot tell: same index, new
+  // occupant), so it is only a *hint*: after the claim succeeds the slot
+  // is frozen — Tail cannot drop below the claimed index without the
+  // owner's pop conflicting into the lock this thief holds — and the flag
+  // is re-read; a mismatch undoes the claim and backs off.
+  if (!Slots[H].Special.load(std::memory_order_relaxed)) {
     // Fig. 3d: claim the head entry, then re-check against the owner's
     // concurrent pop.
     Head.store(H + 1, std::memory_order_seq_cst); // MEMBAR
     T = Tail.load(std::memory_order_seq_cst);
     if (H + 1 > T) {
+      Head.store(H, std::memory_order_seq_cst);
+      return {StealResult::Status::Empty, nullptr};
+    }
+    if (ATC_UNLIKELY(Slots[H].Special.load(std::memory_order_relaxed))) {
+      // The peek raced with a re-push that put a special at the head;
+      // stealing it would violate the protocol. Undo and back off.
       Head.store(H, std::memory_order_seq_cst);
       return {StealResult::Status::Empty, nullptr};
     }
@@ -106,6 +120,12 @@ StealResult TheDeque::steal(void (*OnSteal)(void *Frame, void *Ctx),
   Head.store(H + 2, std::memory_order_seq_cst); // MEMBAR
   T = Tail.load(std::memory_order_seq_cst);
   if (H + 2 > T) {
+    Head.store(H, std::memory_order_seq_cst);
+    return {StealResult::Status::Empty, nullptr};
+  }
+  if (ATC_UNLIKELY(!Slots[H].Special.load(std::memory_order_relaxed))) {
+    // The peek raced with a re-push that replaced the special with an
+    // ordinary entry; the H += 2 claim width was wrong. Undo and back off.
     Head.store(H, std::memory_order_seq_cst);
     return {StealResult::Status::Empty, nullptr};
   }

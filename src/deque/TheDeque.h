@@ -135,9 +135,15 @@ public:
   void reset();
 
 private:
+  /// Frame is plain: thieves read it only after the claim/re-check
+  /// handshake on Head/Tail, whose seq_cst stores order it. Special is
+  /// atomic because a thief peeks it *before* claiming, concurrently with
+  /// the owner re-pushing into a popped slot at the same index; the peek
+  /// is only a routing hint and is re-validated after the claim (see
+  /// steal()).
   struct Entry {
     void *Frame;
-    bool Special;
+    std::atomic<bool> Special;
   };
 
   const int Cap;

@@ -328,11 +328,16 @@ struct ParamDecl {
   std::string Name;
 };
 
-/// The `taskprivate: (*x) (size-expr);` clause (Section 4.1).
+/// The `taskprivate: (*x) (size-expr[, live-expr]);` clause (Section
+/// 4.1). The optional live-expr bounds the per-spawn workspace copy to
+/// the prefix actually live at the spawn site (both expressions are in
+/// terms of the callee's parameters); when absent the full size-expr is
+/// copied.
 struct TaskprivateClause {
   bool Present = false;
   std::string VarName;
   ExprPtr SizeExpr;
+  ExprPtr LiveExpr; ///< Null when no live bound was declared.
   SourceLoc Loc;
 };
 

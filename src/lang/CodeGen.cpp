@@ -410,6 +410,19 @@ private:
     return expr(*Callee.Taskprivate.SizeExpr, Subst);
   }
 
+  /// Renders the callee's optional taskprivate live-bytes expression the
+  /// same way (substituting the spawn-site arguments means it evaluates
+  /// for the *child's* invocation). Empty when no live bound is declared.
+  std::string tpLiveExpr(const SpawnStmt &S, const FuncDecl &Callee,
+                         const CilkContext &Ctx) {
+    if (!Callee.Taskprivate.LiveExpr)
+      return {};
+    std::map<std::string, std::string> Subst;
+    for (std::size_t I = 0; I < Callee.Params.size(); ++I)
+      Subst[Callee.Params[I].Name] = expr(*S.Args[I], Ctx.Rename);
+    return expr(*Callee.Taskprivate.LiveExpr, Subst);
+  }
+
   /// Emits one spawn statement for the current version.
   void emitSpawn(const SpawnStmt &S, CilkContext &Ctx) {
     const FuncDecl &F = *Ctx.F;
@@ -430,6 +443,10 @@ private:
       std::string TpArg;
       if (Tp) {
         std::string Size = "(size_t)(" + tpSizeExpr(S, *Callee, Ctx) + ")";
+        std::string LiveSrc = tpLiveExpr(S, *Callee, Ctx);
+        // Without a declared live bound the whole workspace is copied.
+        std::string Live =
+            LiveSrc.empty() ? Size : "(size_t)(" + LiveSrc + ")";
         std::string TpParamTy;
         for (const ParamDecl &Param : Callee->Params)
           if (Param.Name == Callee->Taskprivate.VarName)
@@ -440,8 +457,8 @@ private:
         for (std::size_t I = 0; I < Callee->Params.size(); ++I)
           if (Callee->Params[I].Name == Callee->Taskprivate.VarName)
             Src = expr(*S.Args[I], Ctx.Rename);
-        line("std::memcpy(_tp" + Id + ", (const void *)(" + Src + "), " +
-             Size + ");");
+        line("_w.copyWorkspace(_tp" + Id + ", (const void *)(" + Src +
+             "), " + Size + ", " + Live + ");");
         TpArg = "(" + TpParamTy + ")_tp" + Id;
       }
       emitSave(F, Ctx, K, Special ? "0" : "_dp");
@@ -861,7 +878,7 @@ std::string Emitter::run() {
     ++Indent;
     line("std::fprintf(stderr, \"frames=%llu pushes=%llu pops=%llu "
          "special_pushes=%llu polls=%llu need_task=%llu ws_allocs=%llu "
-         "ws_bytes=%llu\\n\", "
+         "ws_bytes=%llu ws_copied=%llu ws_reuses=%llu\\n\", "
          "(unsigned long long)_w.Stats.FramesAllocated, "
          "(unsigned long long)_w.Stats.Pushes, "
          "(unsigned long long)_w.Stats.Pops, "
@@ -869,7 +886,9 @@ std::string Emitter::run() {
          "(unsigned long long)_w.Stats.Polls, "
          "(unsigned long long)_w.Stats.NeedTaskHits, "
          "(unsigned long long)_w.Stats.WorkspaceAllocs, "
-         "(unsigned long long)_w.Stats.WorkspaceBytes);");
+         "(unsigned long long)_w.Stats.WorkspaceBytes, "
+         "(unsigned long long)_w.Stats.WorkspaceCopiedBytes, "
+         "(unsigned long long)_w.Stats.WorkspaceReuses);");
     --Indent;
     line("return _ret;");
     --Indent;

@@ -180,7 +180,7 @@ std::unique_ptr<FuncDecl> Parser::parseFunction(bool IsCilk) {
   }
   expect(TokenKind::RParen, "after parameters");
 
-  // taskprivate: (*x) (size-expr);
+  // taskprivate: (*x) (size-expr[, live-expr]);
   if (check(TokenKind::KwTaskprivate)) {
     F->Taskprivate.Present = true;
     F->Taskprivate.Loc = peek().Loc;
@@ -195,6 +195,8 @@ std::unique_ptr<FuncDecl> Parser::parseFunction(bool IsCilk) {
     expect(TokenKind::RParen, "in taskprivate clause");
     expect(TokenKind::LParen, "before taskprivate size expression");
     F->Taskprivate.SizeExpr = parseExpr();
+    if (accept(TokenKind::Comma))
+      F->Taskprivate.LiveExpr = parseExpr();
     expect(TokenKind::RParen, "after taskprivate size expression");
     expect(TokenKind::Semicolon, "after taskprivate clause");
   }

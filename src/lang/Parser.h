@@ -11,7 +11,8 @@
 ///   structdef  := "struct" IDENT "{" field* "}" ";"
 ///   field      := type IDENT ("[" INT "]")? ";"
 ///   funcdef    := "cilk"? type IDENT "(" params ")" taskpriv? block
-///   taskpriv   := "taskprivate" ":" "(" "*" IDENT ")" "(" expr ")" ";"
+///   taskpriv   := "taskprivate" ":" "(" "*" IDENT ")"
+///                 "(" expr ("," expr)? ")" ";"
 ///   type       := ("int"|"long"|"char"|"void"|"struct" IDENT) "*"*
 ///   stmt       := block | decl | if | while | for | return | break
 ///               | continue | "sync" ";" | spawnstmt | expr ";"

@@ -130,6 +130,8 @@ private:
                                      "'");
       if (F.Taskprivate.SizeExpr)
         checkExpr(*F.Taskprivate.SizeExpr);
+      if (F.Taskprivate.LiveExpr)
+        checkExpr(*F.Taskprivate.LiveExpr);
     }
 
     if (F.Body)

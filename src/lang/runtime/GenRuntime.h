@@ -60,7 +60,11 @@ struct GenStats {
   std::uint64_t Polls = 0;
   std::uint64_t NeedTaskHits = 0;
   std::uint64_t WorkspaceAllocs = 0;
-  std::uint64_t WorkspaceBytes = 0;
+  std::uint64_t WorkspaceBytes = 0;       ///< Declared workspace sizes.
+  std::uint64_t WorkspaceCopiedBytes = 0; ///< Bytes actually memcpy'd
+                                          ///< (<= WorkspaceBytes when a
+                                          ///< live bound is declared).
+  std::uint64_t WorkspaceReuses = 0;      ///< Allocs served by the freelist.
 };
 
 /// Single-worker executor implementing the generated-code ABI.
@@ -154,20 +158,67 @@ struct Worker {
   // Workspaces (taskprivate)
   //===--------------------------------------------------------------------===
 
+  /// Workspace buffers are recycled through per-size freelists (the
+  /// generated code's spawn/return pairing makes alloc/free strictly
+  /// LIFO per size, so a handful of buckets absorbs nearly all traffic —
+  /// the single-worker analogue of the core library's slab arenas).
   void *allocWorkspace(std::size_t Bytes) {
     ++Stats.WorkspaceAllocs;
     Stats.WorkspaceBytes += Bytes;
+    for (WsBucket &B : WsBuckets)
+      if (B.Bytes == Bytes && !B.Free.empty()) {
+        void *P = B.Free.back();
+        B.Free.pop_back();
+        ++Stats.WorkspaceReuses;
+        return P;
+      }
     return ::operator new(Bytes);
   }
 
-  void freeWorkspace(void *P, std::size_t) { ::operator delete(P); }
+  void freeWorkspace(void *P, std::size_t Bytes) {
+    for (WsBucket &B : WsBuckets)
+      if (B.Bytes == Bytes) {
+        if (B.Free.size() < MaxPooledPerBucket) {
+          B.Free.push_back(P);
+          return;
+        }
+        ::operator delete(P);
+        return;
+      }
+    WsBuckets.push_back({Bytes, {P}});
+  }
+
+  /// Bounded taskprivate copy: copies only the live prefix of the
+  /// workspace (the `taskprivate: (*x)(size, live)` clause), clamped to
+  /// the declared size; counts the bytes actually moved.
+  void copyWorkspace(void *Dst, const void *Src, std::size_t Bytes,
+                     std::size_t LiveBytes) {
+    if (LiveBytes > Bytes)
+      LiveBytes = Bytes;
+    std::memcpy(Dst, Src, LiveBytes);
+    Stats.WorkspaceCopiedBytes += LiveBytes;
+  }
+
+  ~Worker() {
+    for (WsBucket &B : WsBuckets)
+      for (void *P : B.Free)
+        ::operator delete(P);
+  }
 
   GenStats Stats;
 
 private:
+  static constexpr std::size_t MaxPooledPerBucket = 4096;
+
+  struct WsBucket {
+    std::size_t Bytes;
+    std::vector<void *> Free;
+  };
+
   int CutoffDepth;
   int ForceEvery = 0;
   std::vector<TaskInfoBase *> Deque;
+  std::vector<WsBucket> WsBuckets;
 };
 
 /// print_long builtin.

@@ -18,6 +18,7 @@
 #define ATC_PROBLEMS_KNIGHTSTOUR_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 
@@ -80,6 +81,14 @@ public:
     S.Row = S.PrevRow[Depth];
     S.Col = S.PrevCol[Depth];
     --S.Visited;
+  }
+
+  /// The undo trail (PrevRow/PrevCol) is written at a depth before it is
+  /// read back there, and a search starting at Depth only touches entries
+  /// >= Depth — so none of it needs to survive the workspace copy; the
+  /// live prefix is the header (position, count, occupancy mask).
+  std::size_t liveBytes(const State &, int) const {
+    return offsetof(State, PrevRow);
   }
 
 private:

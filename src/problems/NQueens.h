@@ -71,6 +71,14 @@ public:
     S.Diag1[Depth + K] = 0;
     S.Diag2[Depth - K + S.N - 1] = 0;
   }
+
+  // No liveBytes hint: the occupancy arrays are live at every depth
+  // (conflict tests index them by column, not by row), so a sound bound
+  // could only trim the Col record — a few bytes of a ~100-byte State.
+  // That trade is a loss: a depth-dependent bound turns the spawn copy
+  // from a compile-time-size memcpy into a variable-length one, which
+  // measures ~20% slower per spawn on Cilk-SYNCHED than copying the
+  // whole State (bench/micro_spawn.cpp, NQueens9).
 };
 
 /// Conflict-scan n-queens ("Nqueen-compute" in the paper).
@@ -107,6 +115,11 @@ public:
   }
 
   void undoChoice(State &, int, int) const {}
+
+  // No liveBytes hint: the conflict scan at depth d reads X[0..d-1]
+  // only, so a bound would be sound — but the whole State is 20 bytes
+  // and a variable-length copy costs more than it saves (see
+  // NQueensArray above).
 };
 
 } // namespace atc

@@ -25,6 +25,7 @@
 #define ATC_PROBLEMS_PENTOMINO_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -106,6 +107,14 @@ public:
 
   bool applyChoice(State &S, int Depth, int K) const;
   void undoChoice(State &S, int Depth, int K) const;
+
+  /// PlacedMask[d] is an undo record written by applyChoice at depth d
+  /// before undoChoice reads it back at the same depth, so a child's
+  /// subtree never observes entries below its start depth: the live
+  /// prefix is just the occupancy state (~24 of ~408 bytes).
+  std::size_t liveBytes(const State &, int) const {
+    return offsetof(State, PlacedMask);
+  }
 
   /// Number of one-sided orientations of base piece \p Piece (0..11).
   /// The classic counts are F:8 I:2 L:8 N:8 P:8 T:4 U:4 V:4 W:4 X:1 Y:8

@@ -1,0 +1,284 @@
+//===- support/Arena.h - Per-worker slab allocators -------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-stride slab allocators for the spawn fast path. The owner-side
+/// cost of a spawn is dominated by the workspace copy plus the frame /
+/// workspace allocation; these arenas make the allocation part O(1) with
+/// no global-heap traffic:
+///
+///  * One contiguous cache-line-aligned reservation of `Cap` chunks is
+///    carved with a bump pointer (bulk carving: no per-chunk heap call,
+///    chunks are address-ordered so sequential spawns touch consecutive
+///    lines).
+///  * Freed chunks go to an intrusive freelist (the chunk's first word is
+///    the link while free), so alloc/free are O(1) pointer swaps.
+///  * Frees from other workers (a thief completing a stolen frame chain)
+///    are pushed onto a lock-free Treiber stack that the owner drains
+///    when its local freelist runs dry — the owner's fast path never
+///    synchronizes.
+///  * Allocations beyond the cap fall back to the global heap and are
+///    never recycled; the pointer-range test (one reservation, two
+///    comparisons) tells the two kinds apart at free time, and
+///    cap-overflow frees are counted (SchedulerStats::PoolOverflows).
+///
+/// SlabArena hands out raw storage (workspace buffers — trivially
+/// copyable States). ObjectArena<T> layers object lifetime on top:
+/// each slab chunk is placement-new'd exactly once when first carved,
+/// recycled without running the destructor (the caller re-initializes via
+/// its reset protocol), and destroyed when the arena dies — which is what
+/// lets TaskFrames keep their std::mutex across reuses.
+///
+/// Ownership contract: alloc() may only be called by the owning worker;
+/// free() by the owner, freeRemote() by anyone. While a chunk sits on a
+/// freelist its first sizeof(void*) bytes hold the link, so the first
+/// word of T must be data the caller unconditionally rewrites after
+/// allocation (TaskFrame::StatePtr, a workspace's live prefix).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_SUPPORT_ARENA_H
+#define ATC_SUPPORT_ARENA_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace atc {
+
+/// Accounting for one arena (aggregated into SchedulerStats per run).
+struct ArenaStats {
+  std::uint64_t SlabAllocs = 0;    ///< Chunks handed out from the slab.
+  std::uint64_t HeapAllocs = 0;    ///< Cap-overflow heap allocations.
+  std::uint64_t OverflowFrees = 0; ///< Frees of cap-overflow chunks.
+  int Carved = 0;                  ///< Chunks bump-carved so far.
+  int HighWater = 0;               ///< Max simultaneously-live slab chunks.
+};
+
+/// Raw fixed-stride slab allocator. See the file comment for the design
+/// and the ownership contract.
+class SlabArena {
+public:
+  /// Result of an allocation: \p Fresh distinguishes never-used storage
+  /// (just carved, or heap fallback) from a recycled chunk.
+  struct Alloc {
+    void *Ptr;
+    bool Fresh;
+  };
+
+  SlabArena(std::size_t ChunkBytes, int Cap)
+      : Stride(roundToLine(ChunkBytes)), Cap(Cap < 1 ? 1 : Cap) {
+    Base = static_cast<unsigned char *>(::operator new(
+        static_cast<std::size_t>(this->Cap) * Stride,
+        std::align_val_t(ATC_CACHE_LINE_SIZE)));
+  }
+
+  SlabArena(const SlabArena &) = delete;
+  SlabArena &operator=(const SlabArena &) = delete;
+
+  ~SlabArena() {
+    ::operator delete(Base, std::align_val_t(ATC_CACHE_LINE_SIZE));
+  }
+
+  /// O(1) allocation (owner only). Local freelist first, then a drain of
+  /// the remote-free stack, then bump carving, then the heap fallback.
+  ATC_ALWAYS_INLINE Alloc alloc() {
+    if (ATC_UNLIKELY(LocalFree == nullptr))
+      refill();
+    if (ATC_LIKELY(LocalFree != nullptr)) {
+      void *P = LocalFree;
+      LocalFree = *static_cast<void **>(P);
+      bookkeepSlabAlloc();
+      return {P, false};
+    }
+    if (St.Carved < Cap) {
+      void *P = Base + static_cast<std::size_t>(St.Carved) * Stride;
+      ++St.Carved;
+      bookkeepSlabAlloc();
+      return {P, true};
+    }
+    ++St.HeapAllocs;
+    return {::operator new(Stride), true};
+  }
+
+  /// O(1) free (owner only). Cap-overflow chunks go back to the heap.
+  ATC_ALWAYS_INLINE void free(void *P) {
+    if (ATC_LIKELY(fromSlab(P))) {
+      *static_cast<void **>(P) = LocalFree;
+      LocalFree = P;
+      --SlabLive;
+      return;
+    }
+    ++St.OverflowFrees;
+    ::operator delete(P);
+  }
+
+  /// Cross-worker free. Slab chunks ride the lock-free remote stack back
+  /// to the owner (drained on its next freelist miss); cap-overflow heap
+  /// chunks are released in place — operator delete is thread-safe — and
+  /// counted atomically.
+  void freeRemote(void *P) {
+    if (ATC_UNLIKELY(!fromSlab(P))) {
+      RemoteOverflowFrees.fetch_add(1, std::memory_order_relaxed);
+      ::operator delete(P);
+      return;
+    }
+    void *Head = RemoteFree.load(std::memory_order_relaxed);
+    do {
+      *static_cast<void **>(P) = Head;
+    } while (!RemoteFree.compare_exchange_weak(
+        Head, P, std::memory_order_release, std::memory_order_relaxed));
+  }
+
+  /// Whether \p P was carved from this arena's reservation.
+  bool fromSlab(const void *P) const {
+    const auto *C = static_cast<const unsigned char *>(P);
+    return C >= Base && C < Base + static_cast<std::size_t>(Cap) * Stride;
+  }
+
+  /// The \p I-th carved chunk (I < stats().Carved). For typed teardown.
+  void *carvedChunk(int I) const {
+    assert(I >= 0 && I < St.Carved && "carved index out of range");
+    return Base + static_cast<std::size_t>(I) * Stride;
+  }
+
+  std::size_t chunkBytes() const { return Stride; }
+  const ArenaStats &stats() const { return St; }
+
+  /// The stride an arena uses for chunks of \p Bytes (cache-line
+  /// rounded). Public so non-arena workspace allocations (the Cilk
+  /// fresh-per-child buffer, the root workspace) can pad identically and
+  /// be valid operands of copyLiveLines below.
+  static std::size_t strideFor(std::size_t Bytes) {
+    return roundToLine(Bytes);
+  }
+
+  /// Cap-overflow frees performed by remote workers (owner-side ones are
+  /// in stats().OverflowFrees).
+  std::uint64_t remoteOverflowFrees() const {
+    return RemoteOverflowFrees.load(std::memory_order_relaxed);
+  }
+
+private:
+  static std::size_t roundToLine(std::size_t Bytes) {
+    std::size_t Line = ATC_CACHE_LINE_SIZE;
+    if (Bytes < sizeof(void *))
+      Bytes = sizeof(void *);
+    return (Bytes + Line - 1) / Line * Line;
+  }
+
+  void bookkeepSlabAlloc() {
+    ++St.SlabAllocs;
+    if (++SlabLive > St.HighWater)
+      St.HighWater = SlabLive;
+  }
+
+  /// Moves every remotely-freed chunk onto the local freelist.
+  ATC_NOINLINE void refill() {
+    void *P = RemoteFree.exchange(nullptr, std::memory_order_acquire);
+    while (P != nullptr) {
+      void *Next = *static_cast<void **>(P);
+      *static_cast<void **>(P) = LocalFree;
+      LocalFree = P;
+      --SlabLive;
+      P = Next;
+    }
+  }
+
+  std::size_t Stride;
+  int Cap;
+  unsigned char *Base = nullptr;
+  void *LocalFree = nullptr; ///< Intrusive freelist (owner only).
+  int SlabLive = 0;          ///< Live slab chunks (owner's view).
+  ArenaStats St;
+
+  /// Chunks freed by other workers; drained by the owner in refill().
+  alignas(ATC_CACHE_LINE_SIZE) std::atomic<void *> RemoteFree{nullptr};
+  std::atomic<std::uint64_t> RemoteOverflowFrees{0};
+};
+
+/// Copies the live prefix of a workspace as whole cache lines:
+/// ceil(LiveBytes / line) fixed-size block moves. A depth-dependent live
+/// bound makes the copy length vary per spawn, and a variable-length
+/// memcpy pays its size-dispatch on every call — measurably more than it
+/// saves for mid-size states. Fixed-size blocks inline to straight-line
+/// vector moves behind one well-predicted loop branch.
+///
+/// Both buffers must extend to a cache-line multiple: slab chunks do by
+/// construction (Stride), and every non-arena workspace allocation pads
+/// with SlabArena::strideFor. Bytes past LiveBytes in the destination
+/// are garbage afterwards — exactly the liveBytes contract (Problem.h).
+inline void copyLiveLines(void *Dst, const void *Src,
+                          std::size_t LiveBytes) {
+  auto *D = static_cast<unsigned char *>(Dst);
+  const auto *S = static_cast<const unsigned char *>(Src);
+  for (std::size_t Off = 0; Off < LiveBytes; Off += ATC_CACHE_LINE_SIZE)
+    std::memcpy(D + Off, S + Off, ATC_CACHE_LINE_SIZE);
+}
+
+/// Slab arena for objects of type \p T with construct-once / recycle /
+/// destroy-at-teardown lifetime. The first member of T must be trivially
+/// copyable data that the caller rewrites after every alloc() (it holds
+/// the freelist link while the chunk is free).
+template <typename T> class ObjectArena {
+public:
+  explicit ObjectArena(int Cap) : Raw(sizeof(T), Cap) {}
+
+  ~ObjectArena() {
+    for (int I = 0; I < Raw.stats().Carved; ++I)
+      static_cast<T *>(Raw.carvedChunk(I))->~T();
+  }
+
+  /// Returns a default-constructed-or-recycled object (owner only). The
+  /// caller must re-initialize it via its reset protocol either way.
+  ATC_ALWAYS_INLINE T *alloc() {
+    SlabArena::Alloc A = Raw.alloc();
+    if (A.Fresh)
+      return ::new (A.Ptr) T();
+    return static_cast<T *>(A.Ptr);
+  }
+
+  /// Owner free: recycles without destruction (slab) or destroys
+  /// (cap-overflow heap chunk).
+  ATC_ALWAYS_INLINE void free(T *P) {
+    if (ATC_LIKELY(Raw.fromSlab(P))) {
+      Raw.free(P);
+      return;
+    }
+    P->~T();
+    Raw.free(P); // counts the overflow free, releases the storage
+  }
+
+  /// Cross-worker free (any thread). Heap-fallback chunks are destroyed
+  /// and released in place; slab chunks ride the remote stack back to the
+  /// owner without destruction.
+  void freeRemote(T *P) {
+    if (ATC_UNLIKELY(!Raw.fromSlab(P)))
+      P->~T();
+    Raw.freeRemote(P);
+  }
+
+  const ArenaStats &stats() const { return Raw.stats(); }
+
+  /// Cap-overflow frees performed by remote workers (owner-side overflow
+  /// frees are in stats().OverflowFrees).
+  std::uint64_t remoteOverflowFrees() const {
+    return Raw.remoteOverflowFrees();
+  }
+
+private:
+  SlabArena Raw;
+};
+
+} // namespace atc
+
+#endif // ATC_SUPPORT_ARENA_H

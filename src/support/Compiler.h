@@ -13,14 +13,51 @@
 #define ATC_SUPPORT_COMPILER_H
 
 #include <cstddef>
+#include <new>
 
 /// Branch prediction hints for hot scheduler paths.
 #define ATC_LIKELY(x) (__builtin_expect(!!(x), 1))
 #define ATC_UNLIKELY(x) (__builtin_expect(!!(x), 0))
 
+/// Inlining control for the allocator fast/cold path split: the per-spawn
+/// alloc/free fast paths must inline into the spawn loop (a call spills
+/// the loop's live registers), while the cold refill/teardown paths must
+/// stay out of line so they do not bloat the caller past the inliner's
+/// budget.
+#if defined(__GNUC__)
+#define ATC_ALWAYS_INLINE inline __attribute__((always_inline))
+#define ATC_NOINLINE __attribute__((noinline))
+#else
+#define ATC_ALWAYS_INLINE inline
+#define ATC_NOINLINE
+#endif
+
 /// Size of a destructive-interference cache line. Used to pad per-worker
-/// state so that independent workers do not false-share.
+/// state so that independent workers do not false-share, and as the slab
+/// arena's chunk alignment/stride unit (support/Arena.h).
+///
+/// Taken from the implementation when it reports one (a compile-time
+/// constant — GCC warns that its value depends on -mtune, which is fine
+/// here: it is an alignment floor, not an ABI contract, hence the local
+/// diagnostic suppression at this single definition site).
+#if defined(__cpp_lib_hardware_interference_size)
+namespace atc {
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+inline constexpr std::size_t CacheLineSize =
+    std::hardware_destructive_interference_size < 64
+        ? 64
+        : std::hardware_destructive_interference_size;
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+} // namespace atc
+#define ATC_CACHE_LINE_SIZE (::atc::CacheLineSize)
+#else
 #define ATC_CACHE_LINE_SIZE 64
+#endif
 
 /// Marks a point in the code that is never reached. In builds with
 /// assertions this aborts with a message; otherwise it is an optimizer hint.

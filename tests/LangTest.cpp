@@ -327,9 +327,34 @@ TEST(CodeGen, TaskprivateCopyOnlyInTaskVersions) {
   std::string Seq = R.Cpp.substr(SeqBegin, SeqEnd - SeqBegin);
   EXPECT_EQ(Seq.find("allocWorkspace"), std::string::npos);
   EXPECT_NE(Seq.find("f_seq(_w, (n - 1), x)"), std::string::npos);
-  // The task versions allocate + memcpy.
+  // The task versions allocate + copy; with no declared live bound the
+  // copy length equals the declared workspace size.
   EXPECT_NE(R.Cpp.find("allocWorkspace"), std::string::npos);
-  EXPECT_NE(R.Cpp.find("std::memcpy(_tp0"), std::string::npos);
+  EXPECT_NE(R.Cpp.find("_w.copyWorkspace(_tp0, (const void *)(x), "
+                       "(size_t)(((n - 1) * (long)sizeof(char))), "
+                       "(size_t)(((n - 1) * (long)sizeof(char))));"),
+            std::string::npos);
+}
+
+TEST(CodeGen, TaskprivateLiveBoundLimitsCopy) {
+  // With a `(size, live)` clause, the emitted copyWorkspace call passes
+  // the substituted live expression (spawn-site arguments, i.e. the
+  // child's invocation) as the copy bound while the allocation keeps the
+  // full declared size.
+  auto R = compileAtc("cilk int f(int d, int n, char *x)\n"
+                      "taskprivate: (*x) (n * sizeof(char), "
+                      "d * sizeof(char));\n"
+                      "{ long s = 0; if (d == n) return 1;\n"
+                      "  s += spawn f(d + 1, n, x); sync; return s; }\n"
+                      "int main() { char b[4]; return f(0, 3, b); }");
+  ASSERT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  EXPECT_NE(
+      R.Cpp.find("allocWorkspace((size_t)((n * (long)sizeof(char))))"),
+      std::string::npos);
+  EXPECT_NE(R.Cpp.find("_w.copyWorkspace(_tp0, (const void *)(x), "
+                       "(size_t)((n * (long)sizeof(char))), "
+                       "(size_t)(((d + 1) * (long)sizeof(char))));"),
+            std::string::npos);
 }
 
 TEST(CodeGen, HoistsShadowedLocalsWithUniqueNames) {

@@ -156,6 +156,93 @@ TEST(UndoDiscipline, Pentomino) {
 }
 
 //===----------------------------------------------------------------------===//
+// liveBytes prefix-liveness contract
+//===----------------------------------------------------------------------===//
+
+/// Replays the spawn-site copy along random root-to-leaf paths: at every
+/// node, for every viable choice, builds the child state the scheduler
+/// would hand a thief — only the live prefix preserved, the suffix
+/// poisoned (the arena stores freelist links in recycled buffers, so
+/// recycled workspaces really do carry garbage there) — and verifies it
+/// explores the bit-for-bit identical subtree as a full copy: same
+/// result, same node / leaf / pruned counts, same max depth.
+template <typename P>
+void checkLiveBytesContract(P &Prob, const typename P::State &Root,
+                            int Paths, std::uint64_t Seed) {
+  static_assert(HasLiveBytes<P>,
+                "contract check only applies to hinted problems");
+  using State = typename P::State;
+  SplitMix64 Rng(Seed);
+  for (int Path = 0; Path < Paths; ++Path) {
+    State S = Root;
+    int Depth = 0;
+    while (!Prob.isLeaf(S, Depth) && Depth < 64) {
+      int N = Prob.numChoices(S, Depth);
+      int Viable = -1;
+      for (int K = 0; K < N; ++K) {
+        if (!Prob.applyChoice(S, Depth, K))
+          continue;
+        Viable = K;
+        // What FrameEngine copies for this spawn: the post-applyChoice
+        // state, bounded to the prefix live at the child's depth.
+        const std::size_t Live = liveStateBytes(Prob, S, Depth + 1);
+        ASSERT_LE(Live, sizeof(State));
+        State Prefix = S;
+        std::memset(reinterpret_cast<unsigned char *>(&Prefix) + Live,
+                    0x5A, sizeof(State) - Live);
+        State Full = S;
+        TreeProfile FullProf{}, PrefixProf{};
+        profileTree(Prob, Full, FullProf, Depth + 1);
+        profileTree(Prob, Prefix, PrefixProf, Depth + 1);
+        ASSERT_EQ(FullProf.Nodes, PrefixProf.Nodes)
+            << "depth " << Depth << " choice " << K << " live " << Live;
+        ASSERT_EQ(FullProf.Leaves, PrefixProf.Leaves);
+        ASSERT_EQ(FullProf.MaxDepth, PrefixProf.MaxDepth);
+        ASSERT_EQ(FullProf.Pruned, PrefixProf.Pruned);
+        State FullR = S, PrefixR = S;
+        std::memset(reinterpret_cast<unsigned char *>(&PrefixR) + Live,
+                    0x5A, sizeof(State) - Live);
+        ASSERT_EQ(runSequential(Prob, FullR, Depth + 1),
+                  runSequential(Prob, PrefixR, Depth + 1))
+            << "depth " << Depth << " choice " << K << " live " << Live;
+        Prob.undoChoice(S, Depth, K);
+      }
+      if (Viable < 0)
+        break; // dead end: all choices pruned
+      int K;
+      do {
+        K = static_cast<int>(Rng.nextBelow(static_cast<std::uint64_t>(N)));
+      } while (!Prob.applyChoice(S, Depth, K));
+      ++Depth;
+    }
+  }
+}
+
+TEST(LiveBytes, KnightsTourPrefixSufficient) {
+  KnightsTour Prob;
+  checkLiveBytesContract(Prob, KnightsTour::makeRoot(4, 0, 0), 10, 13);
+}
+
+TEST(LiveBytes, PentominoPrefixSufficient) {
+  Pentomino Prob(5, 4, 4);
+  checkLiveBytesContract(Prob, Prob.makeRoot(), 5, 14);
+}
+
+TEST(LiveBytes, HintsAreMeaningfullySmallerThanTheState) {
+  // The point of the hint is a substantially smaller copy (a marginal
+  // bound is a net loss — it trades a compile-time-size memcpy for a
+  // variable-length one, which is why the n-queens problems declare no
+  // hint). The trail-heavy problems must cut deep.
+  Pentomino Pent(5, 4, 4);
+  auto PentRoot = Pent.makeRoot();
+  EXPECT_LT(liveStateBytes(Pent, PentRoot, 1),
+            sizeof(Pentomino::State) / 4);
+  KnightsTour KT;
+  auto KTRoot = KnightsTour::makeRoot(5, 0, 0);
+  EXPECT_LT(liveStateBytes(KT, KTRoot, 1), sizeof(KnightsTour::State));
+}
+
+//===----------------------------------------------------------------------===//
 // Result invariance across scheduler parameters
 //===----------------------------------------------------------------------===//
 

@@ -318,16 +318,110 @@ TEST(SchedulerBehaviour, SpecialTasksFireWithAtomicDeque) {
       << "special-task path never fired on the atomic deque";
 }
 
+TEST(FrameRecycling, ResetRestoresFreshlyConstructedState) {
+  using Frame = TaskFrame<NQueensArray>;
+
+  // Layout guard: frames are recycled through ObjectArena without
+  // re-running the constructor, so every field TaskFrame gains must be
+  // restored by reset(). This mirror repeats the layout; if the sizes
+  // diverge, a field was added or removed — update reset() and the
+  // mirror together.
+  struct FrameMirror {
+    NQueensArray::State *StatePtr;
+    NQueensArray::Result PartialAcc, Deposits, SyncAcc;
+    int LastChoice, Depth, SpawnDepth;
+    std::atomic<int> JoinCount;
+    FrameMirror *Parent;
+    std::mutex Lock;
+    bool Suspended, Special, Detached, OwnsState;
+    int AllocWorker;
+  };
+  static_assert(sizeof(Frame) == sizeof(FrameMirror),
+                "TaskFrame layout changed: update reset() and this test");
+
+  Frame F, Parent;
+  NQueensArray::State Dummy{};
+  F.StatePtr = &Dummy;
+  F.PartialAcc = 11;
+  F.Deposits = 22;
+  F.SyncAcc = 33;
+  F.LastChoice = 4;
+  F.Depth = 5;
+  F.SpawnDepth = 6;
+  F.JoinCount.store(7, std::memory_order_relaxed);
+  F.Parent = &Parent;
+  F.Suspended = true;
+  F.Special = true;
+  F.Detached = true;
+  F.OwnsState = true;
+  F.AllocWorker = 9;
+
+  F.reset();
+
+  EXPECT_EQ(F.StatePtr, nullptr);
+  EXPECT_EQ(F.PartialAcc, NQueensArray::Result{});
+  EXPECT_EQ(F.Deposits, NQueensArray::Result{});
+  EXPECT_EQ(F.SyncAcc, NQueensArray::Result{});
+  EXPECT_EQ(F.LastChoice, -1);
+  EXPECT_EQ(F.Depth, 0);
+  EXPECT_EQ(F.SpawnDepth, 0);
+  EXPECT_EQ(F.JoinCount.load(std::memory_order_relaxed), 0);
+  EXPECT_EQ(F.Parent, nullptr);
+  EXPECT_FALSE(F.Suspended);
+  EXPECT_FALSE(F.Special);
+  EXPECT_FALSE(F.Detached);
+  EXPECT_FALSE(F.OwnsState);
+  // AllocWorker describes the storage, not the task: it must survive.
+  EXPECT_EQ(F.AllocWorker, 9);
+}
+
 TEST(SchedulerBehaviour, StatsAggregateAcrossRuns) {
   SchedulerStats A, B;
   A.TasksCreated = 3;
   A.DequeHighWater = 5;
+  A.PoolOverflows = 1;
+  A.ArenaHighWater = 4;
   B.TasksCreated = 4;
   B.DequeHighWater = 2;
+  B.PoolOverflows = 2;
+  B.ArenaHighWater = 9;
   A += B;
   EXPECT_EQ(A.TasksCreated, 7u);
   EXPECT_EQ(A.DequeHighWater, 5);
+  EXPECT_EQ(A.PoolOverflows, 3u);
+  EXPECT_EQ(A.ArenaHighWater, 9);
   EXPECT_NE(A.summary().find("tasks=7"), std::string::npos);
+  EXPECT_NE(A.summary().find("pool_overflows=3"), std::string::npos);
+}
+
+TEST(SchedulerBehaviour, TinyPoolCapOverflowsToHeapAndIsCounted) {
+  // With a two-chunk pool nearly every frame/workspace allocation falls
+  // past the cap onto the heap; the run must still be correct and the
+  // cap-overflow frees must show up in the stats.
+  NQueensArray Prob;
+  SchedulerConfig Cfg;
+  Cfg.Kind = SchedulerKind::CilkSynched;
+  Cfg.NumWorkers = 2;
+  Cfg.PoolCap = 2;
+  auto R = runProblem(Prob, NQueensArray::makeRoot(8), Cfg);
+  EXPECT_EQ(R.Value, 92);
+  EXPECT_GT(R.Stats.PoolOverflows, 0u);
+  EXPECT_LE(R.Stats.ArenaHighWater, 2);
+}
+
+TEST(SchedulerBehaviour, DefaultPoolCapAbsorbsNQueens) {
+  // The default cap (SchedulerConfig::PoolCap) comfortably covers the
+  // depth-bounded live-frame population: no overflow, and the high-water
+  // mark reports the true peak.
+  NQueensArray Prob;
+  SchedulerConfig Cfg;
+  Cfg.Kind = SchedulerKind::AdaptiveTC;
+  Cfg.NumWorkers = 2;
+  auto R = runProblem(Prob, NQueensArray::makeRoot(8), Cfg);
+  EXPECT_EQ(R.Value, 92);
+  EXPECT_EQ(R.Stats.PoolOverflows, 0u);
+  EXPECT_GT(R.Stats.ArenaHighWater, 0);
+  EXPECT_LE(R.Stats.ArenaHighWater, Cfg.PoolCap);
 }
 
 } // namespace

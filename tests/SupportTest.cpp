@@ -4,6 +4,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Arena.h"
+#include "support/Compiler.h"
 #include "support/Options.h"
 #include "support/Prng.h"
 #include "support/Stats.h"
@@ -12,7 +14,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <thread>
+#include <vector>
 
 using namespace atc;
 
@@ -143,4 +148,153 @@ TEST(Options, UsageMentionsEveryOption) {
   std::string U = Opts.usage("prog");
   EXPECT_NE(U.find("--threads=N"), std::string::npos);
   EXPECT_NE(U.find("worker count"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Arena: slab allocation, recycling, overflow, remote frees
+//===----------------------------------------------------------------------===//
+
+TEST(SlabArena, CarvesAlignedDistinctChunks) {
+  SlabArena A(24, 8);
+  EXPECT_GE(A.chunkBytes(), 24u);
+  EXPECT_EQ(A.chunkBytes() % ATC_CACHE_LINE_SIZE, 0u);
+  std::set<void *> Seen;
+  for (int I = 0; I < 8; ++I) {
+    SlabArena::Alloc R = A.alloc();
+    EXPECT_TRUE(R.Fresh);
+    EXPECT_TRUE(A.fromSlab(R.Ptr));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(R.Ptr) %
+                  ATC_CACHE_LINE_SIZE,
+              0u);
+    Seen.insert(R.Ptr);
+  }
+  EXPECT_EQ(Seen.size(), 8u);
+  EXPECT_EQ(A.stats().SlabAllocs, 8u);
+  EXPECT_EQ(A.stats().HeapAllocs, 0u);
+}
+
+TEST(SlabArena, FreeRecyclesLifoWithoutFreshFlag) {
+  SlabArena A(16, 4);
+  void *P = A.alloc().Ptr;
+  A.free(P);
+  SlabArena::Alloc R = A.alloc();
+  EXPECT_EQ(R.Ptr, P);
+  EXPECT_FALSE(R.Fresh);
+}
+
+TEST(SlabArena, OverflowFallsBackToHeapAndCountsFrees) {
+  SlabArena A(16, 2);
+  void *S0 = A.alloc().Ptr;
+  void *S1 = A.alloc().Ptr;
+  SlabArena::Alloc H = A.alloc(); // past the cap
+  EXPECT_TRUE(H.Fresh);
+  EXPECT_FALSE(A.fromSlab(H.Ptr));
+  EXPECT_EQ(A.stats().HeapAllocs, 1u);
+  A.free(H.Ptr);
+  EXPECT_EQ(A.stats().OverflowFrees, 1u);
+  A.free(S0);
+  A.free(S1);
+  EXPECT_EQ(A.stats().OverflowFrees, 1u); // slab frees are not overflows
+}
+
+TEST(SlabArena, HighWaterTracksPeakLiveChunks) {
+  SlabArena A(16, 8);
+  void *P0 = A.alloc().Ptr;
+  void *P1 = A.alloc().Ptr;
+  void *P2 = A.alloc().Ptr;
+  EXPECT_EQ(A.stats().HighWater, 3);
+  A.free(P2);
+  A.free(P1);
+  void *P3 = A.alloc().Ptr; // live back to 2: peak stays 3
+  EXPECT_EQ(A.stats().HighWater, 3);
+  A.free(P3);
+  A.free(P0);
+}
+
+TEST(SlabArena, RemoteFreesAreDrainedOnFreelistMiss) {
+  SlabArena A(32, 4);
+  std::vector<void *> Chunks;
+  for (int I = 0; I < 4; ++I)
+    Chunks.push_back(A.alloc().Ptr);
+  std::thread Thief([&] {
+    for (void *P : Chunks)
+      A.freeRemote(P);
+  });
+  Thief.join();
+  // The slab is fully carved and the local freelist is empty, so the next
+  // alloc must refill from the remote stack instead of hitting the heap.
+  std::set<void *> Recycled;
+  for (int I = 0; I < 4; ++I) {
+    SlabArena::Alloc R = A.alloc();
+    EXPECT_FALSE(R.Fresh);
+    Recycled.insert(R.Ptr);
+  }
+  EXPECT_EQ(Recycled, std::set<void *>(Chunks.begin(), Chunks.end()));
+  EXPECT_EQ(A.stats().HeapAllocs, 0u);
+}
+
+TEST(SlabArena, RemoteOverflowFreesAreCountedSeparately) {
+  SlabArena A(16, 1);
+  void *S = A.alloc().Ptr;
+  void *H = A.alloc().Ptr; // heap fallback
+  std::thread Thief([&] { A.freeRemote(H); });
+  Thief.join();
+  EXPECT_EQ(A.remoteOverflowFrees(), 1u);
+  EXPECT_EQ(A.stats().OverflowFrees, 0u);
+  A.free(S);
+}
+
+namespace {
+
+/// Lifetime probe for ObjectArena: first member doubles as the freelist
+/// link slot (per the arena contract), Gen survives recycling.
+struct ArenaProbe {
+  void *Link = nullptr; ///< First member: rewritten after every alloc.
+  int Gen = 0;
+  static int Ctors;
+  static int Dtors;
+  ArenaProbe() { ++Ctors; }
+  ~ArenaProbe() { ++Dtors; }
+};
+
+int ArenaProbe::Ctors = 0;
+int ArenaProbe::Dtors = 0;
+
+} // namespace
+
+TEST(ObjectArena, ConstructsOnceAndRecyclesWithoutDestruction) {
+  ArenaProbe::Ctors = 0;
+  ArenaProbe::Dtors = 0;
+  {
+    ObjectArena<ArenaProbe> A(4);
+    ArenaProbe *P = A.alloc();
+    EXPECT_EQ(ArenaProbe::Ctors, 1);
+    P->Link = nullptr; // the contract: rewrite the first member
+    P->Gen = 7;
+    A.free(P);
+    ArenaProbe *Q = A.alloc();
+    EXPECT_EQ(Q, P);
+    EXPECT_EQ(ArenaProbe::Ctors, 1); // recycled, not re-constructed
+    EXPECT_EQ(Q->Gen, 7);            // non-link fields survive recycling
+    EXPECT_EQ(ArenaProbe::Dtors, 0);
+  }
+  // Teardown destroys every carved chunk exactly once.
+  EXPECT_EQ(ArenaProbe::Dtors, 1);
+}
+
+TEST(ObjectArena, HeapOverflowObjectsAreDestroyedEagerly) {
+  ArenaProbe::Ctors = 0;
+  ArenaProbe::Dtors = 0;
+  {
+    ObjectArena<ArenaProbe> A(1);
+    ArenaProbe *S = A.alloc();
+    ArenaProbe *H = A.alloc(); // heap fallback
+    EXPECT_EQ(ArenaProbe::Ctors, 2);
+    A.free(H);
+    EXPECT_EQ(ArenaProbe::Dtors, 1); // overflow chunk destroyed at free
+    EXPECT_EQ(A.stats().OverflowFrees, 1u);
+    A.free(S);
+    EXPECT_EQ(ArenaProbe::Dtors, 1); // slab chunk kept constructed
+  }
+  EXPECT_EQ(ArenaProbe::Dtors, 2);
 }
