@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Shared backoff policy for idle thieves (FrameEngine steal loop,
-/// TascellScheduler request loop, sync_specialtask help-first wait).
+/// All idle-wait policy in one place. The kernel's steal loop and
+/// help-first wait (core/kernel/WorkerRuntime.h) are the only callers of
+/// stealBackoff; the fixed-interval Tascell waits live here too so no
+/// scheduler hard-codes its own sleep constants.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +33,18 @@ inline void stealBackoff(int FailStreak) {
   }
   int Shift = std::min(FailStreak - 5, 7); // 1us << {0..7} = 1..128us
   std::this_thread::sleep_for(std::chrono::microseconds(1 << Shift));
+}
+
+/// Poll interval while a Tascell requester waits for a mailbox response
+/// (it keeps answering its own mailbox between sleeps).
+inline void requestResponseWait() {
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+/// Poll interval while a Tascell victim blocks on outstanding donations
+/// ("Tascell cannot suspend a waiting task"); the paper's usleep(100).
+inline void waitChildrenWait() {
+  std::this_thread::sleep_for(std::chrono::microseconds(100));
 }
 
 } // namespace atc

@@ -19,15 +19,24 @@
 ///   // R.Value == 14200, R.Stats has the overhead counters.
 /// \endcode
 ///
+/// Every kind runs on the shared WorkerRuntime kernel
+/// (core/kernel/WorkerRuntime.h); what varies is the policy it is
+/// instantiated with — FramePolicy<P, DequeT, TaskCreationPolicy> for the
+/// deque-based kinds, TascellPolicy<P> for Tascell. Both the deque and
+/// the task-creation strategy are compile-time template parameters (no
+/// virtual dispatch on the push/pop hot path); this function branches
+/// once per run to pick the instantiation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ATC_CORE_RUNTIME_H
 #define ATC_CORE_RUNTIME_H
 
-#include "core/FrameEngine.h"
 #include "core/Problem.h"
 #include "core/Scheduler.h"
-#include "core/TascellScheduler.h"
+#include "core/kernel/FramePolicy.h"
+#include "core/kernel/TascellPolicy.h"
+#include "core/kernel/WorkerRuntime.h"
 
 namespace atc {
 
@@ -37,8 +46,46 @@ template <typename ResultT> struct RunResult {
   SchedulerStats Stats;
 };
 
+namespace detail {
+
+/// Runs one FramePolicy instantiation through the kernel.
+template <SearchProblem P, typename DequeT, typename TC>
+RunResult<typename P::Result>
+runFramePolicy(P &Prob, const typename P::State &Root,
+               const SchedulerConfig &Cfg) {
+  FramePolicy<P, DequeT, TC> Pol(Prob, Cfg, Root);
+  WorkerRuntime<FramePolicy<P, DequeT, TC>> Rt(Pol, Cfg);
+  typename P::Result Value = Rt.run();
+  return {Value, Rt.stats()};
+}
+
+/// Picks the task-creation policy for a deque-based kind.
+template <SearchProblem P, typename DequeT>
+RunResult<typename P::Result>
+runDequeBased(P &Prob, const typename P::State &Root,
+              const SchedulerConfig &Cfg) {
+  switch (Cfg.Kind) {
+  case SchedulerKind::Cilk:
+    return runFramePolicy<P, DequeT, CilkTaskPolicy>(Prob, Root, Cfg);
+  case SchedulerKind::CilkSynched:
+    return runFramePolicy<P, DequeT, CilkSynchedTaskPolicy>(Prob, Root,
+                                                            Cfg);
+  case SchedulerKind::Cutoff:
+    return runFramePolicy<P, DequeT, CutoffTaskPolicy>(Prob, Root, Cfg);
+  case SchedulerKind::AdaptiveTC:
+    return runFramePolicy<P, DequeT, AdaptiveTCTaskPolicy>(Prob, Root,
+                                                           Cfg);
+  case SchedulerKind::Sequential:
+  case SchedulerKind::Tascell:
+    break;
+  }
+  ATC_UNREACHABLE("not a deque-based scheduler kind");
+}
+
+} // namespace detail
+
 /// Runs \p Prob from \p Root under \p Cfg and returns the result with
-/// statistics. Dispatches to the right engine for Cfg.Kind.
+/// statistics. Dispatches to the right policy instantiation for Cfg.Kind.
 template <SearchProblem P>
 RunResult<typename P::Result> runProblem(P &Prob,
                                          const typename P::State &Root,
@@ -49,27 +96,20 @@ RunResult<typename P::Result> runProblem(P &Prob,
     return {runSequential(Prob, S), SchedulerStats()};
   }
   case SchedulerKind::Tascell: {
-    TascellScheduler<P> Sched(Prob, Cfg);
-    typename P::Result Value = Sched.run(Root);
-    return {Value, Sched.stats()};
+    TascellPolicy<P> Pol(Prob, Cfg, Root);
+    WorkerRuntime<TascellPolicy<P>> Rt(Pol, Cfg);
+    typename P::Result Value = Rt.run();
+    return {Value, Rt.stats()};
   }
   case SchedulerKind::Cilk:
   case SchedulerKind::CilkSynched:
   case SchedulerKind::Cutoff:
   case SchedulerKind::AdaptiveTC:
-    // Deque selection is a compile-time template parameter (no virtual
-    // dispatch on the push/pop hot path); branch once per run here.
     switch (Cfg.Deque) {
-    case DequeKind::The: {
-      FrameEngine<P, TheDeque> Engine(Prob, Cfg);
-      typename P::Result Value = Engine.run(Root);
-      return {Value, Engine.stats()};
-    }
-    case DequeKind::Atomic: {
-      FrameEngine<P, AtomicDeque> Engine(Prob, Cfg);
-      typename P::Result Value = Engine.run(Root);
-      return {Value, Engine.stats()};
-    }
+    case DequeKind::The:
+      return detail::runDequeBased<P, TheDeque>(Prob, Root, Cfg);
+    case DequeKind::Atomic:
+      return detail::runDequeBased<P, AtomicDeque>(Prob, Root, Cfg);
     }
     ATC_UNREACHABLE("unhandled deque kind");
   }

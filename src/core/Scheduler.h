@@ -19,7 +19,7 @@
 ///  * AdaptiveTC   - the paper's contribution: five-version execution with
 ///                   fake tasks, special tasks and need_task signalling.
 ///  * Tascell      - backtracking-based load balancing (separate engine,
-///                   see TascellScheduler.h).
+///                   see kernel/TascellPolicy.h).
 ///
 //===----------------------------------------------------------------------===//
 

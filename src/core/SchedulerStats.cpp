@@ -16,6 +16,7 @@ SchedulerStats &SchedulerStats::operator+=(const SchedulerStats &Other) {
   FakeTasks += Other.FakeTasks;
   SpecialTasks += Other.SpecialTasks;
   Spawns += Other.Spawns;
+  StealAttempts += Other.StealAttempts;
   Steals += Other.Steals;
   StealFails += Other.StealFails;
   EmptyProbes += Other.EmptyProbes;
@@ -44,7 +45,8 @@ std::string SchedulerStats::summary() const {
   char Buf[768];
   std::snprintf(
       Buf, sizeof(Buf),
-      "tasks=%llu fake=%llu special=%llu spawns=%llu steals=%llu "
+      "tasks=%llu fake=%llu special=%llu spawns=%llu "
+      "steal_attempts=%llu steals=%llu "
       "steal_fails=%llu empty_probes=%llu affinity_hits=%llu "
       "cas_retries=%llu lock_acquires=%llu help_steals=%llu "
       "copies=%llu copied_bytes=%llu suspensions=%llu "
@@ -54,6 +56,7 @@ std::string SchedulerStats::summary() const {
       static_cast<unsigned long long>(FakeTasks),
       static_cast<unsigned long long>(SpecialTasks),
       static_cast<unsigned long long>(Spawns),
+      static_cast<unsigned long long>(StealAttempts),
       static_cast<unsigned long long>(Steals),
       static_cast<unsigned long long>(StealFails),
       static_cast<unsigned long long>(EmptyProbes),

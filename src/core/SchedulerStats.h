@@ -35,6 +35,10 @@ struct alignas(ATC_CACHE_LINE_SIZE) SchedulerStats {
   std::uint64_t FakeTasks = 0;       ///< Plain recursive calls (no frame).
   std::uint64_t SpecialTasks = 0;    ///< AdaptiveTC special tasks created.
   std::uint64_t Spawns = 0;          ///< Deque push/pop pairs performed.
+  std::uint64_t StealAttempts = 0;   ///< Acquire attempts by idle workers
+                                     ///  (kernel-counted for every kind;
+                                     ///  = Steals + StealFails except for
+                                     ///  attempts abandoned at termination).
   std::uint64_t Steals = 0;          ///< Successful steals.
   std::uint64_t StealFails = 0;      ///< Failed steal attempts.
   std::uint64_t EmptyProbes = 0;     ///< Steal probes skipped: victim empty.

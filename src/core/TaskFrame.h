@@ -13,7 +13,7 @@
 /// once the frame has been stolen (deposited child results, join counter,
 /// suspended flag).
 ///
-/// Lifecycle invariants (see also FrameEngine.h):
+/// Lifecycle invariants (see also kernel/FramePolicy.h):
 ///  * A frame that is never stolen completes synchronously: its owner
 ///    reaches the sync point with JoinCount == 0 and no deposits (the
 ///    paper: "all sync statements [in the fast version] are translated to
@@ -76,7 +76,7 @@ template <SearchProblem P> struct TaskFrame {
   int SpawnDepth = 0;
 
   /// Outstanding result deposits expected before the frame may complete.
-  /// Incremented under the deque lock at steal time (see FrameEngine's
+  /// Incremented under the deque lock at steal time (see FramePolicy's
   /// onSteal); decremented by each deposit.
   std::atomic<int> JoinCount{0};
 

@@ -1,73 +1,42 @@
-//===- core/WorkerContext.h - Per-worker scheduler state --------*- C++ -*-===//
+//===- core/WorkerContext.h - Deque-engine worker state ---------*- C++ -*-===//
 //
 // Part of the AdaptiveTC project, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Per-worker state shared by the deque-based schedulers (Cilk,
-/// Cilk-SYNCHED, Cutoff, AdaptiveTC): the THE-protocol deque, the paper's
-/// need_task signalling fields (Section 4.3), a deterministic PRNG for
-/// victim selection, and the per-worker statistics counters.
+/// Per-worker state of the deque-based schedulers (Cilk, Cilk-SYNCHED,
+/// Cutoff, AdaptiveTC): the kernel slice (identity, victim-selection
+/// PRNG, steal affinity, need_task signalling, stats — see
+/// core/kernel/KernelWorker.h) plus the ready-task deque.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ATC_CORE_WORKERCONTEXT_H
 #define ATC_CORE_WORKERCONTEXT_H
 
-#include "core/SchedulerStats.h"
+#include "core/kernel/KernelWorker.h"
 #include "deque/AtomicDeque.h"
 #include "deque/TheDeque.h"
 #include "support/Compiler.h"
-#include "support/Prng.h"
-
-#include <atomic>
 
 namespace atc {
 
-/// Per-worker scheduler state, parameterized by the ready-deque
+/// Deque-engine worker state, parameterized by the ready-deque
 /// implementation (TheDeque or AtomicDeque — see SchedulerConfig::Deque).
-/// One instance per worker thread; the deque and the need_task fields are
-/// the only members touched by other threads.
+/// One instance per worker thread; the deque and the inherited need_task
+/// fields are the only members touched by other threads.
 ///
-/// Layout rule: the struct is cache-line aligned, and each thief-written
-/// field (StolenNum, NeedTask) sits on its own line. NeedTask in
-/// particular is polled by the owner on every fake-task iteration
-/// (millions of reads per run), so a thief's StolenNum increments must
-/// not invalidate the line the owner is polling — nor the line holding
-/// the owner's Stats counters.
-template <typename DequeT> struct alignas(ATC_CACHE_LINE_SIZE) WorkerContextT {
+/// KernelWorker ends with the cache-line-padded Stats block, so the deque
+/// starts on a fresh line and the kernel's layout rule (each thief-
+/// written field on its own line) carries over unchanged.
+template <typename DequeT>
+struct alignas(ATC_CACHE_LINE_SIZE) WorkerContextT : KernelWorker {
   WorkerContextT(int Id, int DequeCapacity, std::uint64_t Seed)
-      : Id(Id), Deque(DequeCapacity), Rng(Seed) {}
-
-  const int Id;
+      : KernelWorker(Id, Seed), Deque(DequeCapacity) {}
 
   /// Ready-task deque ("d-e-que" in the paper).
   DequeT Deque;
-
-  /// Deterministic victim-selection stream.
-  SplitMix64 Rng;
-
-  /// Last victim a steal succeeded against, tried first on the next
-  /// attempt (steal affinity); -1 when unset. Owner-only.
-  int LastVictim = -1;
-
-  /// Count of consecutive failed steal attempts against this worker,
-  /// incremented by thieves (Fig. 3d). When it exceeds max_stolen_num the
-  /// thief sets NeedTask.
-  alignas(ATC_CACHE_LINE_SIZE) std::atomic<int> StolenNum{0};
-
-  /// Set when some idle thread needs this (busy) worker to publish tasks;
-  /// polled by the AdaptiveTC check version. Own cache line: written
-  /// rarely (by thieves), read on every fake-task iteration (by the
-  /// owner).
-  alignas(ATC_CACHE_LINE_SIZE) std::atomic<bool> NeedTask{false};
-
-  /// Per-worker counters; aggregated after the run (no atomics needed —
-  /// written only by the owner thread). SchedulerStats is itself
-  /// cache-line aligned and padded, which starts it on a fresh line after
-  /// NeedTask.
-  SchedulerStats Stats;
 };
 
 /// The paper-fidelity default configuration.

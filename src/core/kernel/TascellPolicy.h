@@ -1,4 +1,4 @@
-//===- core/TascellScheduler.h - Backtracking-based scheduler ---*- C++ -*-===//
+//===- core/kernel/TascellPolicy.h - Backtracking-based policy --*- C++ -*-===//
 //
 // Part of the AdaptiveTC project, under the MIT license.
 //
@@ -6,8 +6,12 @@
 ///
 /// \file
 /// A from-scratch reproduction of Tascell's backtracking-based load
-/// balancing (Hiraishi et al., PPoPP'09), the paper's second baseline.
-/// Architecture, per the paper's description:
+/// balancing (Hiraishi et al., PPoPP'09), the paper's second baseline, as
+/// a WorkerRuntime policy. The kernel (WorkerRuntime.h) owns the threads,
+/// the request loop's victim selection, backoff and idle-time accounting;
+/// this policy owns what is Tascell-specific: the shadow stack of choice
+/// points, the request mailbox, and donation construction via temporary
+/// backtracking. Architecture, per the paper's description:
 ///
 ///  * "the task is stored in a thread's execution stack instead of in a
 ///    d-e-que": each worker executes plain recursion over a live
@@ -33,15 +37,16 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef ATC_CORE_TASCELLSCHEDULER_H
-#define ATC_CORE_TASCELLSCHEDULER_H
+#ifndef ATC_CORE_KERNEL_TASCELLPOLICY_H
+#define ATC_CORE_KERNEL_TASCELLPOLICY_H
 
 #include "core/Backoff.h"
 #include "core/Problem.h"
 #include "core/Scheduler.h"
 #include "core/SchedulerStats.h"
+#include "core/kernel/KernelWorker.h"
+#include "core/kernel/WorkerRuntime.h"
 #include "support/Arena.h"
-#include "support/Prng.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -50,28 +55,17 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 namespace atc {
 
-/// Backtracking-based work distribution for problem type \p P.
-template <SearchProblem P> class TascellScheduler {
+/// Backtracking-based work-distribution policy for problem type \p P.
+/// Run it through WorkerRuntime (see runProblem in core/Runtime.h).
+template <SearchProblem P> class TascellPolicy {
 public:
   using State = typename P::State;
   using Result = typename P::Result;
 
-  TascellScheduler(P &Prob, SchedulerConfig Cfg) : Prob(Prob), Cfg(Cfg) {
-    assert(Cfg.NumWorkers >= 1 && "need at least one worker");
-  }
-
-  /// Executes the computation rooted at \p Root and returns its result.
-  Result run(const State &Root);
-
-  /// Aggregated statistics of the last run().
-  const SchedulerStats &stats() const { return Total; }
-
-private:
   /// A task donated to a requester: a reconstructed ancestor workspace
   /// plus an untried choice range of that node. Allocated and freed by
   /// the *victim* (donations are handed out and reaped on the victim's
@@ -89,9 +83,6 @@ private:
     Result Value{};
   };
 
-  /// Sentinel response meaning "no task available".
-  Donation *denySentinel() { return reinterpret_cast<Donation *>(1); }
-
   /// One open loop level on a worker's shadow stack.
   struct ChoicePoint {
     int Depth;
@@ -102,23 +93,17 @@ private:
     std::vector<Donation *> Outstanding;
   };
 
-  /// Per-worker Tascell state. Cache-line aligned, with each
+  /// Per-worker Tascell state over the kernel slice (KernelWorker). Each
   /// cross-thread field group (StackDepth probe, mailbox, response slot)
-  /// on its own line so idle workers' probing and posting never
+  /// sits on its own line so idle workers' probing and posting never
   /// invalidates the lines the owner's recursion is hot on (Stack, Live,
   /// Stats).
-  struct alignas(ATC_CACHE_LINE_SIZE) TWorker {
+  struct alignas(ATC_CACHE_LINE_SIZE) TWorker : KernelWorker {
     TWorker(int Id, std::uint64_t Seed, int PoolCap)
-        : Id(Id), Rng(Seed), Donations(PoolCap) {}
+        : KernelWorker(Id, Seed), Donations(PoolCap) {}
 
-    const int Id;
-    SplitMix64 Rng;
     std::vector<ChoicePoint> Stack;
     State Live;
-
-    /// Last victim a request succeeded against (affinity); -1 when unset.
-    /// Owner-only.
-    int LastVictim = -1;
 
     /// Recycler for this worker's outgoing donations (victim-side alloc
     /// and free — no remote path needed).
@@ -147,24 +132,122 @@ private:
     std::atomic<int> PendingRequests{0};
 
     alignas(ATC_CACHE_LINE_SIZE) std::atomic<Donation *> Response{nullptr};
-
-    SchedulerStats Stats;
   };
 
-  void workerMain(int Id);
+  using Worker = TWorker;
+  /// Acquired work: a donation handed over by a victim.
+  using Task = Donation *;
+  using Runtime = WorkerRuntime<TascellPolicy>;
+
+  TascellPolicy(P &Prob, const SchedulerConfig &Cfg, const State &Root)
+      : Prob(Prob), Cfg(Cfg), Root(Root) {}
+
+  //===--------------------------------------------------------------------===//
+  // WorkerRuntime policy interface
+  //===--------------------------------------------------------------------===//
+
+  std::unique_ptr<TWorker> makeWorker(int Id) {
+    return std::make_unique<TWorker>(
+        Id, Cfg.Seed + static_cast<std::uint64_t>(Id), Cfg.PoolCap);
+  }
+
+  void beginRun(Runtime &R) {
+    Rt = &R;
+    Rt->worker(0).Live = Root;
+  }
+
+  void endRun() {}
+
+  bool runRoot(TWorker &W) {
+    Result Value = runNode(W, 0);
+    W.flushLocalCounters();
+    Rt->publishFinal(Value);
+    // Tascell's root worker runs the whole computation to completion
+    // inline (donated subtrees rejoin through DoneFlags before it
+    // returns), so there is nothing left to steal.
+    return false;
+  }
+
+  /// One request round against \p Victim: probe its published stack
+  /// depth, then post into its mailbox and wait for a donation or a
+  /// denial, answering (denying) our own mailbox so other idle workers
+  /// are not blocked on us. The kernel already picked the victim and
+  /// accounts steal counters / need_task signalling around this call.
+  AcquireOutcome tryAcquire(TWorker &W, TWorker &Victim, bool /*Helping*/,
+                            Donation *&Out) {
+    // Emptiness probe: a victim with no choice points on its execution
+    // stack cannot donate; skip the mailbox round-trip entirely.
+    if (Victim.StackDepth.load(std::memory_order_relaxed) == 0) {
+      ++W.Stats.EmptyProbes;
+      return AcquireOutcome::Failed;
+    }
+
+    W.Response.store(nullptr, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Guard(Victim.MailLock);
+      Victim.Requests.push_back(W.Id);
+    }
+    Victim.PendingRequests.fetch_add(1, std::memory_order_relaxed);
+    ++W.Stats.Requests;
+
+    Donation *D;
+    for (;;) {
+      D = W.Response.load(std::memory_order_acquire);
+      if (D || Rt->done())
+        break;
+      pollRequests(W);
+      requestResponseWait();
+    }
+    if (!D)
+      return AcquireOutcome::Terminated; // run completed while waiting
+    if (D == denySentinel())
+      return AcquireOutcome::Failed;
+    Out = D;
+    return AcquireOutcome::Acquired;
+  }
+
+  /// Executes a donated task: install the donated workspace and choice
+  /// range, run it, publish the result through the DoneFlag.
+  void execute(TWorker &W, Donation *D) {
+    W.Live = D->St;
+    ChoicePoint CP;
+    CP.Depth = D->Depth;
+    CP.NextUntried = D->ChoiceBegin;
+    CP.NumChoices = D->ChoiceEnd;
+    W.Stack.push_back(std::move(CP));
+    W.StackDepth.store(static_cast<int>(W.Stack.size()),
+                       std::memory_order_relaxed);
+    D->Value = runChoices(W, D->Depth);
+    D->DoneFlag.store(true, std::memory_order_release);
+    W.flushLocalCounters(); // donation boundary
+  }
+
+  void aggregateWorker(SchedulerStats &Total, TWorker &W) {
+    // Polls accumulated after the worker's last donation boundary (e.g.
+    // while waiting out the final denials) are still unflushed here.
+    W.flushLocalCounters();
+    Total.PoolOverflows += W.Donations.stats().OverflowFrees +
+                           W.Donations.remoteOverflowFrees();
+    Total.ArenaHighWater =
+        std::max(Total.ArenaHighWater, W.Donations.stats().HighWater);
+  }
+
+private:
+  /// Sentinel response meaning "no task available".
+  static Donation *denySentinel() {
+    return reinterpret_cast<Donation *>(1);
+  }
+
   Result runNode(TWorker &W, int Depth);
   Result runChoices(TWorker &W, int Depth);
   void waitOutstanding(TWorker &W, std::size_t CPIndex, Result &Acc);
   void pollRequests(TWorker &W);
   void respond(TWorker &W, int Requester);
-  void requestLoop(TWorker &W);
 
   P &Prob;
   SchedulerConfig Cfg;
-  std::vector<std::unique_ptr<TWorker>> Workers;
-  std::atomic<bool> Done{false};
-  Result FinalResult{};
-  SchedulerStats Total;
+  const State &Root;
+  Runtime *Rt = nullptr;
 };
 
 //===----------------------------------------------------------------------===//
@@ -172,51 +255,7 @@ private:
 //===----------------------------------------------------------------------===//
 
 template <SearchProblem P>
-typename P::Result TascellScheduler<P>::run(const State &Root) {
-  Done.store(false, std::memory_order_relaxed);
-  Workers.clear();
-  for (int I = 0; I < Cfg.NumWorkers; ++I)
-    Workers.push_back(std::make_unique<TWorker>(
-        I, Cfg.Seed + static_cast<std::uint64_t>(I), Cfg.PoolCap));
-  Workers[0]->Live = Root;
-
-  if (Cfg.NumWorkers == 1) {
-    FinalResult = runNode(*Workers[0], 0);
-    Workers[0]->flushLocalCounters();
-  } else {
-    std::vector<std::thread> Threads;
-    Threads.reserve(static_cast<std::size_t>(Cfg.NumWorkers));
-    for (int I = 0; I < Cfg.NumWorkers; ++I)
-      Threads.emplace_back([this, I] { workerMain(I); });
-    for (std::thread &T : Threads)
-      T.join();
-  }
-
-  Total = SchedulerStats();
-  for (auto &W : Workers) {
-    Total += W->Stats;
-    Total.PoolOverflows += W->Donations.stats().OverflowFrees +
-                           W->Donations.remoteOverflowFrees();
-    Total.ArenaHighWater =
-        std::max(Total.ArenaHighWater, W->Donations.stats().HighWater);
-  }
-  return FinalResult;
-}
-
-template <SearchProblem P> void TascellScheduler<P>::workerMain(int Id) {
-  TWorker &W = *Workers[static_cast<std::size_t>(Id)];
-  if (Id == 0) {
-    FinalResult = runNode(W, 0);
-    W.flushLocalCounters();
-    Done.store(true, std::memory_order_release);
-    return;
-  }
-  requestLoop(W);
-  W.flushLocalCounters();
-}
-
-template <SearchProblem P>
-typename P::Result TascellScheduler<P>::runNode(TWorker &W, int Depth) {
+typename P::Result TascellPolicy<P>::runNode(TWorker &W, int Depth) {
   // Tascell polls for task requests at every node entry.
   pollRequests(W);
   if (Prob.isLeaf(W.Live, Depth))
@@ -234,7 +273,7 @@ typename P::Result TascellScheduler<P>::runNode(TWorker &W, int Depth) {
 }
 
 template <SearchProblem P>
-typename P::Result TascellScheduler<P>::runChoices(TWorker &W, int Depth) {
+typename P::Result TascellPolicy<P>::runChoices(TWorker &W, int Depth) {
   const std::size_t MyIdx = W.Stack.size() - 1;
   Result Acc{};
   for (;;) {
@@ -259,8 +298,8 @@ typename P::Result TascellScheduler<P>::runChoices(TWorker &W, int Depth) {
 }
 
 template <SearchProblem P>
-void TascellScheduler<P>::waitOutstanding(TWorker &W, std::size_t CPIndex,
-                                          Result &Acc) {
+void TascellPolicy<P>::waitOutstanding(TWorker &W, std::size_t CPIndex,
+                                       Result &Acc) {
   ChoicePoint &CP = W.Stack[CPIndex];
   if (CP.Outstanding.empty())
     return;
@@ -278,7 +317,7 @@ void TascellScheduler<P>::waitOutstanding(TWorker &W, std::size_t CPIndex,
     if (AllDone)
       break;
     pollRequests(W);
-    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    waitChildrenWait();
   }
   W.Stats.WaitChildrenNs += nowNanos() - T0;
   for (Donation *D : CP.Outstanding) {
@@ -288,7 +327,8 @@ void TascellScheduler<P>::waitOutstanding(TWorker &W, std::size_t CPIndex,
   CP.Outstanding.clear();
 }
 
-template <SearchProblem P> void TascellScheduler<P>::pollRequests(TWorker &W) {
+template <SearchProblem P>
+void TascellPolicy<P>::pollRequests(TWorker &W) {
   ++W.LocalPolls;
   if (ATC_LIKELY(W.PendingRequests.load(std::memory_order_relaxed) == 0))
     return;
@@ -305,8 +345,8 @@ template <SearchProblem P> void TascellScheduler<P>::pollRequests(TWorker &W) {
 }
 
 template <SearchProblem P>
-void TascellScheduler<P>::respond(TWorker &W, int Requester) {
-  TWorker &R = *Workers[static_cast<std::size_t>(Requester)];
+void TascellPolicy<P>::respond(TWorker &W, int Requester) {
+  TWorker &R = Rt->worker(Requester);
 
   // Find the oldest (shallowest) choice point with untried choices — the
   // biggest remaining subtrees live there.
@@ -364,85 +404,6 @@ void TascellScheduler<P>::respond(TWorker &W, int Requester) {
   R.Response.store(D, std::memory_order_release);
 }
 
-template <SearchProblem P> void TascellScheduler<P>::requestLoop(TWorker &W) {
-  int FailStreak = 0;
-  std::uint64_t IdleBegin = nowNanos();
-  while (!Done.load(std::memory_order_acquire)) {
-    // Victim selection: affinity first (the worker that last donated is
-    // the most likely to still have untried choices), random fallback.
-    int V = W.LastVictim;
-    bool Affine = (V >= 0 && V != W.Id);
-    if (!Affine) {
-      V = static_cast<int>(
-          W.Rng.nextBelow(static_cast<std::uint64_t>(Cfg.NumWorkers - 1)));
-      if (V >= W.Id)
-        ++V;
-    }
-    TWorker &Victim = *Workers[static_cast<std::size_t>(V)];
-
-    // Emptiness probe: a victim with no choice points on its execution
-    // stack cannot donate; skip the mailbox round-trip entirely.
-    if (Victim.StackDepth.load(std::memory_order_relaxed) == 0) {
-      ++W.Stats.EmptyProbes;
-      ++W.Stats.StealFails;
-      W.LastVictim = -1;
-      ++FailStreak;
-      stealBackoff(FailStreak);
-      continue;
-    }
-
-    W.Response.store(nullptr, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> Guard(Victim.MailLock);
-      Victim.Requests.push_back(W.Id);
-    }
-    Victim.PendingRequests.fetch_add(1, std::memory_order_relaxed);
-    ++W.Stats.Requests;
-
-    // Wait for the response, answering (denying) our own mailbox so other
-    // idle workers are not blocked on us.
-    Donation *D;
-    for (;;) {
-      D = W.Response.load(std::memory_order_acquire);
-      if (D || Done.load(std::memory_order_acquire))
-        break;
-      pollRequests(W);
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-    if (!D)
-      break; // terminated while waiting
-    if (D == denySentinel()) {
-      ++W.Stats.StealFails;
-      W.LastVictim = -1;
-      ++FailStreak;
-      stealBackoff(FailStreak);
-      continue;
-    }
-
-    // Execute the donated task.
-    ++W.Stats.Steals;
-    if (Affine)
-      ++W.Stats.AffinityHits;
-    W.LastVictim = V;
-    FailStreak = 0;
-    W.Stats.StealWaitNs += nowNanos() - IdleBegin;
-    W.Live = D->St;
-    ChoicePoint CP;
-    CP.Depth = D->Depth;
-    CP.NextUntried = D->ChoiceBegin;
-    CP.NumChoices = D->ChoiceEnd;
-    W.Stack.push_back(std::move(CP));
-    W.StackDepth.store(static_cast<int>(W.Stack.size()),
-                       std::memory_order_relaxed);
-    Result Value = runChoices(W, D->Depth);
-    D->Value = Value;
-    D->DoneFlag.store(true, std::memory_order_release);
-    W.flushLocalCounters(); // donation boundary
-    IdleBegin = nowNanos();
-  }
-  W.Stats.StealWaitNs += nowNanos() - IdleBegin;
-}
-
 } // namespace atc
 
-#endif // ATC_CORE_TASCELLSCHEDULER_H
+#endif // ATC_CORE_KERNEL_TASCELLPOLICY_H

@@ -1,0 +1,278 @@
+//===- core/kernel/WorkerRuntime.h - Shared scheduler kernel ----*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduler kernel every SchedulerKind runs on: worker threads, the
+/// steal loop (victim affinity, truncated-exponential backoff, the paper's
+/// stolen_num / need_task signalling), termination detection, result
+/// publication and statistics aggregation live here — once. What differs
+/// between systems (how work is represented, acquired from a victim, and
+/// executed) is supplied by a policy class:
+///
+///   layering    WorkerRuntime<Policy>        (this file: threads, steal
+///       |                                     loop, backoff, signalling,
+///       |                                     termination, stats)
+///       +------- FramePolicy<P, DequeT, TC>  (deque-based kinds: frames,
+///       |                                     join protocol, arenas; TC is
+///       |                                     a TaskCreationPolicy)
+///       +------- TascellPolicy<P>            (mailbox request/donation)
+///
+/// Policy requirements (duck-typed; see FramePolicy.h / TascellPolicy.h
+/// for the two implementations):
+///
+///   using Worker = ...;   // derives KernelWorker
+///   using Result = ...;   // default-constructible
+///   using Task   = ...;   // cheap handle, e.g. a frame or donation ptr
+///
+///   std::unique_ptr<Worker> makeWorker(int Id);
+///   void beginRun(WorkerRuntime<Policy> &Rt);   // per-run setup
+///   void endRun();                              // per-run teardown
+///   // Root execution on worker 0; returns whether worker 0 should enter
+///   // the steal loop afterwards (false when the root runs to completion
+///   // inline, as in Tascell).
+///   bool runRoot(Worker &W0);
+///   // One acquire attempt against a chosen victim. Must not execute the
+///   // task (the kernel accounts idle time up to the acquire, then calls
+///   // execute) and must do its own policy-specific failure counting
+///   // (EmptyProbes, RequestsDenied, ...).
+///   AcquireOutcome tryAcquire(Worker &Thief, Worker &Victim, bool Helping,
+///                             Task &Out);
+///   void execute(Worker &W, Task T);
+///   // Fold policy-owned state (deque counters, arena stats, unflushed
+///   // locals) into the run total; runs on the main thread after join.
+///   void aggregateWorker(SchedulerStats &Total, Worker &W);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_KERNEL_WORKERRUNTIME_H
+#define ATC_CORE_KERNEL_WORKERRUNTIME_H
+
+#include "core/Backoff.h"
+#include "core/Scheduler.h"
+#include "core/SchedulerStats.h"
+#include "core/kernel/KernelWorker.h"
+#include "support/Compiler.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atc {
+
+/// Result of one Policy::tryAcquire attempt.
+enum class AcquireOutcome {
+  Acquired,   ///< Task holds acquired work.
+  Failed,     ///< Nothing acquired (empty victim, lost race, denial).
+  Terminated, ///< The run completed while waiting; stop acquiring.
+};
+
+/// The shared scheduler kernel; see the file comment for the Policy
+/// contract. One instance per run configuration; run() executes the
+/// computation the policy was constructed around and may be called
+/// repeatedly (workers and stats are rebuilt per run).
+template <typename Policy> class WorkerRuntime {
+public:
+  using Worker = typename Policy::Worker;
+  using Result = typename Policy::Result;
+  using Task = typename Policy::Task;
+
+  WorkerRuntime(Policy &Pol, const SchedulerConfig &Cfg)
+      : Pol(Pol), Cfg(Cfg) {
+    assert(Cfg.NumWorkers >= 1 && "need at least one worker");
+  }
+
+  WorkerRuntime(const WorkerRuntime &) = delete;
+  WorkerRuntime &operator=(const WorkerRuntime &) = delete;
+
+  /// Executes the policy's computation and returns its result.
+  Result run() {
+    Done.store(false, std::memory_order_relaxed);
+    HaveResult = false;
+    FinalResult = Result{};
+    Workers.clear();
+    for (int I = 0; I < Cfg.NumWorkers; ++I)
+      Workers.push_back(Pol.makeWorker(I));
+    Pol.beginRun(*this);
+
+    if (Cfg.NumWorkers == 1) {
+      // Single worker: run inline (no thread spawn) — this is the
+      // configuration the paper's Table 2 overhead measurements use.
+      workerMain(0);
+    } else {
+      std::vector<std::thread> Threads;
+      Threads.reserve(static_cast<std::size_t>(Cfg.NumWorkers));
+      for (int I = 0; I < Cfg.NumWorkers; ++I)
+        Threads.emplace_back([this, I] { workerMain(I); });
+      for (std::thread &T : Threads)
+        T.join();
+    }
+
+    Total = SchedulerStats();
+    for (int I = 0; I < Cfg.NumWorkers; ++I) {
+      Total += Workers[static_cast<std::size_t>(I)]->Stats;
+      Pol.aggregateWorker(Total, *Workers[static_cast<std::size_t>(I)]);
+    }
+    Pol.endRun();
+
+    assert(HaveResult && "computation finished without a result");
+    return FinalResult;
+  }
+
+  /// Aggregated statistics of the last run().
+  const SchedulerStats &stats() const { return Total; }
+
+  //===--------------------------------------------------------------------===//
+  // Services for policies
+  //===--------------------------------------------------------------------===//
+
+  int numWorkers() const { return Cfg.NumWorkers; }
+  const SchedulerConfig &config() const { return Cfg; }
+  Worker &worker(int I) { return *Workers[static_cast<std::size_t>(I)]; }
+
+  /// True once the final result has been published.
+  bool done() const { return Done.load(std::memory_order_acquire); }
+
+  /// Publishes the computation's final result and signals termination to
+  /// every steal loop. Called exactly once per run (by whichever worker
+  /// completes the root).
+  void publishFinal(Result Value) {
+    {
+      std::lock_guard<std::mutex> Guard(ResultLock);
+      FinalResult = Value;
+      HaveResult = true;
+    }
+    Done.store(true, std::memory_order_release);
+  }
+
+  /// Help-first waiting: acquires and executes other work while \p
+  /// NeedHelp stays true (the AdaptiveTC sync_specialtask wait). Rather
+  /// than the paper's usleep(100) poll this is work-conserving — each
+  /// executed task is counted in HelpSteals — backing off through the
+  /// shared stealBackoff policy only when there is nothing to take.
+  /// Helping can deepen the native stack (stolen work can reach another
+  /// sync in turn), trading stack depth for zero idle time — the usual
+  /// help-first bargain.
+  template <typename Pred> void helpWhile(Worker &W, Pred &&NeedHelp) {
+    int FailStreak = 0;
+    while (NeedHelp()) {
+      if (Cfg.NumWorkers > 1) {
+        Task T;
+        if (acquireOnce(W, /*Helping=*/true, T) ==
+            AcquireOutcome::Acquired) {
+          Pol.execute(W, T);
+          FailStreak = 0;
+          continue;
+        }
+      }
+      ++FailStreak;
+      stealBackoff(FailStreak);
+    }
+  }
+
+private:
+  void workerMain(int Id) {
+    Worker &W = *Workers[static_cast<std::size_t>(Id)];
+    bool EnterStealLoop = true;
+    if (Id == 0)
+      EnterStealLoop = Pol.runRoot(W);
+    if (EnterStealLoop)
+      stealLoop(W);
+  }
+
+  /// The idle loop: acquire work until the run terminates, accounting
+  /// idle time into StealWaitNs. Idle time is flushed *before* executing
+  /// acquired work so execution never counts as waiting.
+  void stealLoop(Worker &W) {
+    if (Cfg.NumWorkers == 1)
+      return;
+    int FailStreak = 0;
+    std::uint64_t IdleBegin = nowNanos();
+    while (!Done.load(std::memory_order_acquire)) {
+      Task T;
+      AcquireOutcome O = acquireOnce(W, /*Helping=*/false, T);
+      if (O == AcquireOutcome::Acquired) {
+        FailStreak = 0;
+        W.Stats.StealWaitNs += nowNanos() - IdleBegin;
+        Pol.execute(W, T);
+        IdleBegin = nowNanos();
+        continue;
+      }
+      if (O == AcquireOutcome::Terminated)
+        break;
+      ++FailStreak;
+      stealBackoff(FailStreak);
+    }
+    W.Stats.StealWaitNs += nowNanos() - IdleBegin;
+  }
+
+  /// One acquire attempt: pick a victim (last-successful victim first,
+  /// random otherwise), let the policy try to take work from it, then do
+  /// the kernel-side bookkeeping — steal counters, affinity update, and
+  /// the paper's stolen_num / need_task signalling. A failed attempt
+  /// (including a policy-side emptiness probe) counts as a failed steal
+  /// for that protocol, since an AdaptiveTC victim busy in fake tasks has
+  /// an *empty* deque precisely when it needs to be told to publish
+  /// special tasks.
+  AcquireOutcome acquireOnce(Worker &W, bool Helping, Task &Out) {
+    assert(Cfg.NumWorkers > 1 && "acquire with no possible victim");
+    // Victim selection: affinity first — the last victim work came from
+    // is the most likely to still have more — falling back to random.
+    int V = W.LastVictim;
+    bool Affine = (V >= 0 && V != W.Id);
+    if (!Affine) {
+      V = static_cast<int>(
+          W.Rng.nextBelow(static_cast<std::uint64_t>(Cfg.NumWorkers - 1)));
+      if (V >= W.Id)
+        ++V;
+    }
+    Worker &Victim = *Workers[static_cast<std::size_t>(V)];
+
+    ++W.Stats.StealAttempts;
+    AcquireOutcome O = Pol.tryAcquire(W, Victim, Helping, Out);
+
+    if (O == AcquireOutcome::Acquired) {
+      ++W.Stats.Steals;
+      if (Affine)
+        ++W.Stats.AffinityHits;
+      if (Helping)
+        ++W.Stats.HelpSteals;
+      W.LastVictim = V;
+      // "When the thief thread succeeds in stealing a task, it clears the
+      // victim thread's stolen_num and need_task."
+      Victim.StolenNum.store(0, std::memory_order_relaxed);
+      Victim.NeedTask.store(false, std::memory_order_relaxed);
+      return O;
+    }
+    if (O == AcquireOutcome::Terminated)
+      return O;
+
+    // Failed attempt: inform the victim it is being asked for tasks, and
+    // stop favouring it.
+    ++W.Stats.StealFails;
+    W.LastVictim = -1;
+    int SN = Victim.StolenNum.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (SN > Cfg.MaxStolenNum)
+      Victim.NeedTask.store(true, std::memory_order_relaxed);
+    return O;
+  }
+
+  Policy &Pol;
+  SchedulerConfig Cfg;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::atomic<bool> Done{false};
+  std::mutex ResultLock;
+  Result FinalResult{};
+  bool HaveResult = false;
+  SchedulerStats Total;
+};
+
+} // namespace atc
+
+#endif // ATC_CORE_KERNEL_WORKERRUNTIME_H

@@ -103,7 +103,7 @@ public:
   /// after the claiming CAS. Unlike TheDeque there is no lock, so there
   /// is NO happens-before edge to the owner's pop/popSpecial failure:
   /// callers must tolerate the callback's effects racing with the
-  /// owner's failure handling (FrameEngine's join protocol does — see
+  /// owner's failure handling (FramePolicy's join protocol does — see
   /// DESIGN.md "Lock-free steal path").
   StealResult steal(void (*OnSteal)(void *Frame, void *Ctx) = nullptr,
                     void *Ctx = nullptr);

@@ -491,8 +491,13 @@ private:
       return;
     case Version::Fast:
     case Version::Slow: {
-      // The slow version resumes the fast dispatch (Figure 2).
-      line("if (_dp < _w.cutoff()) {");
+      // The Figure 2 dispatch is the runtime's FiveVersionFsm, not an
+      // inline cut-off comparison; the slow version resumes the fast
+      // dispatch with its own FSM state (so transition counters can tell
+      // the thief path apart).
+      line(std::string("if (_w.dispatch(atcgen::CodeVersion::") +
+           (Ctx.V == Version::Slow ? "Slow" : "Fast") +
+           ", _dp) == atcgen::CodeVersion::Fast) {");
       ++Indent;
       EmitTaskSpawn("_fast", "_dp + 1", /*Special=*/false);
       --Indent;
@@ -507,7 +512,8 @@ private:
       return;
     }
     case Version::Fast2: {
-      line("if (_dp < 2 * _w.cutoff()) {");
+      line("if (_w.dispatch(atcgen::CodeVersion::Fast2, _dp) == "
+           "atcgen::CodeVersion::Fast2) {");
       ++Indent;
       EmitTaskSpawn("_fast2", "_dp + 1", /*Special=*/false);
       --Indent;
@@ -520,7 +526,10 @@ private:
       return;
     }
     case Version::Check: {
-      line("if (!_w.needTask()) {");
+      // dispatch polls need_task internally on the check edge; the child
+      // stays a fake task unless the FSM routes it to fast_2.
+      line("if (_w.dispatch(atcgen::CodeVersion::Check, 0) == "
+           "atcgen::CodeVersion::Check) {");
       ++Indent;
       line(Recv + " += " + CalleeBase + "_check(_w" +
            callArgs(S, *Callee, Ctx, "") + ");");

@@ -16,7 +16,7 @@
 /// a real deque and is counted, but pops never fail (there are no
 /// thieves), so the slow-version resume paths are compiled yet not
 /// exercised. The parallel execution of the AdaptiveTC strategy is the
-/// core library's job (atc::FrameEngine); the compiler exists to
+/// core library's job (atc::FramePolicy over the scheduler kernel); the compiler exists to
 /// demonstrate the paper's translation scheme end-to-end (see DESIGN.md).
 ///
 /// Testing knob: setting forceNeedTaskEvery(N) makes needTask() report
@@ -29,6 +29,10 @@
 #ifndef ATC_LANG_RUNTIME_GENRUNTIME_H
 #define ATC_LANG_RUNTIME_GENRUNTIME_H
 
+// The Figure 2 FSM shared with the core library and the simulator
+// (self-contained header; generated code compiles with -I <repo>/src).
+#include "core/kernel/FiveVersionFsm.h"
+
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -38,6 +42,10 @@
 #include <vector>
 
 namespace atcgen {
+
+// Generated code names versions as atcgen::CodeVersion::Fast etc.
+using atc::CodeVersion;
+using atc::FsmCounters;
 
 /// Common header of every generated task frame ("task_info").
 struct TaskInfoBase {
@@ -69,9 +77,24 @@ struct GenStats {
 
 /// Single-worker executor implementing the generated-code ABI.
 struct Worker {
-  explicit Worker(int CutoffDepth = 0) : CutoffDepth(CutoffDepth) {}
+  explicit Worker(int CutoffDepth = 0) : Fsm(CutoffDepth) {}
 
-  int cutoff() const { return CutoffDepth; }
+  int cutoff() const { return Fsm.cutoff(); }
+
+  /// Figure 2 dispatch for the generated spawn sites: returns the version
+  /// the child of a spawn executing version \p Cur at spawn depth \p Dp
+  /// runs under, per the shared FiveVersionFsm. Polls need_task exactly
+  /// when Cur is the check version (one poll per spawn-site iteration,
+  /// counted in Stats.Polls) and records the transition in FsmCounts.
+  /// The generated code branches on the returned version; the depth
+  /// expressions it passes to the child (_dp + 1, or 0 on the special
+  /// transition) match the FSM's ChildDp by construction.
+  CodeVersion dispatch(CodeVersion Cur, int Dp) {
+    const bool NT = (Cur == CodeVersion::Check) && needTask();
+    const atc::FsmTransition T = Fsm.child(Cur, Dp, NT);
+    FsmCounts.record(Cur, T.Child);
+    return T.Child;
+  }
 
   /// need_task poll (the check version's per-iteration test).
   bool needTask() {
@@ -207,6 +230,9 @@ struct Worker {
 
   GenStats Stats;
 
+  /// Figure 2 transition counts, one edge per dispatch() call.
+  FsmCounters FsmCounts;
+
 private:
   static constexpr std::size_t MaxPooledPerBucket = 4096;
 
@@ -215,7 +241,7 @@ private:
     std::vector<void *> Free;
   };
 
-  int CutoffDepth;
+  atc::FiveVersionFsm Fsm;
   int ForceEvery = 0;
   std::vector<TaskInfoBase *> Deque;
   std::vector<WsBucket> WsBuckets;

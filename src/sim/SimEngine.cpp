@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/SimEngine.h"
+#include "core/kernel/TaskCreationPolicy.h"
 #include "support/Compiler.h"
 #include "support/Prng.h"
 
@@ -17,13 +18,11 @@ using namespace atc;
 
 namespace {
 
-/// How a frame dispatches (and costs) its children.
-enum class FrameMode {
-  Task,  ///< fast version: children spawn as tasks (or check beyond cutoff)
-  Fast2, ///< fast_2 version: doubled cutoff, falls back to sequence
-  Check, ///< check version: fake task that polls need_task
-  Seq,   ///< sequence version / below-cutoff plain recursion / Tascell
-};
+// Frames dispatch (and cost) their children per the shared Figure 2 FSM:
+// CodeVersion::Fast spawns tasks up to the cut-off, Fast2 up to the
+// doubled cut-off, Check runs fake tasks that poll need_task, and
+// Sequence covers plain recursion (and Tascell / Sequential, whose
+// dispatchChild edge is always a non-spawning Sequence edge).
 
 /// Completion-tracking job: counts unprocessed nodes of a donated /
 /// special subtree so waiters know when their children are done.
@@ -37,7 +36,7 @@ struct SimFrame {
   std::vector<SimTreeNode> Kids;
   int Next = 0;
   int End = 0;
-  FrameMode Mode = FrameMode::Seq;
+  CodeVersion Mode = CodeVersion::Sequence;
   int Dp = 0;             ///< Spawn depth of the node that owns this level.
   bool Stealable = false;
   bool SpecialMade = false;      ///< ATC: special task already created here.
@@ -175,7 +174,7 @@ SimReport Simulator::run() {
       case SchedulerKind::CilkSynched:
       case SchedulerKind::Cutoff:
       case SchedulerKind::AdaptiveTC:
-        F.Mode = FrameMode::Task;
+        F.Mode = CodeVersion::Fast;
         F.Stealable = true;
         W.OpenStealable = 1;
         R.MaxStealableFrames = 1;
@@ -183,7 +182,7 @@ SimReport Simulator::run() {
         break;
       case SchedulerKind::Tascell:
       case SchedulerKind::Sequential:
-        F.Mode = FrameMode::Seq;
+        F.Mode = CodeVersion::Sequence;
         break;
       }
       W.Stack.push_back(std::move(F));
@@ -252,99 +251,46 @@ void Simulator::visitChild(SimWorker &W) {
   SimFrame &F = W.Stack.back();
   SimTreeNode Node = F.Kids[static_cast<std::size_t>(F.Next++)];
 
-  // Determine the child's dispatch (edge) from the parent frame's mode,
-  // and the frame mode its own children will use.
-  FrameMode ChildMode = FrameMode::Seq;
-  int ChildDp = 0;
-  bool Spawned = false;   // real task: frame + deque + copy
-  bool Special = false;   // ATC special-task transition
-  bool Polled = false;    // check-version need_task poll
-  bool ChildStealable = false;
+  // Determine the child's dispatch (edge) from the parent frame's mode
+  // via the shared FSM/policy table, then translate the transition into
+  // the simulator's cost charges.
+  const FsmTransition T =
+      dispatchChild(Opts.Kind, CutoffDepth, F.Mode, F.Dp, W.NeedTask);
+  const CodeVersion ChildMode = T.Child;
+  const int ChildDp = T.ChildDp;
+  const bool Spawned = T.SpawnTask;  // real task: frame + deque + copy
+  const bool ChildStealable = Spawned && isDequeKind();
+  bool Special = false;              // ATC special-task transition
   Job *ChildJob = F.NodeJob;
 
-  switch (Opts.Kind) {
-  case SchedulerKind::Cilk:
-  case SchedulerKind::CilkSynched:
-    Spawned = true;
-    ChildMode = FrameMode::Task;
-    ChildDp = F.Dp + 1;
-    ChildStealable = true;
-    break;
-  case SchedulerKind::Cutoff:
-    // Sequence regions are sticky: once beyond the cut-off, plain
-    // recursion never re-enters task mode.
-    if (F.Mode != FrameMode::Seq && F.Dp < CutoffDepth) {
-      Spawned = true;
-      ChildMode = FrameMode::Task;
-      ChildDp = F.Dp + 1;
-      ChildStealable = true;
-    } else {
-      ChildMode = FrameMode::Seq;
-      if (Opts.CutoffCopiesEverywhere) {
-        // Cutoff-library: workspace copying is not elided below the
-        // cut-off (no taskprivate support in the runtime).
-        double Ns = C.AllocNs + C.CopyNsPerByte * C.StateBytes;
-        W.Now += Ns;
-        W.B.OverheadNs += Ns;
-        ++R.Copies;
-      }
-    }
-    break;
-  case SchedulerKind::AdaptiveTC:
-    switch (F.Mode) {
-    case FrameMode::Task:
-      if (F.Dp < CutoffDepth) {
-        Spawned = true;
-        ChildMode = FrameMode::Task;
-        ChildDp = F.Dp + 1;
-        ChildStealable = true;
-      } else {
-        Polled = true;
-        ChildMode = FrameMode::Check;
-      }
-      break;
-    case FrameMode::Fast2:
-      if (F.Dp < 2 * CutoffDepth) {
-        Spawned = true;
-        ChildMode = FrameMode::Fast2;
-        ChildDp = F.Dp + 1;
-        ChildStealable = true;
-      } else {
-        ChildMode = FrameMode::Seq;
-      }
-      break;
-    case FrameMode::Check:
-      Polled = true;
-      if (W.NeedTask) {
-        // Publish: create a special task for this level (once) and run
-        // the child through fast_2 with the spawn depth reset to 0. The
-        // child's whole subtree is tracked by a job the special must
-        // await (sync_specialtask).
-        Spawned = true;
-        Special = !F.SpecialMade;
-        F.SpecialMade = true;
-        ChildMode = FrameMode::Fast2;
-        ChildDp = 0;
-        ChildStealable = true;
-        ChildJob = newJob(Node.Size - 1, F.NodeJob);
-        F.WaitJobs.push_back(ChildJob);
-        if (Special)
-          ++R.SpecialTasks;
-      } else {
-        ChildMode = FrameMode::Check;
-      }
-      break;
-    case FrameMode::Seq:
-      ChildMode = FrameMode::Seq;
-      break;
-    }
-    break;
-  case SchedulerKind::Tascell:
-    ChildMode = FrameMode::Seq; // all levels splittable via backtracking
-    break;
-  case SchedulerKind::Sequential:
-    ChildMode = FrameMode::Seq;
-    break;
+  // The FSM flags a poll on check-version edges; the fast version's
+  // over-cutoff edge (Fast -> Check) also tests need_task once in the
+  // generated code, so charge it too.
+  const bool Polled =
+      T.PolledNeedTask ||
+      (F.Mode == CodeVersion::Fast && T.Child == CodeVersion::Check);
+
+  if (T.SpecialPush) {
+    // Publish: create a special task for this level (once) and run the
+    // child through fast_2 with the spawn depth reset to 0. The child's
+    // whole subtree is tracked by a job the special must await
+    // (sync_specialtask).
+    Special = !F.SpecialMade;
+    F.SpecialMade = true;
+    ChildJob = newJob(Node.Size - 1, F.NodeJob);
+    F.WaitJobs.push_back(ChildJob);
+    if (Special)
+      ++R.SpecialTasks;
+  }
+
+  if (Opts.Kind == SchedulerKind::Cutoff && !Spawned &&
+      Opts.CutoffCopiesEverywhere) {
+    // Cutoff-library: workspace copying is not elided below the cut-off
+    // (no taskprivate support in the runtime).
+    double Ns = C.AllocNs + C.CopyNsPerByte * C.StateBytes;
+    W.Now += Ns;
+    W.B.OverheadNs += Ns;
+    ++R.Copies;
   }
 
   // Charge the node's work and the edge overheads.
@@ -385,7 +331,7 @@ void Simulator::visitChild(SimWorker &W) {
   NF.End = static_cast<int>(NF.Kids.size());
   NF.Mode = ChildMode;
   NF.Dp = ChildDp;
-  NF.Stealable = ChildStealable && isDequeKind();
+  NF.Stealable = ChildStealable;
   NF.NodeJob = ChildJob;
   if (NF.Stealable) {
     ++W.OpenStealable;
@@ -474,8 +420,8 @@ void Simulator::dequeStealAttempt(int Wi) {
   TF.End = static_cast<int>(TF.Kids.size());
   // The slow version dispatches children through the fast/check rule
   // regardless of which version originally spawned the task — so a
-  // stolen fast_2 continuation re-enters poll-capable Task mode.
-  TF.Mode = FrameMode::Task;
+  // stolen fast_2 continuation re-enters poll-capable fast mode.
+  TF.Mode = CodeVersion::Fast;
   TF.Dp = Target->Dp;
   TF.Stealable = true;
   TF.NodeJob = Target->NodeJob;
@@ -586,7 +532,7 @@ void Simulator::tascellPoll(int Wi) {
   for (const SimTreeNode &K : DF.Kids)
     DonatedNodes += K.Size;
   DF.End = static_cast<int>(DF.Kids.size());
-  DF.Mode = FrameMode::Seq;
+  DF.Mode = CodeVersion::Sequence;
   Job *J = newJob(DonatedNodes, F.NodeJob);
   DF.NodeJob = J;
   F.WaitJobs.push_back(J);

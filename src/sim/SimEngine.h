@@ -19,7 +19,7 @@
 ///    deque ops, workspace copy, polling) from the CostModel.
 ///  * Deque policies steal the *continuation* of the oldest stealable
 ///    frame (the untried sibling range), exactly like the real
-///    FrameEngine. Tascell posts requests that the victim answers at its
+///    the frame engine. Tascell posts requests that the victim answers at its
 ///    next poll by temporarily backtracking and donating half of the
 ///    untried choices of its oldest open level.
 ///  * AdaptiveTC's check region polls a need_task flag set by repeatedly

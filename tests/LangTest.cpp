@@ -300,10 +300,16 @@ TEST(CodeGen, EmitsAllFiveVersionsAndFrame) {
   for (const char *Needle :
        {"struct f_frame : atcgen::TaskInfoBase", "long f_fast(",
         "long f_fast2(", "long f_check(", "long f_seq(", "void f_slow(",
-        "_w.push(_f);", "_w.pushSpecial(_f);", "_w.needTask()",
+        "_w.push(_f);", "_w.pushSpecial(_f);",
+        "_w.dispatch(atcgen::CodeVersion::Check, 0)",
         "case 0: goto _resume_0;", "case 1: goto _resume_1;",
-        "_resume_0: ;", "if (_dp < _w.cutoff())",
-        "if (_dp < 2 * _w.cutoff())"})
+        "_resume_0: ;",
+        "if (_w.dispatch(atcgen::CodeVersion::Fast, _dp) == "
+        "atcgen::CodeVersion::Fast)",
+        "if (_w.dispatch(atcgen::CodeVersion::Fast2, _dp) == "
+        "atcgen::CodeVersion::Fast2)",
+        "if (_w.dispatch(atcgen::CodeVersion::Slow, _dp) == "
+        "atcgen::CodeVersion::Fast)"})
     EXPECT_NE(R.Cpp.find(Needle), std::string::npos)
         << "missing in generated code: " << Needle;
 }

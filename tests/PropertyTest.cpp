@@ -183,7 +183,7 @@ void checkLiveBytesContract(P &Prob, const typename P::State &Root,
         if (!Prob.applyChoice(S, Depth, K))
           continue;
         Viable = K;
-        // What FrameEngine copies for this spawn: the post-applyChoice
+        // What the frame engine copies for this spawn: the post-applyChoice
         // state, bounded to the prefix live at the child's depth.
         const std::size_t Live = liveStateBytes(Prob, S, Depth + 1);
         ASSERT_LE(Live, sizeof(State));

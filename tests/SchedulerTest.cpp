@@ -318,6 +318,84 @@ TEST(SchedulerBehaviour, SpecialTasksFireWithAtomicDeque) {
       << "special-task path never fired on the atomic deque";
 }
 
+//===----------------------------------------------------------------------===//
+// Kernel / policy layering invariants
+//===----------------------------------------------------------------------===//
+
+// Every tree node runs under exactly one code version, so the kernel's
+// accounting must partition the tree for every task-creation policy over
+// either deque: real tasks + fake tasks = tree nodes, and every steal
+// attempt resolves to a steal or a fail. This is the cross-policy
+// uniformity the shared WorkerRuntime guarantees.
+TEST(PolicyMatrix, TaskAccountingPartitionsTheTree) {
+  const SchedulerKind Kinds[] = {SchedulerKind::Cilk,
+                                 SchedulerKind::CilkSynched,
+                                 SchedulerKind::Cutoff,
+                                 SchedulerKind::AdaptiveTC};
+  const DequeKind Deques[] = {DequeKind::The, DequeKind::Atomic};
+
+  NQueensArray NQ;
+  auto NQRoot = NQueensArray::makeRoot(9);
+  long long NQExpected = runSequential(NQ, NQRoot);
+  TreeProfile NQProfile;
+  {
+    auto S = NQueensArray::makeRoot(9);
+    profileTree(NQ, S, NQProfile);
+  }
+
+  Sudoku SU;
+  auto SURoot = Sudoku::makeInstance("balance");
+  long long SUExpected = runSequential(SU, SURoot);
+  TreeProfile SUProfile;
+  {
+    auto S = Sudoku::makeInstance("balance");
+    profileTree(SU, S, SUProfile);
+  }
+
+  for (SchedulerKind Kind : Kinds)
+    for (DequeKind DQ : Deques) {
+      SchedulerConfig Cfg;
+      Cfg.Kind = Kind;
+      Cfg.Deque = DQ;
+      Cfg.NumWorkers = 4;
+      const std::string What = std::string(schedulerKindName(Kind)) + "/" +
+                               dequeKindName(DQ);
+
+      auto RN = runProblem(NQ, NQueensArray::makeRoot(9), Cfg);
+      EXPECT_EQ(RN.Value, NQExpected) << What;
+      EXPECT_EQ(RN.Stats.TasksCreated + RN.Stats.FakeTasks,
+                static_cast<std::uint64_t>(NQProfile.Nodes))
+          << What << ": node accounting does not partition the tree";
+      EXPECT_EQ(RN.Stats.StealAttempts,
+                RN.Stats.Steals + RN.Stats.StealFails)
+          << What;
+
+      auto RS = runProblem(SU, Sudoku::makeInstance("balance"), Cfg);
+      EXPECT_EQ(RS.Value, SUExpected) << What;
+      EXPECT_EQ(RS.Stats.TasksCreated + RS.Stats.FakeTasks,
+                static_cast<std::uint64_t>(SUProfile.Nodes))
+          << What << ": node accounting does not partition the tree";
+      EXPECT_EQ(RS.Stats.StealAttempts,
+                RS.Stats.Steals + RS.Stats.StealFails)
+          << What;
+    }
+}
+
+// Before the kernel refactor Tascell never reported steal-path counters;
+// now the shared steal loop counts attempts for it like for every other
+// kind (requests may additionally be abandoned at termination, so
+// attempts can exceed steals + fails, never the reverse).
+TEST(PolicyMatrix, TascellReportsKernelStealCounters) {
+  NQueensCompute Prob;
+  SchedulerConfig Cfg;
+  Cfg.Kind = SchedulerKind::Tascell;
+  Cfg.NumWorkers = 4;
+  auto R = runProblem(Prob, NQueensCompute::makeRoot(11), Cfg);
+  EXPECT_EQ(R.Value, 2680);
+  EXPECT_GT(R.Stats.StealAttempts, 0u);
+  EXPECT_GE(R.Stats.StealAttempts, R.Stats.Steals + R.Stats.StealFails);
+}
+
 TEST(FrameRecycling, ResetRestoresFreshlyConstructedState) {
   using Frame = TaskFrame<NQueensArray>;
 
