@@ -17,8 +17,10 @@
 #include "bench/common/BenchCommon.h"
 #include "sim/SimEngine.h"
 #include "sim/TreeGen.h"
+#include "support/Error.h"
 #include "support/Options.h"
 #include "support/Table.h"
+#include "trace/TraceJson.h"
 
 #include <cstdio>
 
@@ -28,10 +30,24 @@ int main(int argc, char **argv) {
   long long Scale = 2'000'000;
   std::string CsvPath;
   bool Quick = false;
+  std::string TracePath;
+  std::string TraceTree = "tree3r";
+  std::string TraceSystem = "adaptivetc";
+  long long TraceThreads = 8;
   OptionSet Opts("Figure 10: speedup on unbalanced trees");
   Opts.addInt("scale", &Scale, "tree size in nodes");
   Opts.addFlag("quick", &Quick, "thread counts {1,2,4,8} only");
   Opts.addString("csv", &CsvPath, "also write results as CSV to this file");
+  Opts.addString("trace", &TracePath,
+                 "also record one run's virtual-time event trace to this "
+                 "file (Chrome/Perfetto trace.json); selected by "
+                 "--trace-tree/--trace-system/--trace-threads");
+  Opts.addString("trace-tree", &TraceTree,
+                 "tree preset the trace records (default tree3r)");
+  Opts.addString("trace-system", &TraceSystem,
+                 "system the trace records (default adaptivetc)");
+  Opts.addInt("trace-threads", &TraceThreads,
+              "worker count the trace records (default 8)");
   Opts.parse(argc, argv);
 
   struct Panel {
@@ -110,6 +126,29 @@ int main(int argc, char **argv) {
                   100.0 * R.Total.WaitChildrenNs / Busy,
                   100.0 * R.Total.IdleNs / Busy, R.speedup());
     }
+  }
+
+  // Optional: replay one selected configuration with a trace log attached
+  // (the simulator is deterministic, so this is exactly the run the
+  // tables above measured) and export it for Perfetto.
+  if (!TracePath.empty()) {
+    SimOptions SimOpts;
+    if (!parseSchedulerKind(TraceSystem, SimOpts.Kind))
+      reportFatalError("unknown scheduler '" + TraceSystem + "'");
+    SimOpts.NumWorkers = static_cast<int>(TraceThreads);
+    SimTree Tree(SimTree::preset(TraceTree, Scale));
+    CostModel Costs;
+    TraceLog Log(SimOpts.NumWorkers, 1u << 20);
+    simulate(Tree, SimOpts, Costs, &Log);
+    Log.Meta.Workload = TraceTree;
+    if (writeChromeTraceFile(Log, TracePath))
+      std::printf("\ntrace: wrote %s (%s on %s, %lld virtual workers)\n",
+                  TracePath.c_str(), schedulerKindName(SimOpts.Kind),
+                  TraceTree.c_str(), TraceThreads);
+    else
+      std::fprintf(stderr, "fig10_unbalanced: cannot write trace to "
+                           "'%s'\n",
+                   TracePath.c_str());
   }
 
   atc::bench::maybeWriteCsv(CsvPath, Csv.renderCsv());

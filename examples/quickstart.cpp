@@ -22,8 +22,10 @@
 #include "support/Options.h"
 #include "support/Table.h"
 #include "support/Timer.h"
+#include "trace/TraceJson.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace atc;
 
@@ -31,12 +33,16 @@ int main(int argc, char **argv) {
   long long Threads = 4;
   long long BoardSize = 11;
   std::string Deque = "the";
+  std::string TracePath;
   OptionSet Opts("Quickstart: n-queens under every scheduler");
   Opts.addInt("threads", &Threads, "worker threads (default 4)");
   Opts.addInt("n", &BoardSize, "board size (default 11)");
   Opts.addString("deque", &Deque,
                  "ready-deque implementation: the (mutex, paper-fidelity) "
                  "or atomic (lock-free CAS)");
+  Opts.addString("trace", &TracePath,
+                 "record the AdaptiveTC run's event trace to this file "
+                 "(Chrome/Perfetto trace.json)");
   Opts.parse(argc, argv);
   DequeKind DQ;
   if (!parseDequeKind(Deque, DQ))
@@ -69,8 +75,18 @@ int main(int argc, char **argv) {
     Cfg.Kind = Kind;
     Cfg.Deque = DQ;
     Cfg.NumWorkers = static_cast<int>(Threads);
+    Cfg.Trace = !TracePath.empty() && Kind == SchedulerKind::AdaptiveTC;
     RunResult<long long> R;
     double Sec = timeSeconds([&] { R = runProblem(Prob, Root, Cfg); });
+    if (Cfg.Trace && R.Trace) {
+      R.Trace->Meta.Workload = std::to_string(BoardSize) + "-queens";
+      if (writeChromeTraceFile(*R.Trace, TracePath))
+        std::printf("trace: wrote %s — open in https://ui.perfetto.dev\n",
+                    TracePath.c_str());
+      else
+        std::fprintf(stderr, "quickstart: cannot write trace to '%s'\n",
+                     TracePath.c_str());
+    }
     Table.addRow({schedulerKindName(Kind), TextTable::fmt(Sec * 1e3, 1),
                   R.Value == Expected ? "yes" : "NO",
                   TextTable::fmt(static_cast<long long>(R.Stats.TasksCreated)),

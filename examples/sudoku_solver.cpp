@@ -20,8 +20,10 @@
 #include "support/Error.h"
 #include "support/Options.h"
 #include "support/Timer.h"
+#include "trace/TraceJson.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace atc;
 
@@ -44,6 +46,10 @@ int main(int argc, char **argv) {
                  "ready-deque implementation: the (mutex, paper-fidelity) "
                  "or atomic (lock-free CAS)");
   Opts.addInt("threads", &Threads, "worker threads");
+  std::string TracePath;
+  Opts.addString("trace", &TracePath,
+                 "record a scheduler event trace to this file "
+                 "(Chrome/Perfetto trace.json)");
   Opts.parse(argc, argv);
 
   SchedulerConfig Cfg;
@@ -52,6 +58,7 @@ int main(int argc, char **argv) {
   if (!parseDequeKind(Deque, Cfg.Deque))
     reportFatalError("unknown deque kind '" + Deque + "'");
   Cfg.NumWorkers = static_cast<int>(Threads);
+  Cfg.Trace = !TracePath.empty();
 
   Sudoku Prob;
   Sudoku::State Root = Grid.empty() ? Sudoku::makeInstance(Instance)
@@ -65,5 +72,22 @@ int main(int argc, char **argv) {
   double Sec = timeSeconds([&] { R = runProblem(Prob, Root, Cfg); });
   std::printf("solutions: %lld in %.1f ms\n", R.Value, Sec * 1e3);
   std::printf("scheduler: %s\n", R.Stats.summary().c_str());
+  if (!TracePath.empty()) {
+    if (!R.Trace) {
+      std::fprintf(stderr, "sudoku_solver: no trace was recorded "
+                           "(sequential scheduler or tracing compiled "
+                           "out)\n");
+      return 1;
+    }
+    R.Trace->Meta.Workload =
+        "sudoku-" + (Grid.empty() ? Instance : std::string("custom"));
+    if (!writeChromeTraceFile(*R.Trace, TracePath)) {
+      std::fprintf(stderr, "sudoku_solver: cannot write trace to '%s'\n",
+                   TracePath.c_str());
+      return 1;
+    }
+    std::printf("trace: wrote %s — open in https://ui.perfetto.dev\n",
+                TracePath.c_str());
+  }
   return 0;
 }

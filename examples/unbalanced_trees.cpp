@@ -18,8 +18,10 @@
 
 #include "sim/SimEngine.h"
 #include "sim/TreeGen.h"
+#include "support/Error.h"
 #include "support/Options.h"
 #include "support/Table.h"
+#include "trace/TraceJson.h"
 
 #include <cstdio>
 
@@ -29,6 +31,8 @@ int main(int argc, char **argv) {
   std::string TreeName = "tree3l";
   long long Scale = 1'000'000;
   long long MaxThreads = 8;
+  std::string TracePath;
+  std::string TraceSystem = "adaptivetc";
   OptionSet Opts("Explore scheduler behaviour on unbalanced trees "
                  "(virtual-time simulation)");
   std::string Presets;
@@ -37,6 +41,12 @@ int main(int argc, char **argv) {
   Opts.addString("tree", &TreeName, "tree preset: " + Presets);
   Opts.addInt("scale", &Scale, "tree size in nodes");
   Opts.addInt("max-threads", &MaxThreads, "largest worker count");
+  Opts.addString("trace", &TracePath,
+                 "record a virtual-time event trace of the max-threads "
+                 "run to this file (Chrome/Perfetto trace.json)");
+  Opts.addString("trace-system", &TraceSystem,
+                 "which system the trace records: cilk-synched, tascell, "
+                 "or adaptivetc");
   Opts.parse(argc, argv);
 
   SimTree Tree(SimTree::preset(TreeName, Scale));
@@ -73,6 +83,28 @@ int main(int argc, char **argv) {
                   Pct(Atc.Total.IdleNs, Atc)});
   }
   Table.print();
+
+  if (!TracePath.empty()) {
+    // The simulator is deterministic, so re-running the chosen system at
+    // max-threads with a trace log attached replays exactly the run the
+    // table reported.
+    SimOptions SimOpts;
+    if (!parseSchedulerKind(TraceSystem, SimOpts.Kind))
+      reportFatalError("unknown scheduler '" + TraceSystem + "'");
+    SimOpts.NumWorkers = static_cast<int>(MaxThreads);
+    TraceLog Log(SimOpts.NumWorkers, 1u << 20);
+    simulate(Tree, SimOpts, Costs, &Log);
+    Log.Meta.Workload = TreeName;
+    if (writeChromeTraceFile(Log, TracePath))
+      std::printf("\ntrace: wrote %s (%s, %lld virtual workers) — open in "
+                  "https://ui.perfetto.dev\n",
+                  TracePath.c_str(), schedulerKindName(SimOpts.Kind),
+                  MaxThreads);
+    else
+      std::fprintf(stderr, "unbalanced_trees: cannot write trace to "
+                           "'%s'\n",
+                   TracePath.c_str());
+  }
   std::printf(
       "\nTry a right-heavy mirror (e.g. --tree=tree3r): Tascell's "
       "wait_children\nexplodes because it cannot suspend a waiting task, "

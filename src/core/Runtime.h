@@ -44,6 +44,11 @@ namespace atc {
 template <typename ResultT> struct RunResult {
   ResultT Value{};
   SchedulerStats Stats;
+
+  /// The run's event trace when SchedulerConfig::Trace was armed (and
+  /// the build has ATC_TRACE=ON); null otherwise. Export with
+  /// writeChromeTraceFile (trace/TraceJson.h).
+  std::shared_ptr<TraceLog> Trace;
 };
 
 namespace detail {
@@ -56,7 +61,7 @@ runFramePolicy(P &Prob, const typename P::State &Root,
   FramePolicy<P, DequeT, TC> Pol(Prob, Cfg, Root);
   WorkerRuntime<FramePolicy<P, DequeT, TC>> Rt(Pol, Cfg);
   typename P::Result Value = Rt.run();
-  return {Value, Rt.stats()};
+  return {Value, Rt.stats(), Rt.traceLog()};
 }
 
 /// Picks the task-creation policy for a deque-based kind.
@@ -93,13 +98,13 @@ RunResult<typename P::Result> runProblem(P &Prob,
   switch (Cfg.Kind) {
   case SchedulerKind::Sequential: {
     typename P::State S = Root;
-    return {runSequential(Prob, S), SchedulerStats()};
+    return {runSequential(Prob, S), SchedulerStats(), nullptr};
   }
   case SchedulerKind::Tascell: {
     TascellPolicy<P> Pol(Prob, Cfg, Root);
     WorkerRuntime<TascellPolicy<P>> Rt(Pol, Cfg);
     typename P::Result Value = Rt.run();
-    return {Value, Rt.stats()};
+    return {Value, Rt.stats(), Rt.traceLog()};
   }
   case SchedulerKind::Cilk:
   case SchedulerKind::CilkSynched:

@@ -99,6 +99,17 @@ struct SchedulerConfig {
   /// Seed for the deterministic victim-selection streams.
   std::uint64_t Seed = 0x5eedULL;
 
+  /// Arm the event tracer (src/trace) for this run: each worker gets a
+  /// fixed-size ring buffer and the run's RunResult carries the TraceLog
+  /// out for export. Requires a build with ATC_TRACE=ON (the default);
+  /// when tracing is compiled out this flag is ignored.
+  bool Trace = false;
+
+  /// Per-worker trace ring capacity, in events (16 bytes each). On
+  /// overflow the ring keeps the newest events and counts the dropped
+  /// oldest ones. Default: 1M events = 16 MiB per worker.
+  int TraceCap = 1 << 20;
+
   /// Resolves the effective cut-off depth: Cutoff if non-negative, else
   /// ceil(log2(NumWorkers)).
   int effectiveCutoff() const;

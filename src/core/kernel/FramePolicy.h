@@ -348,6 +348,10 @@ ExecResult<typename P::Result>
 FramePolicy<P, DequeT, TcPol>::taskBody(Worker &W, State &S, int Depth,
                                         Frame *Parent, int Dp,
                                         CodeVersion Cur, bool OwnsState) {
+  // Span attribution: everything below runs under Cur's mode; recursion
+  // within the same version emits nothing (setMode de-dupes). The scope
+  // covers all four return paths, stolen unwinds included.
+  TraceModeScope TraceSpan(W.Trace, traceModeFor(Cur));
   if (Prob.isLeaf(S, Depth)) {
     ++W.Stats.TasksCreated;
     Result R = Prob.leafResult(S, Depth);
@@ -404,6 +408,13 @@ FramePolicy<P, DequeT, TcPol>::taskBody(Worker &W, State &S, int Depth,
         continue;
       }
       ++NSpawns;
+      ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpawnReal,
+                      static_cast<std::uint32_t>(T.Child),
+                      static_cast<std::uint16_t>(Depth + 1));
+      if (T.Child != Cur)
+        ATC_TRACE_EVENT(W.Trace, TraceEventKind::FsmTransition,
+                        static_cast<std::uint32_t>(Cur),
+                        static_cast<std::uint16_t>(T.Child));
 
       ExecResult<Result> R = taskBody(W, *CB, Depth + 1, F, T.ChildDp,
                                       T.Child, /*OwnsState=*/true);
@@ -447,6 +458,17 @@ template <SearchProblem P, typename DequeT, TaskCreationPolicy TcPol>
 typename P::Result
 FramePolicy<P, DequeT, TcPol>::checkBody(Worker &W, State &S, int Depth) {
   ++W.Stats.FakeTasks;
+#if ATC_TRACE_ENABLED
+  // One spawn-fake per fake-task *subtree* (entry from a non-check
+  // mode), not per node — per-node volume would drown the ring in
+  // events carrying no extra information (SchedulerStats::FakeTasks has
+  // the exact count). The mode scope then spans the whole subtree.
+  if (ATC_UNLIKELY(W.Trace != nullptr) &&
+      W.Trace->mode() != TraceMode::Check)
+    W.Trace->emit(TraceEventKind::SpawnFake, 0,
+                  static_cast<std::uint16_t>(Depth));
+#endif
+  TraceModeScope TraceSpan(W.Trace, TraceMode::Check);
   if (Prob.isLeaf(S, Depth))
     return Prob.leafResult(S, Depth);
 
@@ -479,6 +501,11 @@ FramePolicy<P, DequeT, TcPol>::checkBody(Worker &W, State &S, int Depth) {
     assert(T.SpecialPush && T.Child == CodeVersion::Fast2 &&
            T.ChildDp == 0 && "check must publish through fast_2");
     if (!SF) {
+      // The observation record: this check body saw its own need_task
+      // flag and is about to publish (one event per responding body, not
+      // one per poll — the flag stays set until a steal clears it).
+      ATC_TRACE_EVENT(W.Trace, TraceEventKind::NeedTaskObserve, 0,
+                      static_cast<std::uint16_t>(Depth));
       SF = allocFrame(W);
       SF->Special = true;
       SF->Depth = Depth;
@@ -497,6 +524,11 @@ FramePolicy<P, DequeT, TcPol>::checkBody(Worker &W, State &S, int Depth) {
       continue;
     }
     ++W.Stats.Spawns;
+    ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpecialPush, 0,
+                    static_cast<std::uint16_t>(Depth));
+    ATC_TRACE_EVENT(W.Trace, TraceEventKind::FsmTransition,
+                    static_cast<std::uint32_t>(CodeVersion::Check),
+                    static_cast<std::uint16_t>(CodeVersion::Fast2));
 
     ExecResult<Result> R = taskBody(W, *CB, Depth + 1, SF, T.ChildDp,
                                     T.Child, /*OwnsState=*/true);
@@ -508,6 +540,14 @@ FramePolicy<P, DequeT, TcPol>::checkBody(Worker &W, State &S, int Depth) {
       // race with SF's free with the lock-free deque.)
       StolenFlag = true;
       SF->JoinCount.fetch_add(1, std::memory_order_acq_rel);
+      // The owner-side record of "a special task's work was stolen" —
+      // 1:1 with such steals, and the only safe side to record them on
+      // (the thief must never dereference a special frame).
+      ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpecialChildStolen, 0,
+                      static_cast<std::uint16_t>(Depth));
+    } else {
+      ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpecialPop, 0,
+                      static_cast<std::uint16_t>(Depth));
     }
     if (!R.Stolen)
       Acc += R.Value; // else: arrives through SF->Deposits
@@ -522,9 +562,13 @@ FramePolicy<P, DequeT, TcPol>::checkBody(Worker &W, State &S, int Depth) {
       // kernel's help-first wait steals and runs other tasks meanwhile
       // (see WorkerRuntime::helpWhile).
       std::uint64_t T0 = nowNanos();
+      ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpecialSyncBegin, 0,
+                      static_cast<std::uint16_t>(Depth));
       Rt->helpWhile(W, [&] {
         return SF->JoinCount.load(std::memory_order_acquire) != 0;
       });
+      ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpecialSyncEnd, 0,
+                      static_cast<std::uint16_t>(Depth));
       W.Stats.WaitChildrenNs += nowNanos() - T0;
     }
     {
@@ -563,6 +607,7 @@ typename P::Result seqBodyImpl(P &Prob, typename P::State &S, int Depth,
 template <SearchProblem P, typename DequeT, TaskCreationPolicy TcPol>
 typename P::Result
 FramePolicy<P, DequeT, TcPol>::seqBody(Worker &W, State &S, int Depth) {
+  TraceModeScope TraceSpan(W.Trace, TraceMode::Sequence);
   std::uint64_t Nodes = 0;
   Result Acc = detail::seqBodyImpl(Prob, S, Depth, Nodes);
   W.Stats.FakeTasks += Nodes;
@@ -573,6 +618,7 @@ template <SearchProblem P, typename DequeT, TaskCreationPolicy TcPol>
 void FramePolicy<P, DequeT, TcPol>::runContinuation(Worker &W, Frame *F) {
   // The slow version: restore the live state and "PC", undo the choice
   // whose child is running elsewhere, and continue the spawning loop.
+  TraceModeScope TraceSpan(W.Trace, TraceMode::Slow);
   State &S = *F->StatePtr;
   const int Depth = F->Depth;
   const int Dp = F->SpawnDepth;
@@ -605,6 +651,9 @@ void FramePolicy<P, DequeT, TcPol>::runContinuation(Worker &W, Frame *F) {
         continue;
       }
       ++W.Stats.Spawns;
+      ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpawnReal,
+                      static_cast<std::uint32_t>(T.Child),
+                      static_cast<std::uint16_t>(Depth + 1));
 
       ExecResult<Result> R = taskBody(W, *CB, Depth + 1, F, T.ChildDp,
                                       T.Child, /*OwnsState=*/true);

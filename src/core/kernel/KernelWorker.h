@@ -20,6 +20,7 @@
 #include "core/SchedulerStats.h"
 #include "support/Compiler.h"
 #include "support/Prng.h"
+#include "trace/TraceBuffer.h"
 
 #include <atomic>
 #include <cstdint>
@@ -46,6 +47,12 @@ struct alignas(ATC_CACHE_LINE_SIZE) KernelWorker {
   /// Last victim an acquire succeeded against, tried first on the next
   /// attempt (steal affinity); -1 when unset. Owner-only.
   int LastVictim = -1;
+
+  /// This worker's event-trace ring, or null when the run is untraced
+  /// (the common case — every emission site null-tests this). Owner-only:
+  /// a worker writes exclusively to its own ring. Set by WorkerRuntime
+  /// before threads start when SchedulerConfig::Trace is armed.
+  TraceBuffer *Trace = nullptr;
 
   /// Count of consecutive failed steal attempts against this worker,
   /// incremented by thieves (Fig. 3d). When it exceeds max_stolen_num the

@@ -159,6 +159,7 @@ public:
   void endRun() {}
 
   bool runRoot(TWorker &W) {
+    TraceModeScope TraceSpan(W.Trace, TraceMode::Work);
     Result Value = runNode(W, 0);
     W.flushLocalCounters();
     Rt->publishFinal(Value);
@@ -209,6 +210,7 @@ public:
   /// Executes a donated task: install the donated workspace and choice
   /// range, run it, publish the result through the DoneFlag.
   void execute(TWorker &W, Donation *D) {
+    TraceModeScope TraceSpan(W.Trace, TraceMode::Work);
     W.Live = D->St;
     ChoicePoint CP;
     CP.Depth = D->Depth;
@@ -307,6 +309,9 @@ void TascellPolicy<P>::waitOutstanding(TWorker &W, std::size_t CPIndex,
   // tasks to complete" — but it keeps answering task requests while
   // waiting (it still owns its execution stack).
   std::uint64_t T0 = nowNanos();
+  ATC_TRACE_EVENT(W.Trace, TraceEventKind::WaitChildrenBegin, 0,
+                  static_cast<std::uint16_t>(CP.Depth));
+  TraceModeScope TraceSpan(W.Trace, TraceMode::SyncWait);
   for (;;) {
     bool AllDone = true;
     for (Donation *D : CP.Outstanding)
@@ -319,6 +324,8 @@ void TascellPolicy<P>::waitOutstanding(TWorker &W, std::size_t CPIndex,
     pollRequests(W);
     waitChildrenWait();
   }
+  ATC_TRACE_EVENT(W.Trace, TraceEventKind::WaitChildrenEnd, 0,
+                  static_cast<std::uint16_t>(CP.Depth));
   W.Stats.WaitChildrenNs += nowNanos() - T0;
   for (Donation *D : CP.Outstanding) {
     Acc += D->Value;
@@ -401,6 +408,11 @@ void TascellPolicy<P>::respond(TWorker &W, int Requester) {
   }
 
   CP.Outstanding.push_back(D);
+  // Victim-side record (single-writer rule: never touch R's ring); the
+  // exporter draws the arrow to the requester's track from this.
+  ATC_TRACE_EVENT(W.Trace, TraceEventKind::Donation,
+                  static_cast<std::uint32_t>(Requester),
+                  static_cast<std::uint16_t>(D->Depth));
   R.Response.store(D, std::memory_order_release);
 }
 

@@ -56,6 +56,7 @@
 #include "core/kernel/KernelWorker.h"
 #include "support/Compiler.h"
 #include "support/Timer.h"
+#include "trace/TraceLog.h"
 
 #include <atomic>
 #include <cassert>
@@ -99,6 +100,17 @@ public:
     Workers.clear();
     for (int I = 0; I < Cfg.NumWorkers; ++I)
       Workers.push_back(Pol.makeWorker(I));
+    Log.reset();
+#if ATC_TRACE_ENABLED
+    if (Cfg.Trace) {
+      Log = std::make_shared<TraceLog>(
+          Cfg.NumWorkers, static_cast<std::size_t>(Cfg.TraceCap));
+      Log->Meta.Scheduler = schedulerKindName(Cfg.Kind);
+      Log->Meta.Source = "runtime";
+      for (int I = 0; I < Cfg.NumWorkers; ++I)
+        Workers[static_cast<std::size_t>(I)]->Trace = &Log->buffer(I);
+    }
+#endif
     Pol.beginRun(*this);
 
     if (Cfg.NumWorkers == 1) {
@@ -127,6 +139,11 @@ public:
 
   /// Aggregated statistics of the last run().
   const SchedulerStats &stats() const { return Total; }
+
+  /// The last run's event trace, or null when untraced (Cfg.Trace off or
+  /// the ATC_TRACE=OFF build). Shared so RunResult can outlive this
+  /// runtime.
+  std::shared_ptr<TraceLog> traceLog() const { return Log; }
 
   //===--------------------------------------------------------------------===//
   // Services for policies
@@ -160,6 +177,7 @@ public:
   /// sync in turn), trading stack depth for zero idle time — the usual
   /// help-first bargain.
   template <typename Pred> void helpWhile(Worker &W, Pred &&NeedHelp) {
+    TraceModeScope TraceSync(W.Trace, TraceMode::SyncWait);
     int FailStreak = 0;
     while (NeedHelp()) {
       if (Cfg.NumWorkers > 1) {
@@ -192,6 +210,9 @@ private:
   void stealLoop(Worker &W) {
     if (Cfg.NumWorkers == 1)
       return;
+    // The loop is the worker's idle span; executing acquired work flips
+    // the mode from inside Pol.execute and restores it on return.
+    TraceModeScope TraceIdle(W.Trace, TraceMode::Idle);
     int FailStreak = 0;
     std::uint64_t IdleBegin = nowNanos();
     while (!Done.load(std::memory_order_acquire)) {
@@ -235,10 +256,14 @@ private:
     Worker &Victim = *Workers[static_cast<std::size_t>(V)];
 
     ++W.Stats.StealAttempts;
+    ATC_TRACE_EVENT(W.Trace, TraceEventKind::StealAttempt,
+                    static_cast<std::uint32_t>(V));
     AcquireOutcome O = Pol.tryAcquire(W, Victim, Helping, Out);
 
     if (O == AcquireOutcome::Acquired) {
       ++W.Stats.Steals;
+      ATC_TRACE_EVENT(W.Trace, TraceEventKind::StealSuccess,
+                      static_cast<std::uint32_t>(V));
       if (Affine)
         ++W.Stats.AffinityHits;
       if (Helping)
@@ -256,16 +281,25 @@ private:
     // Failed attempt: inform the victim it is being asked for tasks, and
     // stop favouring it.
     ++W.Stats.StealFails;
+    ATC_TRACE_EVENT(W.Trace, TraceEventKind::StealFail,
+                    static_cast<std::uint32_t>(V));
     W.LastVictim = -1;
     int SN = Victim.StolenNum.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (SN > Cfg.MaxStolenNum)
+    if (SN > Cfg.MaxStolenNum) {
       Victim.NeedTask.store(true, std::memory_order_relaxed);
+      // Record only the crossing, not every attempt past it — this is
+      // the thief's record, on the thief's own ring (single-writer).
+      if (SN == Cfg.MaxStolenNum + 1)
+        ATC_TRACE_EVENT(W.Trace, TraceEventKind::NeedTaskRaise,
+                        static_cast<std::uint32_t>(V));
+    }
     return O;
   }
 
   Policy &Pol;
   SchedulerConfig Cfg;
   std::vector<std::unique_ptr<Worker>> Workers;
+  std::shared_ptr<TraceLog> Log;
   std::atomic<bool> Done{false};
   std::mutex ResultLock;
   Result FinalResult{};

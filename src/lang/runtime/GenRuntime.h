@@ -24,6 +24,13 @@
 /// special-task transition (push special, fast_2 child with depth reset,
 /// pop_specialtask, sync_specialtask) on a single worker.
 ///
+/// Tracing knob: ATCGEN_TRACE=<path> arms the scheduler event tracer for
+/// the whole process (one worker track; spawn, special-task, FSM and
+/// need_task events) and writes a Chrome/Perfetto trace.json to <path>
+/// when the Worker is destroyed. ATCGEN_TRACE_CAP overrides the ring
+/// capacity (events; default 1M). Compiled out with ATC_TRACE=OFF builds
+/// (-DATC_TRACE_ENABLED=0).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ATC_LANG_RUNTIME_GENRUNTIME_H
@@ -32,6 +39,9 @@
 // The Figure 2 FSM shared with the core library and the simulator
 // (self-contained header; generated code compiles with -I <repo>/src).
 #include "core/kernel/FiveVersionFsm.h"
+// Event tracing (header-only exporter included too: generated binaries
+// write their own trace.json — see the ATCGEN_TRACE knob below).
+#include "trace/TraceJson.h"
 
 #include <cassert>
 #include <cstddef>
@@ -39,6 +49,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace atcgen {
@@ -77,7 +89,21 @@ struct GenStats {
 
 /// Single-worker executor implementing the generated-code ABI.
 struct Worker {
-  explicit Worker(int CutoffDepth = 0) : Fsm(CutoffDepth) {}
+  explicit Worker(int CutoffDepth = 0) : Fsm(CutoffDepth) {
+#if ATC_TRACE_ENABLED
+    if (const char *Path = std::getenv("ATCGEN_TRACE")) {
+      std::size_t Cap = 1u << 20;
+      if (const char *CapStr = std::getenv("ATCGEN_TRACE_CAP"))
+        if (long V = std::atol(CapStr); V > 0)
+          Cap = static_cast<std::size_t>(V);
+      Trace = std::make_unique<atc::TraceLog>(1, Cap);
+      Trace->Meta.Scheduler = "AdaptiveTC";
+      Trace->Meta.Source = "genruntime";
+      TracePath = Path;
+      TB = &Trace->buffer(0);
+    }
+#endif
+  }
 
   int cutoff() const { return Fsm.cutoff(); }
 
@@ -93,6 +119,20 @@ struct Worker {
     const bool NT = (Cur == CodeVersion::Check) && needTask();
     const atc::FsmTransition T = Fsm.child(Cur, Dp, NT);
     FsmCounts.record(Cur, T.Child);
+    if (NT)
+      ATC_TRACE_EVENT(TB, atc::TraceEventKind::NeedTaskObserve, 0,
+                      static_cast<std::uint16_t>(Dp));
+    if (T.Child != Cur)
+      ATC_TRACE_EVENT(TB, atc::TraceEventKind::FsmTransition,
+                      static_cast<std::uint32_t>(Cur),
+                      static_cast<std::uint16_t>(T.Child));
+#if ATC_TRACE_ENABLED
+    // Approximate span attribution for the one-worker executor: the
+    // mode follows each dispatch edge (there is no scope-exit hook in
+    // the generated code to restore the parent's mode on return).
+    if (TB)
+      TB->setMode(atc::traceModeFor(T.Child));
+#endif
     return T.Child;
   }
 
@@ -131,6 +171,8 @@ struct Worker {
 
   void push(TaskInfoBase *F) {
     ++Stats.Pushes;
+    ATC_TRACE_EVENT(TB, atc::TraceEventKind::SpawnReal, 0,
+                    static_cast<std::uint16_t>(F->Dp));
     Deque.push_back(F);
   }
 
@@ -150,6 +192,8 @@ struct Worker {
   void pushSpecial(TaskInfoBase *F) {
     ++Stats.SpecialPushes;
     assert(F->Special && "pushSpecial of a non-special frame");
+    ATC_TRACE_EVENT(TB, atc::TraceEventKind::SpecialPush, 0,
+                    static_cast<std::uint16_t>(F->Dp));
     Deque.push_back(F);
   }
 
@@ -157,6 +201,8 @@ struct Worker {
   bool popSpecial(TaskInfoBase *F) {
     ++Stats.SpecialPops;
     assert(!Deque.empty() && Deque.back() == F && "unbalanced special pop");
+    ATC_TRACE_EVENT(TB, atc::TraceEventKind::SpecialPop, 0,
+                    static_cast<std::uint16_t>(F->Dp));
     Deque.pop_back();
     return true;
   }
@@ -164,7 +210,11 @@ struct Worker {
   /// sync_specialtask: wait for the special's stolen children.
   void syncSpecial(TaskInfoBase *F) {
     ++Stats.SpecialSyncs;
+    ATC_TRACE_EVENT(TB, atc::TraceEventKind::SpecialSyncBegin, 0,
+                    static_cast<std::uint16_t>(F->Dp));
     assert(F->Join == 0 && "single worker cannot have stolen children");
+    ATC_TRACE_EVENT(TB, atc::TraceEventKind::SpecialSyncEnd, 0,
+                    static_cast<std::uint16_t>(F->Dp));
   }
 
   /// Sync point of a stolen (slow-version) task: true when all children
@@ -223,6 +273,11 @@ struct Worker {
   }
 
   ~Worker() {
+#if ATC_TRACE_ENABLED
+    if (Trace && !atc::writeChromeTraceFile(*Trace, TracePath))
+      std::fprintf(stderr, "atcgen: cannot write trace to %s\n",
+                   TracePath.c_str());
+#endif
     for (WsBucket &B : WsBuckets)
       for (void *P : B.Free)
         ::operator delete(P);
@@ -245,6 +300,12 @@ private:
   int ForceEvery = 0;
   std::vector<TaskInfoBase *> Deque;
   std::vector<WsBucket> WsBuckets;
+
+  /// ATCGEN_TRACE support; see the file comment. TB stays null when the
+  /// knob is unset, so each emission site costs one predictable branch.
+  std::unique_ptr<atc::TraceLog> Trace;
+  std::string TracePath;
+  atc::TraceBuffer *TB = nullptr;
 };
 
 /// print_long builtin.

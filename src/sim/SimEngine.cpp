@@ -40,6 +40,7 @@ struct SimFrame {
   int Dp = 0;             ///< Spawn depth of the node that owns this level.
   bool Stealable = false;
   bool SpecialMade = false;      ///< ATC: special task already created here.
+  bool TraceWaiting = false;     ///< Trace: WaitChildrenBegin emitted.
   std::vector<Job *> WaitJobs;   ///< Jobs to await before popping.
   Job *NodeJob = nullptr;        ///< Innermost job the level's nodes count
                                  ///< against.
@@ -54,6 +55,9 @@ struct SimResponse {
 
 struct SimWorker {
   explicit SimWorker(std::uint64_t Seed) : Rng(Seed) {}
+
+  /// Virtual-time trace ring, or null when the sim run is untraced.
+  TraceBuffer *TB = nullptr;
 
   double Now = 0;
   double LastProductive = 0;
@@ -81,10 +85,20 @@ struct SimWorker {
 class Simulator {
 public:
   Simulator(const SimTree &Tree, const SimOptions &Opts,
-            const CostModel &Costs)
+            const CostModel &Costs, TraceLog *Log)
       : Tree(Tree), Opts(Opts), C(Costs), CutoffDepth(Opts.effectiveCutoff()) {
     for (int I = 0; I < Opts.NumWorkers; ++I)
       Workers.emplace_back(Opts.Seed + static_cast<std::uint64_t>(I));
+#if ATC_TRACE_ENABLED
+    if (Log && Log->numWorkers() >= Opts.NumWorkers) {
+      Log->Meta.Scheduler = schedulerKindName(Opts.Kind);
+      Log->Meta.Source = "sim";
+      for (int I = 0; I < Opts.NumWorkers; ++I)
+        Workers[static_cast<std::size_t>(I)].TB = &Log->buffer(I);
+    }
+#else
+    (void)Log;
+#endif
   }
 
   SimReport run();
@@ -116,6 +130,39 @@ private:
   }
   void chargeSpawn(SimWorker &W, bool IsSpecial);
   int pickVictim(SimWorker &W, int Self);
+
+  /// Emits \p K on \p W's ring stamped with its virtual clock.
+  void emit([[maybe_unused]] SimWorker &W,
+            [[maybe_unused]] TraceEventKind K,
+            [[maybe_unused]] std::uint32_t A = 0,
+            [[maybe_unused]] std::uint16_t B = 0) {
+    ATC_TRACE_EVENT_AT(W.TB, static_cast<std::uint64_t>(W.Now), K, A, B);
+  }
+
+  /// Re-derives \p W's mode from its stack top and records the change, if
+  /// any. Called once per step so virtual-time spans track the frame
+  /// structure the way TraceModeScope tracks the real call structure.
+  void syncTraceMode(SimWorker &W) {
+#if ATC_TRACE_ENABLED
+    if (ATC_UNLIKELY(W.TB != nullptr)) {
+      TraceMode M;
+      if (W.Stack.empty()) {
+        M = TraceMode::Idle;
+      } else {
+        const SimFrame &F = W.Stack.back();
+        if (F.Next >= F.End && !F.WaitJobs.empty() && !jobsDone(F))
+          M = TraceMode::SyncWait;
+        else if (Opts.Kind == SchedulerKind::Tascell)
+          M = TraceMode::Work;
+        else
+          M = traceModeFor(F.Mode);
+      }
+      W.TB->setModeAt(static_cast<std::uint64_t>(W.Now), M);
+    }
+#else
+    (void)W;
+#endif
+  }
 
   const SimTree &Tree;
   const SimOptions Opts;
@@ -179,6 +226,8 @@ SimReport Simulator::run() {
         W.OpenStealable = 1;
         R.MaxStealableFrames = 1;
         chargeSpawn(W, false); // the root task itself
+        emit(W, TraceEventKind::SpawnReal,
+             static_cast<std::uint32_t>(F.Mode), 0);
         break;
       case SchedulerKind::Tascell:
       case SchedulerKind::Sequential:
@@ -235,7 +284,9 @@ SimReport Simulator::run() {
 void Simulator::step(int Wi) {
   SimWorker &W = Workers[static_cast<std::size_t>(Wi)];
   if (W.Stack.empty()) {
+    syncTraceMode(W); // idle span begins before the attempt's events
     idleStep(Wi);
+    syncTraceMode(W);
     return;
   }
   if (Opts.Kind == SchedulerKind::Tascell)
@@ -245,6 +296,7 @@ void Simulator::step(int Wi) {
     visitChild(W);
   else
     frameEnd(W);
+  syncTraceMode(W);
 }
 
 void Simulator::visitChild(SimWorker &W) {
@@ -279,8 +331,13 @@ void Simulator::visitChild(SimWorker &W) {
     F.SpecialMade = true;
     ChildJob = newJob(Node.Size - 1, F.NodeJob);
     F.WaitJobs.push_back(ChildJob);
-    if (Special)
+    if (Special) {
       ++R.SpecialTasks;
+      emit(W, TraceEventKind::NeedTaskObserve, 0,
+           static_cast<std::uint16_t>(W.Stack.size()));
+    }
+    emit(W, TraceEventKind::SpecialPush, 0,
+         static_cast<std::uint16_t>(W.Stack.size()));
   }
 
   if (Opts.Kind == SchedulerKind::Cutoff && !Spawned &&
@@ -298,8 +355,16 @@ void Simulator::visitChild(SimWorker &W) {
   W.B.WorkNs += C.NodeWorkNs;
   if (Spawned) {
     chargeSpawn(W, Special);
+    emit(W, TraceEventKind::SpawnReal,
+         static_cast<std::uint32_t>(ChildMode),
+         static_cast<std::uint16_t>(W.Stack.size()));
   } else {
     ++R.FakeNodes;
+    // As in the real runtime: one spawn-fake per fake-task subtree entry,
+    // not per node (R.FakeNodes has the exact count).
+    if (ChildMode == CodeVersion::Check && F.Mode != CodeVersion::Check)
+      emit(W, TraceEventKind::SpawnFake, 0,
+           static_cast<std::uint16_t>(W.Stack.size()));
   }
   if (Polled || Opts.Kind == SchedulerKind::Tascell) {
     W.Now += C.PollNs;
@@ -343,12 +408,20 @@ void Simulator::visitChild(SimWorker &W) {
 void Simulator::frameEnd(SimWorker &W) {
   SimFrame &F = W.Stack.back();
   if (!F.WaitJobs.empty() && !jobsDone(F)) {
+    if (!F.TraceWaiting) {
+      F.TraceWaiting = true;
+      emit(W, TraceEventKind::WaitChildrenBegin, 0,
+           static_cast<std::uint16_t>(W.Stack.size()));
+    }
     // sync_specialtask / Tascell wait_children: cannot suspend; sleep and
     // re-check (usleep(100) in the real systems).
     W.Now += C.SleepNs;
     W.B.WaitChildrenNs += C.SleepNs;
     return;
   }
+  if (F.TraceWaiting)
+    emit(W, TraceEventKind::WaitChildrenEnd, 0,
+         static_cast<std::uint16_t>(W.Stack.size()));
   if (!F.WaitJobs.empty())
     W.LastProductive = W.Now; // children joined: result materializes now
   W.Stack.pop_back();
@@ -370,6 +443,7 @@ void Simulator::dequeStealAttempt(int Wi) {
   }
   int Vi = pickVictim(W, Wi);
   SimWorker &V = Workers[static_cast<std::size_t>(Vi)];
+  emit(W, TraceEventKind::StealAttempt, static_cast<std::uint32_t>(Vi));
 
   // Oldest stealable frame with untried siblings. The victim's *top*
   // frame's next child is not stealable: in the real runtime the deque
@@ -400,9 +474,14 @@ void Simulator::dequeStealAttempt(int Wi) {
       Ns += 100.0 * std::min(W.FailStreak - 8, 20);
     W.Now += Ns;
     W.B.IdleNs += Ns;
+    emit(W, TraceEventKind::StealFail, static_cast<std::uint32_t>(Vi));
     if (Opts.Kind == SchedulerKind::AdaptiveTC &&
-        ++V.StolenNum > Opts.MaxStolenNum)
+        ++V.StolenNum > Opts.MaxStolenNum) {
       V.NeedTask = true;
+      if (V.StolenNum == Opts.MaxStolenNum + 1)
+        emit(W, TraceEventKind::NeedTaskRaise,
+             static_cast<std::uint32_t>(Vi));
+    }
     return;
   }
 
@@ -413,6 +492,7 @@ void Simulator::dequeStealAttempt(int Wi) {
   V.NeedTask = false;
   W.Now += C.StealNs;
   W.B.IdleNs += C.StealNs;
+  emit(W, TraceEventKind::StealSuccess, static_cast<std::uint32_t>(Vi));
 
   SimFrame TF;
   TF.Kids.assign(Target->Kids.begin() + StealBegin,
@@ -456,15 +536,18 @@ void Simulator::tascellIdle(int Wi) {
     W.HasResponse = false;
     ++R.Requests;
     W.Now += C.PollNs;
+    emit(W, TraceEventKind::StealAttempt, static_cast<std::uint32_t>(Vi));
     return;
   }
 
   if (W.HasResponse && W.Now >= W.Response.ReadyAt) {
+    int Vi = W.WaitingOn;
     W.WaitingOn = -1;
     if (W.Response.Deny) {
       ++R.StealFails;
       W.B.IdleNs += C.RequestRoundTripNs;
       W.Now += C.RequestRoundTripNs;
+      emit(W, TraceEventKind::StealFail, static_cast<std::uint32_t>(Vi));
       return;
     }
     ++R.Steals;
@@ -472,6 +555,7 @@ void Simulator::tascellIdle(int Wi) {
     W.B.IdleNs += C.RequestRoundTripNs;
     W.Stack.push_back(std::move(W.Response.Frame));
     W.LastProductive = W.Now;
+    emit(W, TraceEventKind::StealSuccess, static_cast<std::uint32_t>(Vi));
     return;
   }
 
@@ -542,12 +626,15 @@ void Simulator::tascellPoll(int Wi) {
   Rq.Response.Deny = false;
   Rq.Response.ReadyAt = W.Now;
   Rq.Response.Frame = std::move(DF);
+  // Victim-side record, as in TascellPolicy::respond.
+  emit(W, TraceEventKind::Donation, static_cast<std::uint32_t>(Req),
+       static_cast<std::uint16_t>(Split));
 }
 
 } // namespace
 
 SimReport atc::simulate(const SimTree &Tree, const SimOptions &Opts,
-                        const CostModel &Costs) {
-  Simulator S(Tree, Opts, Costs);
+                        const CostModel &Costs, TraceLog *Log) {
+  Simulator S(Tree, Opts, Costs, Log);
   return S.run();
 }

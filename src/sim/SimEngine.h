@@ -40,6 +40,7 @@
 #include "core/Scheduler.h"
 #include "sim/CostModel.h"
 #include "sim/TreeGen.h"
+#include "trace/TraceLog.h"
 
 #include <cstdint>
 #include <vector>
@@ -123,8 +124,14 @@ struct SimReport {
 
 /// Runs the simulation of \p Opts.Kind over \p Tree with costs \p Costs.
 /// Deterministic in (Tree, Opts, Costs).
+///
+/// When \p Log is non-null (and was built with Opts.NumWorkers buffers),
+/// the simulated workers emit the same event schema as the real runtime
+/// (trace/TraceEvent.h) stamped with their *virtual* clocks — paper-scale
+/// multi-thread figures become loadable in Perfetto even though the sim
+/// runs on one host core.
 SimReport simulate(const SimTree &Tree, const SimOptions &Opts,
-                   const CostModel &Costs);
+                   const CostModel &Costs, TraceLog *Log = nullptr);
 
 } // namespace atc
 

@@ -1,0 +1,264 @@
+//===- trace/Json.cpp - Minimal JSON parser -------------------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace atc {
+namespace json {
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  std::string &Error;
+  std::size_t Pos = 0;
+
+  bool fail(const std::string &Msg) {
+    Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool eatWord(const char *W, std::size_t Len) {
+    if (Text.compare(Pos, Len, W) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value(std::move(S));
+      return true;
+    }
+    case 't':
+      if (eatWord("true", 4)) {
+        Out = Value(true);
+        return true;
+      }
+      return fail("bad literal");
+    case 'f':
+      if (eatWord("false", 5)) {
+        Out = Value(false);
+        return true;
+      }
+      return fail("bad literal");
+    case 'n':
+      if (eatWord("null", 4)) {
+        Out = Value();
+        return true;
+      }
+      return fail("bad literal");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    Object O;
+    skipWs();
+    if (eat('}')) {
+      Out = Value(std::move(O));
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!eat(':'))
+        return fail("expected ':' in object");
+      skipWs();
+      Value V;
+      if (!parseValue(V))
+        return false;
+      O.emplace(std::move(Key), std::move(V));
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        break;
+      return fail("expected ',' or '}' in object");
+    }
+    Out = Value(std::move(O));
+    return true;
+  }
+
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    Array A;
+    skipWs();
+    if (eat(']')) {
+      Out = Value(std::move(A));
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      Value V;
+      if (!parseValue(V))
+        return false;
+      A.push_back(std::move(V));
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat(']'))
+        break;
+      return fail("expected ',' or ']' in array");
+    }
+    Out = Value(std::move(A));
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!eat('"'))
+      return fail("expected string");
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not
+        // produced by our exporter; pass them through as-is).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(Value &Out) {
+    std::size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool SawDigit = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        SawDigit = true;
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '-' || C == '+') {
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (!SawDigit)
+      return fail("expected a value");
+    Out = Value(std::strtod(Text.c_str() + Start, nullptr));
+    return true;
+  }
+};
+
+} // namespace
+
+bool parse(const std::string &Text, Value &Out, std::string &Error) {
+  return Parser(Text, Error).run(Out);
+}
+
+} // namespace json
+} // namespace atc

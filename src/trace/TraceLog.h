@@ -1,0 +1,82 @@
+//===- trace/TraceLog.h - Whole-run trace collection ------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-run trace: one TraceBuffer per worker plus run metadata
+/// (scheduler kind, producer, worker count). WorkerRuntime allocates one
+/// when SchedulerConfig::Trace is set and hands each worker a pointer to
+/// its buffer; the simulator and the generated-code executor build their
+/// own. RunResult carries the log back to the CLI, which exports it with
+/// writeChromeTraceFile (trace/TraceJson.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_TRACE_TRACELOG_H
+#define ATC_TRACE_TRACELOG_H
+
+#include "trace/TraceBuffer.h"
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace atc {
+
+/// Run metadata embedded in the exported trace (otherData in the Chrome
+/// JSON; round-trips through the reader).
+struct TraceMeta {
+  std::string Scheduler; ///< schedulerKindName of the traced run.
+  std::string Source;    ///< "runtime", "sim", or "genruntime".
+  std::string Workload;  ///< Free-form workload label ("nqueens-12", ...).
+  int SchemaVersion = 1;
+};
+
+/// Per-run trace collection; see the file comment.
+class TraceLog {
+public:
+  TraceLog(int NumWorkers, std::size_t CapacityPerWorker)
+      : Buffers(static_cast<std::size_t>(NumWorkers)) {
+    assert(NumWorkers >= 1 && "trace log needs at least one worker");
+    for (TraceBuffer &B : Buffers)
+      B.init(CapacityPerWorker);
+  }
+
+  int numWorkers() const { return static_cast<int>(Buffers.size()); }
+
+  TraceBuffer &buffer(int W) {
+    return Buffers[static_cast<std::size_t>(W)];
+  }
+  const TraceBuffer &buffer(int W) const {
+    return Buffers[static_cast<std::size_t>(W)];
+  }
+
+  /// Total events dropped to ring overflow across all workers.
+  std::uint64_t totalDropped() const {
+    std::uint64_t D = 0;
+    for (const TraceBuffer &B : Buffers)
+      D += B.dropped();
+    return D;
+  }
+
+  /// Total events retained across all workers.
+  std::uint64_t totalRetained() const {
+    std::uint64_t N = 0;
+    for (const TraceBuffer &B : Buffers)
+      N += B.size();
+    return N;
+  }
+
+  TraceMeta Meta;
+
+private:
+  std::vector<TraceBuffer> Buffers;
+};
+
+} // namespace atc
+
+#endif // ATC_TRACE_TRACELOG_H

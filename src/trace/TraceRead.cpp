@@ -1,0 +1,81 @@
+//===- trace/TraceRead.cpp - Load exported traces back in -----------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceRead.h"
+
+#include "trace/Json.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace atc {
+
+std::vector<const ParsedEvent *> ParsedTrace::onWorker(int Tid,
+                                                       char Ph) const {
+  std::vector<const ParsedEvent *> Out;
+  for (const ParsedEvent &E : Events)
+    if (E.Tid == Tid && E.Phase == Ph)
+      Out.push_back(&E);
+  return Out;
+}
+
+bool readTrace(const std::string &JsonText, ParsedTrace &Out,
+               std::string &Error) {
+  json::Value Doc;
+  if (!json::parse(JsonText, Doc, Error))
+    return false;
+  const json::Value &Events = Doc["traceEvents"];
+  if (!Events.isArray()) {
+    Error = "document has no traceEvents array";
+    return false;
+  }
+
+  const json::Value &Meta = Doc["otherData"];
+  Out.Scheduler = Meta["scheduler"].stringOr("");
+  Out.Source = Meta["source"].stringOr("");
+  Out.Workload = Meta["workload"].stringOr("");
+  Out.SchemaVersion = static_cast<int>(Meta["schemaVersion"].numberOr(0));
+  Out.Workers = static_cast<int>(Meta["workers"].numberOr(0));
+  Out.Dropped = static_cast<std::uint64_t>(Meta["dropped"].numberOr(0));
+
+  Out.Events.clear();
+  Out.Events.reserve(Events.asArray().size());
+  for (const json::Value &EV : Events.asArray()) {
+    std::string Ph = EV["ph"].stringOr("?");
+    ParsedEvent E;
+    E.Phase = Ph.empty() ? '?' : Ph[0];
+    if (E.Phase == 'M') // thread_name metadata carries no timing
+      continue;
+    E.Tid = static_cast<int>(EV["tid"].numberOr(0));
+    E.TsUs = EV["ts"].numberOr(0);
+    E.DurUs = EV["dur"].numberOr(0);
+    E.Name = EV["name"].stringOr("");
+    E.Cat = EV["cat"].stringOr("");
+    const json::Value &Args = EV["args"];
+    E.A = static_cast<std::uint32_t>(Args["a"].numberOr(0));
+    E.B = static_cast<std::uint32_t>(Args["b"].numberOr(0));
+    Out.Events.push_back(std::move(E));
+  }
+  return true;
+}
+
+bool readTraceFile(const std::string &Path, ParsedTrace &Out,
+                   std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::string Text;
+  char Buf[1 << 16];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return readTrace(Text, Out, Error);
+}
+
+} // namespace atc

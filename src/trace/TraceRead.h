@@ -1,0 +1,65 @@
+//===- trace/TraceRead.h - Load exported traces back in ---------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reads a trace.json produced by writeChromeTrace back into a flat
+/// event list, for the text summarizer (tools/trace_timeline) and for
+/// the round-trip tests. The reader is schema-tolerant: unknown fields
+/// are ignored, and missing optional fields default, so hand-edited or
+/// future-version traces still load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_TRACE_TRACEREAD_H
+#define ATC_TRACE_TRACEREAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atc {
+
+/// One Chrome trace event as read back from JSON.
+struct ParsedEvent {
+  char Phase = '?';  ///< "ph": X (slice), i (instant), s/f (flow), M.
+  int Tid = 0;       ///< Worker id.
+  double TsUs = 0;   ///< Timestamp, microseconds from trace start.
+  double DurUs = 0;  ///< Slice duration (X events only).
+  std::string Name;  ///< Mode name for slices, event kind for instants.
+  std::string Cat;   ///< "mode", "event", or "steal".
+  std::uint32_t A = 0; ///< args.a for instants.
+  std::uint32_t B = 0; ///< args.b for instants.
+};
+
+/// A whole trace file: metadata plus events in file order. Within one
+/// worker each phase is chronological; across phases the order can
+/// interleave, because the exporter writes a mode slice (phase X) only
+/// when the next mode begins, stamping it with the slice's *start* time.
+struct ParsedTrace {
+  std::string Scheduler;
+  std::string Source;
+  std::string Workload;
+  int SchemaVersion = 0;
+  int Workers = 0;
+  std::uint64_t Dropped = 0;
+  std::vector<ParsedEvent> Events;
+
+  /// Events on worker \p Tid with phase \p Ph, in time order.
+  std::vector<const ParsedEvent *> onWorker(int Tid, char Ph) const;
+};
+
+/// Parses Chrome trace JSON from a string. Returns false and sets
+/// \p Error on malformed JSON or a document missing traceEvents.
+bool readTrace(const std::string &JsonText, ParsedTrace &Out,
+               std::string &Error);
+
+/// readTrace over a file's contents.
+bool readTraceFile(const std::string &Path, ParsedTrace &Out,
+                   std::string &Error);
+
+} // namespace atc
+
+#endif // ATC_TRACE_TRACEREAD_H

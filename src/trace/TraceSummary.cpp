@@ -1,0 +1,201 @@
+//===- trace/TraceSummary.cpp - Text summary of a trace -------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceSummary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+namespace atc {
+namespace {
+
+/// Appends printf-formatted text to \p Out.
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N > 0)
+    Out.append(Buf, static_cast<std::size_t>(
+                        std::min<int>(N, sizeof(Buf) - 1)));
+}
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  double Idx = P * static_cast<double>(V.size() - 1);
+  std::size_t Lo = static_cast<std::size_t>(Idx);
+  std::size_t Hi = std::min(Lo + 1, V.size() - 1);
+  double Frac = Idx - static_cast<double>(Lo);
+  return V[Lo] * (1 - Frac) + V[Hi] * Frac;
+}
+
+} // namespace
+
+TraceSummary summarizeTrace(const ParsedTrace &T) {
+  TraceSummary S;
+  S.Dropped = T.Dropped;
+  S.Scheduler = T.Scheduler;
+  S.Source = T.Source;
+  S.Workload = T.Workload;
+
+  // Pre-seed from the metadata worker count so workers that emitted no
+  // events (e.g. they never left the launch path before termination in a
+  // very short run) still appear, as all-zero rows.
+  std::map<int, WorkerSummary> ByTid;
+  for (int W = 0; W < T.Workers; ++W)
+    ByTid[W].Tid = W;
+  for (const ParsedEvent &E : T.Events) {
+    S.SpanUs = std::max(S.SpanUs, E.TsUs + E.DurUs);
+    WorkerSummary &W = ByTid[E.Tid];
+    W.Tid = E.Tid;
+    if (E.Phase == 'X' && E.Cat == "mode") {
+      W.ModeUs[E.Name] += E.DurUs;
+      if (E.Name == "idle")
+        W.IdleUs += E.DurUs;
+      else if (E.Name == "sync_wait")
+        W.SyncUs += E.DurUs;
+      else
+        W.BusyUs += E.DurUs;
+    } else if (E.Phase == 'i') {
+      if (E.Name == "steal-success")
+        ++W.Steals;
+      else if (E.Name == "steal-fail")
+        ++W.FailedSteals;
+      else if (E.Name == "spawn-real")
+        ++W.SpawnsReal;
+      else if (E.Name == "spawn-fake")
+        ++W.SpawnsFake;
+      else if (E.Name == "special-push")
+        ++W.SpecialPushes;
+    }
+  }
+  for (auto &[Tid, W] : ByTid)
+    S.Workers.push_back(W);
+
+  // Steal latency: per worker, the first steal-attempt of an idle
+  // episode opens a window that the next steal-success closes. Reseed
+  // latency: need_task-observe opens, the next special-push closes.
+  for (const WorkerSummary &W : S.Workers) {
+    double AttemptAt = -1;
+    double ObservedAt = -1;
+    for (const ParsedEvent *E : T.onWorker(W.Tid, 'i')) {
+      if (E->Name == "steal-attempt") {
+        if (AttemptAt < 0)
+          AttemptAt = E->TsUs;
+      } else if (E->Name == "steal-success") {
+        if (AttemptAt >= 0)
+          S.StealLatenciesUs.push_back(E->TsUs - AttemptAt);
+        AttemptAt = -1;
+      } else if (E->Name == "need_task-observe") {
+        if (ObservedAt < 0)
+          ObservedAt = E->TsUs;
+      } else if (E->Name == "special-push") {
+        if (ObservedAt >= 0)
+          S.ReseedLatenciesUs.push_back(E->TsUs - ObservedAt);
+        ObservedAt = -1;
+      }
+    }
+  }
+  return S;
+}
+
+std::string formatSummary(const TraceSummary &S) {
+  std::string Out;
+  appendf(Out, "trace summary — scheduler=%s source=%s workload=%s\n",
+          S.Scheduler.empty() ? "?" : S.Scheduler.c_str(),
+          S.Source.empty() ? "?" : S.Source.c_str(),
+          S.Workload.empty() ? "?" : S.Workload.c_str());
+  appendf(Out, "span: %.3f ms   workers: %zu   dropped events: %llu\n\n",
+          S.SpanUs / 1000.0, S.Workers.size(),
+          static_cast<unsigned long long>(S.Dropped));
+
+  appendf(Out, "%-8s %8s %8s %8s %8s %8s %8s %8s\n", "worker", "busy%",
+          "idle%", "sync%", "steals", "fails", "real", "fake");
+  for (const WorkerSummary &W : S.Workers) {
+    double Total = W.BusyUs + W.IdleUs + W.SyncUs;
+    double Scale = Total > 0 ? 100.0 / Total : 0;
+    appendf(Out, "%-8d %7.1f%% %7.1f%% %7.1f%% %8llu %8llu %8llu %8llu\n",
+            W.Tid, W.BusyUs * Scale, W.IdleUs * Scale, W.SyncUs * Scale,
+            static_cast<unsigned long long>(W.Steals),
+            static_cast<unsigned long long>(W.FailedSteals),
+            static_cast<unsigned long long>(W.SpawnsReal),
+            static_cast<unsigned long long>(W.SpawnsFake));
+  }
+
+  // Mode split across all workers.
+  std::map<std::string, double> Modes;
+  for (const WorkerSummary &W : S.Workers)
+    for (const auto &[Name, Us] : W.ModeUs)
+      Modes[Name] += Us;
+  double ModeTotal = 0;
+  for (const auto &[Name, Us] : Modes)
+    ModeTotal += Us;
+  if (ModeTotal > 0) {
+    appendf(Out, "\nmode split (all workers):\n");
+    for (const auto &[Name, Us] : Modes)
+      appendf(Out, "  %-12s %7.1f%%  (%.3f ms)\n", Name.c_str(),
+              100.0 * Us / ModeTotal, Us / 1000.0);
+  }
+
+  // Steal latency histogram, log2 microsecond buckets.
+  if (!S.StealLatenciesUs.empty()) {
+    appendf(Out, "\nsteal latency (idle-episode start -> success), n=%zu:\n",
+            S.StealLatenciesUs.size());
+    appendf(Out, "  p50 %.1f us   p90 %.1f us   p99 %.1f us\n",
+            percentile(S.StealLatenciesUs, 0.50),
+            percentile(S.StealLatenciesUs, 0.90),
+            percentile(S.StealLatenciesUs, 0.99));
+    constexpr int NumBuckets = 12; // <1us .. >=1s in log2 decades
+    std::vector<std::uint64_t> Buckets(NumBuckets, 0);
+    for (double L : S.StealLatenciesUs) {
+      int B = L < 1 ? 0 : 1 + static_cast<int>(std::log2(L) / 2);
+      ++Buckets[static_cast<std::size_t>(
+          std::clamp(B, 0, NumBuckets - 1))];
+    }
+    std::uint64_t MaxCount = 1;
+    for (std::uint64_t C : Buckets)
+      MaxCount = std::max(MaxCount, C);
+    for (int B = 0; B < NumBuckets; ++B) {
+      if (!Buckets[static_cast<std::size_t>(B)])
+        continue;
+      double Lo = B == 0 ? 0 : std::pow(2.0, 2 * (B - 1));
+      double Hi = std::pow(2.0, 2 * B);
+      int Bar = static_cast<int>(
+          40.0 * static_cast<double>(Buckets[static_cast<std::size_t>(B)]) /
+          static_cast<double>(MaxCount));
+      appendf(Out, "  [%8.0f, %8.0f) us %8llu %s\n", Lo, Hi,
+              static_cast<unsigned long long>(
+                  Buckets[static_cast<std::size_t>(B)]),
+              std::string(static_cast<std::size_t>(std::max(Bar, 1)), '#')
+                  .c_str());
+    }
+  }
+
+  // Time-to-first-reseed: the adaptation latency the paper's special
+  // tasks exist to minimize.
+  if (!S.ReseedLatenciesUs.empty()) {
+    appendf(Out,
+            "\nneed_task -> special-push (reseed latency), n=%zu:\n"
+            "  min %.1f us   p50 %.1f us   max %.1f us\n",
+            S.ReseedLatenciesUs.size(),
+            *std::min_element(S.ReseedLatenciesUs.begin(),
+                              S.ReseedLatenciesUs.end()),
+            percentile(S.ReseedLatenciesUs, 0.50),
+            *std::max_element(S.ReseedLatenciesUs.begin(),
+                              S.ReseedLatenciesUs.end()));
+  }
+  return Out;
+}
+
+} // namespace atc

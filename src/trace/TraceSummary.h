@@ -1,0 +1,71 @@
+//===- trace/TraceSummary.h - Text summary of a trace -----------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregates a ParsedTrace into the numbers a terminal can show
+/// (tools/trace_timeline): per-worker utilization split by mode, a
+/// steal-latency histogram (first attempt of an idle episode to the
+/// success that ends it), and the time from each need_task observation
+/// to the special-task push that re-seeds the system — the paper's
+/// adaptation latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_TRACE_TRACESUMMARY_H
+#define ATC_TRACE_TRACESUMMARY_H
+
+#include "trace/TraceRead.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atc {
+
+/// Per-worker aggregate. "Busy" is every mode except idle and
+/// sync_wait: executing any of the five code versions, or recursing
+/// over a Tascell workspace.
+struct WorkerSummary {
+  int Tid = 0;
+  double BusyUs = 0;
+  double IdleUs = 0;
+  double SyncUs = 0;
+  std::map<std::string, double> ModeUs; ///< Time per mode name.
+  std::uint64_t Steals = 0;       ///< steal-success count.
+  std::uint64_t FailedSteals = 0; ///< steal-fail count.
+  std::uint64_t SpawnsReal = 0;
+  std::uint64_t SpawnsFake = 0;
+  std::uint64_t SpecialPushes = 0;
+};
+
+struct TraceSummary {
+  double SpanUs = 0; ///< Last event time (trace is rebased to t=0).
+  std::vector<WorkerSummary> Workers;
+
+  /// Steal latencies: per idle episode, first steal-attempt to the
+  /// steal-success that ends it, in microseconds.
+  std::vector<double> StealLatenciesUs;
+
+  /// Adaptation latencies: need_task-observe to the next special-push
+  /// on the same worker, in microseconds.
+  std::vector<double> ReseedLatenciesUs;
+
+  std::uint64_t Dropped = 0;
+  std::string Scheduler;
+  std::string Source;
+  std::string Workload;
+};
+
+/// Computes the aggregates above from a loaded trace.
+TraceSummary summarizeTrace(const ParsedTrace &T);
+
+/// Renders \p S as the trace_timeline report (utilization table, mode
+/// split, log2 steal-latency histogram, reseed latencies).
+std::string formatSummary(const TraceSummary &S);
+
+} // namespace atc
+
+#endif // ATC_TRACE_TRACESUMMARY_H

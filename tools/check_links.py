@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Markdown link checker for this repository's documentation.
+
+Checks every local (non-http) link target in the given markdown files:
+relative file links must resolve to an existing file or directory, and
+intra-document anchors (#section) must match a heading in the target
+file. External http(s) links are not fetched — CI must not depend on
+third-party uptime — but their URLs must at least parse.
+
+Usage: tools/check_links.py README.md DESIGN.md docs/TRACING.md ...
+Exits non-zero listing every broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor-ification: lowercase, drop punctuation, dash
+    spaces."""
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[`*_]", "", anchor)
+    anchor = re.sub(r"[^\w\- ]", "", anchor, flags=re.UNICODE)
+    return anchor.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_anchor(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    # Links inside code fences are example syntax, not navigation.
+    text = CODE_FENCE_RE.sub("", text)
+    for label, target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        frag = ""
+        if "#" in target:
+            target, frag = target.split("#", 1)
+        dest = md if not target else (md.parent / target).resolve()
+        if not dest.exists():
+            errors.append(f"{md}: broken link [{label}]({target}): "
+                          f"no such file {dest}")
+            continue
+        if frag and dest.is_file() and dest.suffix == ".md":
+            if github_anchor(frag) not in anchors_of(dest):
+                errors.append(f"{md}: broken anchor [{label}]"
+                              f"({target}#{frag}): no heading matches "
+                              f"#{frag} in {dest.name}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for arg in argv[1:]:
+        md = Path(arg)
+        if not md.is_file():
+            errors.append(f"{md}: file not found")
+            continue
+        errors.extend(check_file(md))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(argv) - 1} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,47 @@
+//===- tools/trace_timeline.cpp - Text summary of a scheduler trace -------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summarizes a trace.json (produced by any --trace flag in this repo,
+/// or by an atcc-generated binary run with ATCGEN_TRACE=...) on the
+/// terminal: per-worker utilization split by FSM mode, a steal-latency
+/// histogram, and the need_task-to-reseed adaptation latencies. For the
+/// interactive view, load the same file in https://ui.perfetto.dev.
+///
+///   ./build/examples/nqueens --workers 4 --trace out.json
+///   ./build/tools/trace_timeline out.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Options.h"
+#include "trace/TraceSummary.h"
+
+#include <cstdio>
+
+using namespace atc;
+
+int main(int argc, char **argv) {
+  OptionSet Opts("Summarize a scheduler event trace (trace.json) as a "
+                 "per-worker timeline report");
+  Opts.parse(argc, argv);
+  if (Opts.positionalArgs().size() != 1) {
+    std::fprintf(stderr, "usage: trace_timeline <trace.json>\n");
+    return 2;
+  }
+  const std::string &Path = Opts.positionalArgs()[0];
+
+  ParsedTrace Trace;
+  std::string Error;
+  if (!readTraceFile(Path, Trace, Error)) {
+    std::fprintf(stderr, "trace_timeline: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+
+  std::string Report = formatSummary(summarizeTrace(Trace));
+  std::fputs(Report.c_str(), stdout);
+  return 0;
+}
