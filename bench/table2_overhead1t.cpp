@@ -37,6 +37,10 @@ int main(int argc, char **argv) {
   Opts.addInt("repeats", &Repeats,
               "runs per configuration; the median is reported (paper: 3)");
   Opts.addString("csv", &CsvPath, "also write results as CSV to this file");
+  std::string StatsJsonPath;
+  Opts.addString("stats-json", &StatsJsonPath,
+                 "write a JSON array of {benchmark, system, ms, ratio, "
+                 "stats} rows (final repeat's SchedulerStats) to this file");
   std::string Deque = "the";
   Opts.addString("deque", &Deque,
                  "ready-deque implementation: the (mutex, paper-fidelity) "
@@ -55,18 +59,34 @@ int main(int argc, char **argv) {
                    "AdaptiveTC"});
   TextTable Csv;
   Csv.setHeader({"benchmark", "system", "ms", "ratio_to_seq"});
+  std::string StatsJson;
+  auto AddStatsRow = [&](const std::string &Bench, const char *System,
+                         double Sec, double Ratio,
+                         const SchedulerStats &Stats) {
+    if (StatsJsonPath.empty())
+      return;
+    char Head[160];
+    std::snprintf(Head, sizeof(Head),
+                  "  {\"benchmark\": \"%s\", \"system\": \"%s\", "
+                  "\"ms\": %.3f, \"ratio_to_seq\": %.3f,\n   \"stats\": ",
+                  Bench.c_str(), System, Sec * 1e3, Ratio);
+    StatsJson += (StatsJson.empty() ? "[\n" : ",\n") + std::string(Head) +
+                 Stats.json() + "}";
+  };
 
   for (const Benchmark &B : benchmarkSuite(PaperScale)) {
     // Median-of-N sequential baseline (paper protocol).
     std::vector<double> SeqTimes;
     long long SeqValue = 0;
+    RealRun SeqRun;
     for (int I = 0; I < Repeats; ++I) {
-      RealRun R = B.RunSequential();
-      SeqTimes.push_back(R.Seconds);
-      SeqValue = R.Value;
+      SeqRun = B.RunSequential();
+      SeqTimes.push_back(SeqRun.Seconds);
+      SeqValue = SeqRun.Value;
     }
     double SeqSec = median(SeqTimes);
     Csv.addRow({B.Name, "Sequential", TextTable::fmt(SeqSec * 1e3, 3), "1.00"});
+    AddStatsRow(B.Name, "Sequential", SeqSec, 1.0, SeqRun.Stats);
 
     std::vector<std::string> Row = {B.Name, TextTable::fmt(SeqSec * 1e3, 1)};
     for (SchedulerKind K : Systems) {
@@ -81,14 +101,15 @@ int main(int argc, char **argv) {
       Cfg.Deque = DQ;
       Cfg.NumWorkers = 1;
       std::vector<double> Times;
+      RealRun Last;
       for (int I = 0; I < Repeats; ++I) {
-        RealRun R = B.Run(Cfg);
-        if (R.Value != SeqValue)
+        Last = B.Run(Cfg);
+        if (Last.Value != SeqValue)
           std::fprintf(stderr,
                        "error: %s under %s returned %lld, expected %lld\n",
-                       B.Name.c_str(), schedulerKindName(K), R.Value,
+                       B.Name.c_str(), schedulerKindName(K), Last.Value,
                        SeqValue);
-        Times.push_back(R.Seconds);
+        Times.push_back(Last.Seconds);
       }
       double Sec = median(Times);
       char Cell[64];
@@ -97,6 +118,8 @@ int main(int argc, char **argv) {
       Row.push_back(Cell);
       Csv.addRow({B.Name, schedulerKindName(K), TextTable::fmt(Sec * 1e3, 3),
                   TextTable::fmt(Sec / SeqSec, 3)});
+      AddStatsRow(B.Name, schedulerKindName(K), Sec, Sec / SeqSec,
+                  Last.Stats);
     }
     Table.addRow(Row);
   }
@@ -105,5 +128,7 @@ int main(int argc, char **argv) {
               "sequential program) with one thread ===\n");
   Table.print();
   maybeWriteCsv(CsvPath, Csv.renderCsv());
+  if (!StatsJsonPath.empty())
+    maybeWriteCsv(StatsJsonPath, StatsJson + "\n]\n");
   return 0;
 }

@@ -14,9 +14,15 @@
 ///   ./build/examples/nqueens --workers 4 --trace out.json
 ///   ./build/tools/trace_timeline out.json
 ///
+/// It is also the canonical live-metrics demo (see docs/METRICS.md):
+///
+///   ./build/examples/nqueens --workers 4 --metrics-file metrics.prom &
+///   ./build/tools/atc_top metrics.prom
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Runtime.h"
+#include "metrics/MetricsCli.h"
 #include "problems/NQueens.h"
 #include "support/Error.h"
 #include "support/Options.h"
@@ -51,6 +57,8 @@ int main(int argc, char **argv) {
   Opts.addInt("trace-cap", &TraceCap,
               "per-worker trace ring capacity in events (default 2^20; "
               "oldest events are dropped on overflow)");
+  MetricsCliOptions MOpt;
+  addMetricsOptions(Opts, MOpt);
   Opts.parse(argc, argv);
 
   SchedulerConfig Cfg;
@@ -69,6 +77,9 @@ int main(int argc, char **argv) {
 
   NQueensArray Prob;
   auto Root = NQueensArray::makeRoot(static_cast<int>(BoardSize));
+
+  MetricsCliSession Metrics;
+  Metrics.arm(Cfg, MOpt, std::to_string(BoardSize) + "-queens");
 
   RunResult<long long> R;
   double Sec = timeSeconds([&] { R = runProblem(Prob, Root, Cfg); });
@@ -95,5 +106,7 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(R.Trace->totalRetained()),
                 static_cast<unsigned long long>(R.Trace->totalDropped()));
   }
+  if (!Metrics.finish(R.Stats, MOpt))
+    return 1;
   return 0;
 }

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Runtime.h"
+#include "metrics/MetricsCli.h"
 #include "problems/Sudoku.h"
 #include "support/Error.h"
 #include "support/Options.h"
@@ -50,6 +51,8 @@ int main(int argc, char **argv) {
   Opts.addString("trace", &TracePath,
                  "record a scheduler event trace to this file "
                  "(Chrome/Perfetto trace.json)");
+  MetricsCliOptions MOpt;
+  addMetricsOptions(Opts, MOpt);
   Opts.parse(argc, argv);
 
   SchedulerConfig Cfg;
@@ -67,6 +70,10 @@ int main(int argc, char **argv) {
               "%lld threads\n",
               Grid.empty() ? Instance.c_str() : "(custom)", Root.NumFree,
               schedulerKindName(Cfg.Kind), dequeKindName(Cfg.Deque), Threads);
+
+  MetricsCliSession Metrics;
+  Metrics.arm(Cfg, MOpt,
+              "sudoku-" + (Grid.empty() ? Instance : std::string("custom")));
 
   RunResult<long long> R;
   double Sec = timeSeconds([&] { R = runProblem(Prob, Root, Cfg); });
@@ -89,5 +96,7 @@ int main(int argc, char **argv) {
     std::printf("trace: wrote %s — open in https://ui.perfetto.dev\n",
                 TracePath.c_str());
   }
+  if (!Metrics.finish(R.Stats, MOpt))
+    return 1;
   return 0;
 }

@@ -16,6 +16,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "metrics/Exposition.h"
+#include "metrics/MetricsCli.h"
+#include "metrics/MetricsRegistry.h"
 #include "sim/SimEngine.h"
 #include "sim/TreeGen.h"
 #include "support/Error.h"
@@ -47,6 +50,8 @@ int main(int argc, char **argv) {
   Opts.addString("trace-system", &TraceSystem,
                  "which system the trace records: cilk-synched, tascell, "
                  "or adaptivetc");
+  MetricsCliOptions MOpt;
+  addMetricsOptions(Opts, MOpt);
   Opts.parse(argc, argv);
 
   SimTree Tree(SimTree::preset(TreeName, Scale));
@@ -105,6 +110,47 @@ int main(int argc, char **argv) {
                            "'%s'\n",
                    TracePath.c_str());
   }
+  if (MOpt.wantsMetrics() || !MOpt.StatsJson.empty()) {
+    // Same determinism trick as --trace: replay the --trace-system run at
+    // max-threads with a metrics registry attached, so the exported
+    // snapshot describes a paper-scale multi-worker run even on a
+    // one-core host (metrics are stamped with virtual clocks; there is no
+    // live run to sample, so the periodic sampler flags are moot here).
+    SimOptions SimOpts;
+    if (!parseSchedulerKind(TraceSystem, SimOpts.Kind))
+      reportFatalError("unknown scheduler '" + TraceSystem + "'");
+    SimOpts.NumWorkers = static_cast<int>(MaxThreads);
+    MetricsRegistry Reg;
+    SimReport Rep = simulate(Tree, SimOpts, Costs, nullptr, &Reg);
+    Reg.Meta.Scheduler = schedulerKindName(SimOpts.Kind);
+    Reg.Meta.Source = "sim";
+    Reg.Meta.Workload = TreeName;
+    MetricsSnapshot Final =
+        Reg.sample(static_cast<std::uint64_t>(Rep.MakespanNs));
+    std::string Prom = renderPrometheus(Final, Reg.Meta);
+    if (!MOpt.MetricsFile.empty()) {
+      if (!writeTextFileAtomic(MOpt.MetricsFile, Prom)) {
+        std::fprintf(stderr, "unbalanced_trees: cannot write metrics to "
+                             "'%s'\n",
+                     MOpt.MetricsFile.c_str());
+        return 1;
+      }
+      std::printf("\nmetrics: wrote %s (%s, %lld virtual workers)\n",
+                  MOpt.MetricsFile.c_str(),
+                  schedulerKindName(SimOpts.Kind), MaxThreads);
+    } else if (MOpt.Metrics) {
+      std::fputs(Prom.c_str(), stdout);
+    }
+    if (!MOpt.StatsJson.empty() &&
+        !MetricsCliSession::writeStatsJson(MOpt.StatsJson, Final.toStats(),
+                                           &Final, Reg.Meta)) {
+      std::fprintf(stderr, "unbalanced_trees: cannot write stats to "
+                           "'%s'\n",
+                   MOpt.StatsJson.c_str());
+      return 1;
+    }
+  }
+
   std::printf(
       "\nTry a right-heavy mirror (e.g. --tree=tree3r): Tascell's "
       "wait_children\nexplodes because it cannot suspend a waiting task, "

@@ -49,6 +49,13 @@ template <typename ResultT> struct RunResult {
   /// the build has ATC_TRACE=ON); null otherwise. Export with
   /// writeChromeTraceFile (trace/TraceJson.h).
   std::shared_ptr<TraceLog> Trace;
+
+  /// The run's live-metrics registry when SchedulerConfig::Metrics (or a
+  /// MetricsSink) was armed and the build has ATC_METRICS=ON; null
+  /// otherwise. After the run the cells hold the final, exact per-worker
+  /// state — sample() it for a post-run snapshot, or export with
+  /// renderPrometheus / renderJsonSeries (metrics/Exposition.h).
+  std::shared_ptr<MetricsRegistry> Metrics;
 };
 
 namespace detail {
@@ -61,7 +68,7 @@ runFramePolicy(P &Prob, const typename P::State &Root,
   FramePolicy<P, DequeT, TC> Pol(Prob, Cfg, Root);
   WorkerRuntime<FramePolicy<P, DequeT, TC>> Rt(Pol, Cfg);
   typename P::Result Value = Rt.run();
-  return {Value, Rt.stats(), Rt.traceLog()};
+  return {Value, Rt.stats(), Rt.traceLog(), Rt.metricsRegistry()};
 }
 
 /// Picks the task-creation policy for a deque-based kind.
@@ -98,13 +105,13 @@ RunResult<typename P::Result> runProblem(P &Prob,
   switch (Cfg.Kind) {
   case SchedulerKind::Sequential: {
     typename P::State S = Root;
-    return {runSequential(Prob, S), SchedulerStats(), nullptr};
+    return {runSequential(Prob, S), SchedulerStats(), nullptr, nullptr};
   }
   case SchedulerKind::Tascell: {
     TascellPolicy<P> Pol(Prob, Cfg, Root);
     WorkerRuntime<TascellPolicy<P>> Rt(Pol, Cfg);
     typename P::Result Value = Rt.run();
-    return {Value, Rt.stats(), Rt.traceLog()};
+    return {Value, Rt.stats(), Rt.traceLog(), Rt.metricsRegistry()};
   }
   case SchedulerKind::Cilk:
   case SchedulerKind::CilkSynched:

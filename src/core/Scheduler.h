@@ -31,6 +31,8 @@
 
 namespace atc {
 
+class MetricsRegistry;
+
 /// The scheduling systems reproduced from the paper.
 enum class SchedulerKind {
   Sequential,
@@ -109,6 +111,21 @@ struct SchedulerConfig {
   /// overflow the ring keeps the newest events and counts the dropped
   /// oldest ones. Default: 1M events = 16 MiB per worker.
   int TraceCap = 1 << 20;
+
+  /// Arm the live-metrics layer (src/metrics) for this run: each worker
+  /// gets a cache-line-isolated metric cell and the run's RunResult
+  /// carries the MetricsRegistry out for exposition. Requires a build
+  /// with ATC_METRICS=ON (the default); when metrics are compiled out
+  /// this flag is ignored.
+  bool Metrics = false;
+
+  /// Externally owned registry to publish into instead of a run-private
+  /// one (implies Metrics when non-null). This is how a CLI lets a
+  /// background MetricsSampler or atc_top watch the run live: pre-size
+  /// the registry to NumWorkers, start the sampler, then run. The
+  /// runtime resets matching-size registries cell-in-place (wait-free),
+  /// so concurrent samplers stay valid.
+  MetricsRegistry *MetricsSink = nullptr;
 
   /// Resolves the effective cut-off depth: Cutoff if non-negative, else
   /// ceil(log2(NumWorkers)).

@@ -12,32 +12,10 @@
 using namespace atc;
 
 SchedulerStats &SchedulerStats::operator+=(const SchedulerStats &Other) {
-  TasksCreated += Other.TasksCreated;
-  FakeTasks += Other.FakeTasks;
-  SpecialTasks += Other.SpecialTasks;
-  Spawns += Other.Spawns;
-  StealAttempts += Other.StealAttempts;
-  Steals += Other.Steals;
-  StealFails += Other.StealFails;
-  EmptyProbes += Other.EmptyProbes;
-  AffinityHits += Other.AffinityHits;
-  CasRetries += Other.CasRetries;
-  LockAcquires += Other.LockAcquires;
-  HelpSteals += Other.HelpSteals;
-  WorkspaceCopies += Other.WorkspaceCopies;
-  CopiedBytes += Other.CopiedBytes;
-  Suspensions += Other.Suspensions;
-  Deposits += Other.Deposits;
-  DequeOverflows += Other.DequeOverflows;
-  PoolOverflows += Other.PoolOverflows;
-  Polls += Other.Polls;
-  Requests += Other.Requests;
-  RequestsDenied += Other.RequestsDenied;
-  WaitChildrenNs += Other.WaitChildrenNs;
-  StealWaitNs += Other.StealWaitNs;
-  BacktrackSteps += Other.BacktrackSteps;
-  DequeHighWater = std::max(DequeHighWater, Other.DequeHighWater);
-  ArenaHighWater = std::max(ArenaHighWater, Other.ArenaHighWater);
+#define ATC_STAT_COUNTER(Name, PromName, Help) Name += Other.Name;
+#define ATC_STAT_GAUGE(Name, PromName, Help)                                   \
+  Name = std::max(Name, Other.Name);
+#include "core/SchedulerStats.def"
   return *this;
 }
 
@@ -72,4 +50,86 @@ std::string SchedulerStats::summary() const {
       ArenaHighWater, static_cast<double>(WaitChildrenNs) * 1e-6,
       static_cast<double>(StealWaitNs) * 1e-6);
   return Buf;
+}
+
+std::string SchedulerStats::json() const {
+  std::string Out = "{";
+  bool First = true;
+  for (unsigned I = 0; I != NumStatFields; ++I) {
+    auto F = static_cast<StatField>(I);
+    if (!First)
+      Out += ", ";
+    First = false;
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "\"%s\": %llu", statFieldPromName(F),
+                  static_cast<unsigned long long>(statFieldValue(*this, F)));
+    Out += Buf;
+  }
+  Out += "}";
+  return Out;
+}
+
+std::uint64_t atc::statFieldValue(const SchedulerStats &S, StatField F) {
+  switch (F) {
+#define ATC_STAT(Name, PromName, Help)                                         \
+  case StatField::Name:                                                        \
+    return static_cast<std::uint64_t>(S.Name);
+#include "core/SchedulerStats.def"
+  }
+  return 0;
+}
+
+void atc::setStatFieldValue(SchedulerStats &S, StatField F, std::uint64_t V) {
+  switch (F) {
+#define ATC_STAT_COUNTER(Name, PromName, Help)                                 \
+  case StatField::Name:                                                        \
+    S.Name = V;                                                                \
+    return;
+#define ATC_STAT_GAUGE(Name, PromName, Help)                                   \
+  case StatField::Name:                                                        \
+    S.Name = static_cast<int>(V);                                              \
+    return;
+#include "core/SchedulerStats.def"
+  }
+}
+
+const char *atc::statFieldName(StatField F) {
+  switch (F) {
+#define ATC_STAT(Name, PromName, Help)                                         \
+  case StatField::Name:                                                        \
+    return #Name;
+#include "core/SchedulerStats.def"
+  }
+  return "?";
+}
+
+const char *atc::statFieldPromName(StatField F) {
+  switch (F) {
+#define ATC_STAT(Name, PromName, Help)                                         \
+  case StatField::Name:                                                        \
+    return #PromName;
+#include "core/SchedulerStats.def"
+  }
+  return "?";
+}
+
+const char *atc::statFieldHelp(StatField F) {
+  switch (F) {
+#define ATC_STAT(Name, PromName, Help)                                         \
+  case StatField::Name:                                                        \
+    return Help;
+#include "core/SchedulerStats.def"
+  }
+  return "";
+}
+
+bool atc::statFieldIsGauge(StatField F) {
+  switch (F) {
+#define ATC_STAT_GAUGE(Name, PromName, Help)                                   \
+  case StatField::Name:                                                        \
+    return true;
+#include "core/SchedulerStats.def"
+  default:
+    return false;
+  }
 }

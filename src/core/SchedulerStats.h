@@ -11,6 +11,11 @@
 /// Counters are kept per worker (no atomics on hot paths) and aggregated
 /// after a run.
 ///
+/// The field list itself lives in SchedulerStats.def (an X-macro) so the
+/// aggregation, the JSON dump, and the metrics mirror in src/metrics all
+/// expand the same list; this header keeps explicit member declarations
+/// so the doc comments and IDE navigation stay first-class.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ATC_CORE_SCHEDULERSTATS_H
@@ -66,10 +71,51 @@ struct alignas(ATC_CACHE_LINE_SIZE) SchedulerStats {
 
   /// Renders a compact human-readable summary.
   std::string summary() const;
+
+  /// Renders all fields as a flat JSON object keyed by the Prometheus
+  /// base name from SchedulerStats.def, e.g. {"tasks_created": 42, ...}.
+  /// Machine-readable counterpart of summary() for --stats-json.
+  std::string json() const;
 };
 
 static_assert(sizeof(SchedulerStats) % ATC_CACHE_LINE_SIZE == 0,
               "SchedulerStats must pad out to whole cache lines");
+
+/// One enumerator per SchedulerStats field, in declaration order. This is
+/// the index space the metrics layer uses for its atomic per-worker
+/// mirror of the stats block (see metrics/Metrics.h).
+enum class StatField : unsigned {
+#define ATC_STAT(Name, PromName, Help) Name,
+#include "core/SchedulerStats.def"
+};
+
+/// Number of SchedulerStats fields (counters + gauges).
+inline constexpr unsigned NumStatFields = []() constexpr {
+  unsigned N = 0;
+#define ATC_STAT(Name, PromName, Help) ++N;
+#include "core/SchedulerStats.def"
+  return N;
+}();
+
+/// Reads the field \p F of \p S as a uint64 (gauges widened from int).
+std::uint64_t statFieldValue(const SchedulerStats &S, StatField F);
+
+/// Stores \p V into field \p F of \p S (gauges narrowed to int).
+void setStatFieldValue(SchedulerStats &S, StatField F, std::uint64_t V);
+
+/// The C++ member name, e.g. "TasksCreated".
+const char *statFieldName(StatField F);
+
+/// The Prometheus base name, e.g. "tasks_created" (the exposition layer
+/// prefixes "atc_" and suffixes "_total" for counters).
+const char *statFieldPromName(StatField F);
+
+/// One-line help string for the field (Prometheus # HELP text).
+const char *statFieldHelp(StatField F);
+
+/// True for high-water-mark gauges (aggregated by max, exposed without a
+/// _total suffix); false for monotonic counters (aggregated by sum).
+bool statFieldIsGauge(StatField F);
 
 } // namespace atc
 

@@ -121,6 +121,16 @@ public:
 
   void beginRun(Runtime &R) {
     Rt = &R;
+#if ATC_METRICS_ENABLED
+    // Metrics arming (WorkerRuntime::run) precedes beginRun, so the
+    // cells exist by now: point each deque at its worker's depth gauge
+    // (pushes, pops and thief-side steals all store the new size).
+    for (int I = 0; I < Cfg.NumWorkers; ++I) {
+      Worker &W = R.worker(I);
+      W.Deque.attachDepthGauge(
+          W.Metrics != nullptr ? &W.Metrics->dequeDepthGauge() : nullptr);
+    }
+#endif
     StateArenas.clear();
     FrameArenas.clear();
     for (int I = 0; I < Cfg.NumWorkers; ++I) {
@@ -229,6 +239,7 @@ private:
   ExecResult<Result> taskBody(Worker &W, State &S, int Depth, Frame *Parent,
                               int Dp, CodeVersion Cur, bool OwnsState);
   Result checkBody(Worker &W, State &S, int Depth);
+  Result checkBodyImpl(Worker &W, State &S, int Depth);
   Result seqBody(Worker &W, State &S, int Depth);
   void runContinuation(Worker &W, Frame *F);
 
@@ -352,6 +363,7 @@ FramePolicy<P, DequeT, TcPol>::taskBody(Worker &W, State &S, int Depth,
   // within the same version emits nothing (setMode de-dupes). The scope
   // covers all four return paths, stolen unwinds included.
   TraceModeScope TraceSpan(W.Trace, traceModeFor(Cur));
+  MetricsModeScope MetricsSpan(W.Metrics, traceModeFor(Cur));
   if (Prob.isLeaf(S, Depth)) {
     ++W.Stats.TasksCreated;
     Result R = Prob.leafResult(S, Depth);
@@ -394,6 +406,7 @@ FramePolicy<P, DequeT, TcPol>::taskBody(Worker &W, State &S, int Depth,
       // MUST precede the push — once the frame is stealable, a thief may
       // start mutating S (undo/redo of our remaining choices). Only the
       // prefix live at the child's depth is copied (Problem.h liveBytes).
+      [[maybe_unused]] std::uint64_t SpawnT0 = ATC_METRIC_NOW(W.Metrics);
       State *CB = allocState(W);
       const std::size_t Live = copyLiveState(Prob, CB, S, Depth + 1);
       ++NCopies;
@@ -408,6 +421,10 @@ FramePolicy<P, DequeT, TcPol>::taskBody(Worker &W, State &S, int Depth,
         continue;
       }
       ++NSpawns;
+      // Spawn cost (alloc + live-copy + push) and post-push occupancy.
+      ATC_METRIC(W.Metrics, SpawnCostNs.record(nowNanos() - SpawnT0));
+      ATC_METRIC(W.Metrics, DequeDepth.record(static_cast<std::uint64_t>(
+                                W.Deque.size())));
       ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpawnReal,
                       static_cast<std::uint32_t>(T.Child),
                       static_cast<std::uint16_t>(Depth + 1));
@@ -457,6 +474,20 @@ FramePolicy<P, DequeT, TcPol>::taskBody(Worker &W, State &S, int Depth,
 template <SearchProblem P, typename DequeT, TaskCreationPolicy TcPol>
 typename P::Result
 FramePolicy<P, DequeT, TcPol>::checkBody(Worker &W, State &S, int Depth) {
+  // Metrics mirror of the spawn-fake trace dedup below: the Check mode
+  // span is opened once per fake-task *subtree* (this entry point is
+  // only reached from non-check callers), never per node. A per-node
+  // RAII scope would put two out-of-line calls (ctor + dtor) on the
+  // hottest recursion in the scheduler even with metrics disarmed;
+  // hoisting it here keeps checkBodyImpl's per-node metrics cost at
+  // zero. setMode de-dupes, so nested taskBody spans restore correctly.
+  MetricsModeScope MetricsSpan(W.Metrics, TraceMode::Check);
+  return checkBodyImpl(W, S, Depth);
+}
+
+template <SearchProblem P, typename DequeT, TaskCreationPolicy TcPol>
+typename P::Result
+FramePolicy<P, DequeT, TcPol>::checkBodyImpl(Worker &W, State &S, int Depth) {
   ++W.Stats.FakeTasks;
 #if ATC_TRACE_ENABLED
   // One spawn-fake per fake-task *subtree* (entry from a non-check
@@ -488,7 +519,7 @@ FramePolicy<P, DequeT, TcPol>::checkBody(Worker &W, State &S, int Depth) {
                  W.NeedTask.load(std::memory_order_relaxed));
     if (ATC_LIKELY(!T.SpawnTask)) {
       // No idle thread waiting: stay a fake task (in-place workspace).
-      Acc += checkBody(W, S, Depth + 1);
+      Acc += checkBodyImpl(W, S, Depth + 1);
       Prob.undoChoice(S, Depth, K);
       continue;
     }
@@ -524,6 +555,12 @@ FramePolicy<P, DequeT, TcPol>::checkBody(Worker &W, State &S, int Depth) {
       continue;
     }
     ++W.Stats.Spawns;
+    // Reseed cadence (interval between special-task publishes) and a
+    // mirror flush — this branch is the busy owner's cold publication
+    // point, so its cell stays fresh for live dashboards without the hot
+    // fake-task loop ever touching the cell.
+    ATC_METRIC(W.Metrics, recordReseed(nowNanos()));
+    ATC_METRIC(W.Metrics, publishStats(W.Stats));
     ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpecialPush, 0,
                     static_cast<std::uint16_t>(Depth));
     ATC_TRACE_EVENT(W.Trace, TraceEventKind::FsmTransition,
@@ -608,6 +645,7 @@ template <SearchProblem P, typename DequeT, TaskCreationPolicy TcPol>
 typename P::Result
 FramePolicy<P, DequeT, TcPol>::seqBody(Worker &W, State &S, int Depth) {
   TraceModeScope TraceSpan(W.Trace, TraceMode::Sequence);
+  MetricsModeScope MetricsSpan(W.Metrics, TraceMode::Sequence);
   std::uint64_t Nodes = 0;
   Result Acc = detail::seqBodyImpl(Prob, S, Depth, Nodes);
   W.Stats.FakeTasks += Nodes;
@@ -619,6 +657,7 @@ void FramePolicy<P, DequeT, TcPol>::runContinuation(Worker &W, Frame *F) {
   // The slow version: restore the live state and "PC", undo the choice
   // whose child is running elsewhere, and continue the spawning loop.
   TraceModeScope TraceSpan(W.Trace, TraceMode::Slow);
+  MetricsModeScope MetricsSpan(W.Metrics, TraceMode::Slow);
   State &S = *F->StatePtr;
   const int Depth = F->Depth;
   const int Dp = F->SpawnDepth;
@@ -638,6 +677,7 @@ void FramePolicy<P, DequeT, TcPol>::runContinuation(Worker &W, Frame *F) {
     if (T.SpawnTask) {
       // As in taskBody: copy the child workspace (live prefix only)
       // before the push makes our continuation (and S) stealable.
+      [[maybe_unused]] std::uint64_t SpawnT0 = ATC_METRIC_NOW(W.Metrics);
       State *CB = allocState(W);
       const std::size_t Live = copyLiveState(Prob, CB, S, Depth + 1);
       ++W.Stats.WorkspaceCopies;
@@ -651,6 +691,9 @@ void FramePolicy<P, DequeT, TcPol>::runContinuation(Worker &W, Frame *F) {
         continue;
       }
       ++W.Stats.Spawns;
+      ATC_METRIC(W.Metrics, SpawnCostNs.record(nowNanos() - SpawnT0));
+      ATC_METRIC(W.Metrics, DequeDepth.record(static_cast<std::uint64_t>(
+                                W.Deque.size())));
       ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpawnReal,
                       static_cast<std::uint32_t>(T.Child),
                       static_cast<std::uint16_t>(Depth + 1));

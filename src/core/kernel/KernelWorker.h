@@ -18,6 +18,7 @@
 #define ATC_CORE_KERNEL_KERNELWORKER_H
 
 #include "core/SchedulerStats.h"
+#include "metrics/Metrics.h"
 #include "support/Compiler.h"
 #include "support/Prng.h"
 #include "trace/TraceBuffer.h"
@@ -53,6 +54,14 @@ struct alignas(ATC_CACHE_LINE_SIZE) KernelWorker {
   /// a worker writes exclusively to its own ring. Set by WorkerRuntime
   /// before threads start when SchedulerConfig::Trace is armed.
   TraceBuffer *Trace = nullptr;
+
+  /// This worker's live-metrics cell, or null when the run is unmetered
+  /// (the common case — every publication site null-tests this). Mostly
+  /// owner-written; the cell's cross-thread gauges (need_task, deque
+  /// depth) are plain atomic stores, so thief-side updates are fine. Set
+  /// by WorkerRuntime before threads start when SchedulerConfig::Metrics
+  /// is armed.
+  WorkerMetricsCell *Metrics = nullptr;
 
   /// Count of consecutive failed steal attempts against this worker,
   /// incremented by thieves (Fig. 3d). When it exceeds max_stolen_num the

@@ -160,8 +160,10 @@ public:
 
   bool runRoot(TWorker &W) {
     TraceModeScope TraceSpan(W.Trace, TraceMode::Work);
+    MetricsModeScope MetricsSpan(W.Metrics, TraceMode::Work);
     Result Value = runNode(W, 0);
     W.flushLocalCounters();
+    ATC_METRIC(W.Metrics, publishStats(W.Stats));
     Rt->publishFinal(Value);
     // Tascell's root worker runs the whole computation to completion
     // inline (donated subtrees rejoin through DoneFlags before it
@@ -211,6 +213,7 @@ public:
   /// range, run it, publish the result through the DoneFlag.
   void execute(TWorker &W, Donation *D) {
     TraceModeScope TraceSpan(W.Trace, TraceMode::Work);
+    MetricsModeScope MetricsSpan(W.Metrics, TraceMode::Work);
     W.Live = D->St;
     ChoicePoint CP;
     CP.Depth = D->Depth;
@@ -222,6 +225,7 @@ public:
     D->Value = runChoices(W, D->Depth);
     D->DoneFlag.store(true, std::memory_order_release);
     W.flushLocalCounters(); // donation boundary
+    ATC_METRIC(W.Metrics, publishStats(W.Stats));
   }
 
   void aggregateWorker(SchedulerStats &Total, TWorker &W) {
@@ -312,6 +316,7 @@ void TascellPolicy<P>::waitOutstanding(TWorker &W, std::size_t CPIndex,
   ATC_TRACE_EVENT(W.Trace, TraceEventKind::WaitChildrenBegin, 0,
                   static_cast<std::uint16_t>(CP.Depth));
   TraceModeScope TraceSpan(W.Trace, TraceMode::SyncWait);
+  MetricsModeScope MetricsSpan(W.Metrics, TraceMode::SyncWait);
   for (;;) {
     bool AllDone = true;
     for (Donation *D : CP.Outstanding)
@@ -354,6 +359,10 @@ void TascellPolicy<P>::pollRequests(TWorker &W) {
 template <SearchProblem P>
 void TascellPolicy<P>::respond(TWorker &W, int Requester) {
   TWorker &R = Rt->worker(Requester);
+  // Donation construction is Tascell's task-creation cost: backtrack,
+  // snapshot, redo. Recorded into the same spawn-cost histogram the
+  // deque-based policies feed so atc-top compares like with like.
+  [[maybe_unused]] std::uint64_t SpawnT0 = ATC_METRIC_NOW(W.Metrics);
 
   // Find the oldest (shallowest) choice point with untried choices — the
   // biggest remaining subtrees live there.
@@ -413,6 +422,8 @@ void TascellPolicy<P>::respond(TWorker &W, int Requester) {
   ATC_TRACE_EVENT(W.Trace, TraceEventKind::Donation,
                   static_cast<std::uint32_t>(Requester),
                   static_cast<std::uint16_t>(D->Depth));
+  ATC_METRIC(W.Metrics, SpawnCostNs.record(nowNanos() - SpawnT0));
+  ATC_METRIC(W.Metrics, publishStats(W.Stats));
   R.Response.store(D, std::memory_order_release);
 }
 

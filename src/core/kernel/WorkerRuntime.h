@@ -54,6 +54,7 @@
 #include "core/Scheduler.h"
 #include "core/SchedulerStats.h"
 #include "core/kernel/KernelWorker.h"
+#include "metrics/MetricsRegistry.h"
 #include "support/Compiler.h"
 #include "support/Timer.h"
 #include "trace/TraceLog.h"
@@ -111,6 +112,27 @@ public:
         Workers[static_cast<std::size_t>(I)]->Trace = &Log->buffer(I);
     }
 #endif
+    Reg.reset();
+#if ATC_METRICS_ENABLED
+    if (Cfg.Metrics || Cfg.MetricsSink != nullptr) {
+      if (Cfg.MetricsSink != nullptr)
+        // Non-owning alias: the CLI owns the sink (and any sampler
+        // watching it); RunResult still carries a handle to it.
+        Reg = std::shared_ptr<MetricsRegistry>(Cfg.MetricsSink,
+                                               [](MetricsRegistry *) {});
+      else
+        Reg = std::make_shared<MetricsRegistry>();
+      Reg->reset(Cfg.NumWorkers);
+      Reg->Meta.Scheduler = schedulerKindName(Cfg.Kind);
+      Reg->Meta.Source = "runtime";
+      std::uint64_t ArmNs = nowNanos();
+      for (int I = 0; I < Cfg.NumWorkers; ++I) {
+        WorkerMetricsCell &Cell = Reg->cell(I);
+        Cell.begin(ArmNs);
+        Workers[static_cast<std::size_t>(I)]->Metrics = &Cell;
+      }
+    }
+#endif
     Pol.beginRun(*this);
 
     if (Cfg.NumWorkers == 1) {
@@ -128,8 +150,16 @@ public:
 
     Total = SchedulerStats();
     for (int I = 0; I < Cfg.NumWorkers; ++I) {
-      Total += Workers[static_cast<std::size_t>(I)]->Stats;
-      Pol.aggregateWorker(Total, *Workers[static_cast<std::size_t>(I)]);
+      Worker &W = *Workers[static_cast<std::size_t>(I)];
+      // Fold the policy-owned counters into a per-worker view first (the
+      // sum over workers is unchanged: counters add, gauges max), then
+      // mirror it to the worker's metric cell — after the join this is
+      // the *exact* final publish, so a post-run snapshot reconstructs
+      // SchedulerStats field for field.
+      SchedulerStats PerWorker = W.Stats;
+      Pol.aggregateWorker(PerWorker, W);
+      ATC_METRIC(W.Metrics, publishStats(PerWorker));
+      Total += PerWorker;
     }
     Pol.endRun();
 
@@ -144,6 +174,11 @@ public:
   /// the ATC_TRACE=OFF build). Shared so RunResult can outlive this
   /// runtime.
   std::shared_ptr<TraceLog> traceLog() const { return Log; }
+
+  /// The last run's metrics registry, or null when unmetered (Cfg.Metrics
+  /// off or the ATC_METRICS=OFF build). Non-owning alias when the run
+  /// published into an external Cfg.MetricsSink.
+  std::shared_ptr<MetricsRegistry> metricsRegistry() const { return Reg; }
 
   //===--------------------------------------------------------------------===//
   // Services for policies
@@ -178,6 +213,7 @@ public:
   /// help-first bargain.
   template <typename Pred> void helpWhile(Worker &W, Pred &&NeedHelp) {
     TraceModeScope TraceSync(W.Trace, TraceMode::SyncWait);
+    MetricsModeScope MetricsSync(W.Metrics, TraceMode::SyncWait);
     int FailStreak = 0;
     while (NeedHelp()) {
       if (Cfg.NumWorkers > 1) {
@@ -213,6 +249,7 @@ private:
     // The loop is the worker's idle span; executing acquired work flips
     // the mode from inside Pol.execute and restores it on return.
     TraceModeScope TraceIdle(W.Trace, TraceMode::Idle);
+    MetricsModeScope MetricsIdle(W.Metrics, TraceMode::Idle);
     int FailStreak = 0;
     std::uint64_t IdleBegin = nowNanos();
     while (!Done.load(std::memory_order_acquire)) {
@@ -220,7 +257,13 @@ private:
       AcquireOutcome O = acquireOnce(W, /*Helping=*/false, T);
       if (O == AcquireOutcome::Acquired) {
         FailStreak = 0;
-        W.Stats.StealWaitNs += nowNanos() - IdleBegin;
+        std::uint64_t Waited = nowNanos() - IdleBegin;
+        W.Stats.StealWaitNs += Waited;
+        // The steal-latency histogram (idle-to-acquire) reuses the clock
+        // reads the StealWaitNs accounting already pays for; the mirror
+        // flush here is the thief's bounded-frequency publication point.
+        ATC_METRIC(W.Metrics, StealLatencyNs.record(Waited));
+        ATC_METRIC(W.Metrics, publishStats(W.Stats));
         Pol.execute(W, T);
         IdleBegin = nowNanos();
         continue;
@@ -273,6 +316,7 @@ private:
       // victim thread's stolen_num and need_task."
       Victim.StolenNum.store(0, std::memory_order_relaxed);
       Victim.NeedTask.store(false, std::memory_order_relaxed);
+      ATC_METRIC(Victim.Metrics, setNeedTask(false));
       return O;
     }
     if (O == AcquireOutcome::Terminated)
@@ -287,6 +331,7 @@ private:
     int SN = Victim.StolenNum.fetch_add(1, std::memory_order_relaxed) + 1;
     if (SN > Cfg.MaxStolenNum) {
       Victim.NeedTask.store(true, std::memory_order_relaxed);
+      ATC_METRIC(Victim.Metrics, setNeedTask(true));
       // Record only the crossing, not every attempt past it — this is
       // the thief's record, on the thief's own ring (single-writer).
       if (SN == Cfg.MaxStolenNum + 1)
@@ -300,6 +345,7 @@ private:
   SchedulerConfig Cfg;
   std::vector<std::unique_ptr<Worker>> Workers;
   std::shared_ptr<TraceLog> Log;
+  std::shared_ptr<MetricsRegistry> Reg;
   std::atomic<bool> Done{false};
   std::mutex ResultLock;
   Result FinalResult{};

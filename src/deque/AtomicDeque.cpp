@@ -44,6 +44,7 @@ bool AtomicDeque::tryPush(void *Frame, bool Special) {
   int Depth = static_cast<int>(T + 1 - H);
   if (Depth > HighWater.load(std::memory_order_relaxed))
     HighWater.store(Depth, std::memory_order_relaxed);
+  publishDepth();
   return true;
 }
 
@@ -70,16 +71,19 @@ PopResult AtomicDeque::pop() {
         S.Special.store(true, std::memory_order_relaxed);
         // Publish the slot before the index (release part of seq_cst).
         Tail.store(T + 2, std::memory_order_seq_cst); // [special] at H+2
+        publishDepth();
         return PopResult::Success;
       }
       // A thief's jump won the race: our entry was stolen.
       Tail.store(T + 1, std::memory_order_seq_cst);
+      publishDepth();
       return PopResult::Failure;
     }
     // At least one non-jumpable entry below ours: plain take. Safe by the
     // Chase-Lev argument — a thief claiming index T would have had to
     // observe Head at T (or T-1 with a special), contradicting our fenced
     // read of H < T-1 (or the non-special slot at T-1).
+    publishDepth();
     return PopResult::Success;
   }
 
@@ -88,12 +92,14 @@ PopResult AtomicDeque::pop() {
     bool Won = Head.compare_exchange_strong(
         H, H + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
     Tail.store(T + 1, std::memory_order_seq_cst);
+    publishDepth();
     return Won ? PopResult::Success : PopResult::Failure;
   }
 
   // H > T: the entry was already claimed before we decremented Tail.
   assert(H == T + 1 && "head advanced past an unpublished entry");
   Tail.store(H, std::memory_order_seq_cst);
+  publishDepth();
   return PopResult::Failure;
 }
 
@@ -104,6 +110,7 @@ PopResult AtomicDeque::popSpecial() {
   if (H <= T) {
     // The special entry is intact; nothing below it is jumpable and a
     // special alone is unstealable, so no thief can contend: plain take.
+    publishDepth();
     return PopResult::Success;
   }
   // A thief's jump consumed the special together with its stolen child.
@@ -111,6 +118,7 @@ PopResult AtomicDeque::popSpecial() {
   // Head, so after our decrement the gap reads as exactly one.
   assert(H == T + 1 && "head in impossible state past a special");
   Tail.store(H, std::memory_order_seq_cst); // the THE "H = T" reset
+  publishDepth();
   return PopResult::Failure;
 }
 
@@ -133,6 +141,7 @@ StealResult AtomicDeque::steal(void (*OnSteal)(void *Frame, void *Ctx),
     }
     if (OnSteal)
       OnSteal(Frame, Ctx);
+    publishDepth();
     return {StealResult::Status::Success, Frame};
   }
 
@@ -148,6 +157,7 @@ StealResult AtomicDeque::steal(void (*OnSteal)(void *Frame, void *Ctx),
   }
   if (OnSteal)
     OnSteal(Frame, Ctx);
+  publishDepth();
   return {StealResult::Status::Success, Frame};
 }
 
@@ -156,4 +166,5 @@ void AtomicDeque::reset() {
   // can never observe a reused index value.
   std::int64_t H = Head.load(std::memory_order_seq_cst);
   Tail.store(H, std::memory_order_seq_cst);
+  publishDepth();
 }

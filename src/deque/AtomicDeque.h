@@ -149,7 +149,24 @@ public:
   /// observe a reused index value.
   void reset();
 
+  /// Live-metrics hook (src/metrics): when attached, every size-changing
+  /// operation stores the new occupancy into \p Gauge with a relaxed
+  /// atomic store — owner pushes/pops and thief steals alike. Null (the
+  /// default) costs one predictable untaken branch per operation; with
+  /// ATC_METRICS=OFF builds the stores are compiled out entirely.
+  void attachDepthGauge(std::atomic<std::int64_t> *Gauge) {
+    DepthGauge = Gauge;
+  }
+
 private:
+  /// Publishes size() to the attached gauge (see attachDepthGauge).
+  void publishDepth() {
+#if ATC_METRICS_ENABLED
+    if (ATC_UNLIKELY(DepthGauge != nullptr))
+      DepthGauge->store(size(), std::memory_order_relaxed);
+#endif
+  }
+
   /// Slot contents are atomic because a thief may read a slot while the
   /// owner recycles it for a new push; the claiming CAS discards any such
   /// stale read (the thief only uses the value if its CAS succeeds, and
@@ -172,6 +189,7 @@ private:
   std::atomic<std::uint64_t> Overflows{0};
   std::atomic<std::uint64_t> CasRetries{0};
   std::atomic<int> HighWater{0};
+  std::atomic<std::int64_t> *DepthGauge = nullptr;
 };
 
 } // namespace atc

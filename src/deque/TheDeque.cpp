@@ -27,6 +27,7 @@ bool TheDeque::tryPush(void *Frame, bool Special) {
   Tail.store(T + 1, std::memory_order_seq_cst);
   if (T + 1 > HighWater.load(std::memory_order_relaxed))
     HighWater.store(T + 1, std::memory_order_relaxed);
+  publishDepth();
   return true;
 }
 
@@ -35,8 +36,10 @@ PopResult TheDeque::pop() {
   int T = Tail.load(std::memory_order_relaxed) - 1;
   Tail.store(T, std::memory_order_seq_cst); // MEMBAR
   int H = Head.load(std::memory_order_seq_cst);
-  if (ATC_LIKELY(H <= T))
+  if (ATC_LIKELY(H <= T)) {
+    publishDepth();
     return PopResult::Success;
+  }
 
   // Conflict: restore Tail and retry under the lock.
   Tail.store(T + 1, std::memory_order_seq_cst);
@@ -48,8 +51,10 @@ PopResult TheDeque::pop() {
     // The entry was stolen. Restore Tail so the deque reads as empty
     // (H == T) rather than inverted.
     Tail.store(T + 1, std::memory_order_seq_cst);
+    publishDepth();
     return PopResult::Failure;
   }
+  publishDepth();
   return PopResult::Success;
 }
 
@@ -63,8 +68,10 @@ PopResult TheDeque::popSpecial() {
   int H = Head.load(std::memory_order_seq_cst);
   if (H > T) {
     Head.store(T, std::memory_order_seq_cst);
+    publishDepth();
     return PopResult::Failure;
   }
+  publishDepth();
   return PopResult::Success;
 }
 
@@ -112,6 +119,7 @@ StealResult TheDeque::steal(void (*OnSteal)(void *Frame, void *Ctx),
     void *Frame = Slots[H].Frame;
     if (OnSteal)
       OnSteal(Frame, Ctx);
+    publishDepth();
     return {StealResult::Status::Success, Frame};
   }
 
@@ -132,6 +140,7 @@ StealResult TheDeque::steal(void (*OnSteal)(void *Frame, void *Ctx),
   void *Frame = Slots[H + 1].Frame;
   if (OnSteal)
     OnSteal(Frame, Ctx);
+  publishDepth();
   return {StealResult::Status::Success, Frame};
 }
 
@@ -143,4 +152,5 @@ void TheDeque::reset() {
   std::lock_guard<std::mutex> Guard(Lock);
   Head.store(0, std::memory_order_seq_cst);
   Tail.store(0, std::memory_order_seq_cst);
+  publishDepth();
 }

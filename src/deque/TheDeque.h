@@ -39,6 +39,12 @@
 #include <memory>
 #include <mutex>
 
+// Compile-time metrics gate (see metrics/Metrics.h — the fallback is
+// duplicated here so the deque library stays independent of it).
+#ifndef ATC_METRICS_ENABLED
+#define ATC_METRICS_ENABLED 1
+#endif
+
 namespace atc {
 
 /// Result of an owner-side pop.
@@ -134,7 +140,24 @@ public:
   /// thieves.
   void reset();
 
+  /// Live-metrics hook (src/metrics): when attached, every size-changing
+  /// operation stores the new occupancy into \p Gauge with a relaxed
+  /// atomic store — owner pushes/pops and thief steals alike. Null (the
+  /// default) costs one predictable untaken branch per operation; with
+  /// ATC_METRICS=OFF builds the stores are compiled out entirely.
+  void attachDepthGauge(std::atomic<std::int64_t> *Gauge) {
+    DepthGauge = Gauge;
+  }
+
 private:
+  /// Publishes size() to the attached gauge (see attachDepthGauge).
+  void publishDepth() {
+#if ATC_METRICS_ENABLED
+    if (ATC_UNLIKELY(DepthGauge != nullptr))
+      DepthGauge->store(size(), std::memory_order_relaxed);
+#endif
+  }
+
   /// Frame is plain: thieves read it only after the claim/re-check
   /// handshake on Head/Tail, whose seq_cst stores order it. Special is
   /// atomic because a thief peeks it *before* claiming, concurrently with
@@ -159,6 +182,7 @@ private:
   std::atomic<std::uint64_t> Overflows{0};
   std::atomic<std::uint64_t> LockAcquires{0};
   std::atomic<int> HighWater{0};
+  std::atomic<std::int64_t> *DepthGauge = nullptr;
 };
 
 } // namespace atc

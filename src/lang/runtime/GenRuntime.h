@@ -31,6 +31,16 @@
 /// capacity (events; default 1M). Compiled out with ATC_TRACE=OFF builds
 /// (-DATC_TRACE_ENABLED=0).
 ///
+/// Metrics knob: ATCGEN_METRICS=<path> writes a Prometheus text
+/// exposition (0.0.4) of the run's protocol counters to <path> when the
+/// Worker is destroyed — the same atc_* metric families the core
+/// runtime's live registry exports (src/metrics), restricted to what a
+/// single-worker executor can observe. Generated binaries link only
+/// atc_lang/atc_support, so the writer here is self-contained rather
+/// than routed through the atc_metrics library; MetricsTest round-trips
+/// the output through the shared parser to pin the format. Compiled out
+/// with ATC_METRICS=OFF builds (-DATC_METRICS_ENABLED=0).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ATC_LANG_RUNTIME_GENRUNTIME_H
@@ -52,6 +62,12 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+// Compile-time metrics gate (shared with src/metrics; the fallback is
+// duplicated so generated code keeps compiling with only -I <repo>/src).
+#ifndef ATC_METRICS_ENABLED
+#define ATC_METRICS_ENABLED 1
+#endif
 
 namespace atcgen {
 
@@ -102,6 +118,10 @@ struct Worker {
       TracePath = Path;
       TB = &Trace->buffer(0);
     }
+#endif
+#if ATC_METRICS_ENABLED
+    if (const char *Path = std::getenv("ATCGEN_METRICS"))
+      MetricsPath = Path;
 #endif
   }
 
@@ -272,11 +292,50 @@ struct Worker {
     Stats.WorkspaceCopiedBytes += LiveBytes;
   }
 
+  /// Writes the run's counters as a Prometheus text exposition to
+  /// \p Path (see the ATCGEN_METRICS knob). Returns false on I/O error.
+  bool writeMetricsFile(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    auto Counter = [&](const char *Name, const char *Help,
+                       std::uint64_t V) {
+      std::fprintf(F,
+                   "# HELP atc_%s %s\n# TYPE atc_%s counter\n"
+                   "atc_%s_total{worker=\"0\"} %llu\n",
+                   Name, Help, Name, Name,
+                   static_cast<unsigned long long>(V));
+    };
+    std::fprintf(F, "atc_run_info{scheduler=\"AdaptiveTC\","
+                    "source=\"genruntime\"} 1\natc_workers 1\n");
+    Counter("tasks_created", "Real task frames allocated",
+            Stats.FramesAllocated);
+    Counter("spawns", "Deque push/pop pairs performed", Stats.Pushes);
+    Counter("special_tasks", "AdaptiveTC special tasks created",
+            Stats.SpecialPushes);
+    Counter("polls", "need_task / request-mailbox polls", Stats.Polls);
+    Counter("need_task_hits", "Polls that observed need_task",
+            Stats.NeedTaskHits);
+    Counter("workspace_copies", "Workspace (taskprivate) copies",
+            Stats.WorkspaceAllocs);
+    Counter("copied_bytes", "Bytes memcpy'd for workspaces",
+            Stats.WorkspaceCopiedBytes);
+    Counter("workspace_reuses", "Allocs served by the freelist",
+            Stats.WorkspaceReuses);
+    bool Ok = std::fclose(F) == 0;
+    return Ok;
+  }
+
   ~Worker() {
 #if ATC_TRACE_ENABLED
     if (Trace && !atc::writeChromeTraceFile(*Trace, TracePath))
       std::fprintf(stderr, "atcgen: cannot write trace to %s\n",
                    TracePath.c_str());
+#endif
+#if ATC_METRICS_ENABLED
+    if (!MetricsPath.empty() && !writeMetricsFile(MetricsPath))
+      std::fprintf(stderr, "atcgen: cannot write metrics to %s\n",
+                   MetricsPath.c_str());
 #endif
     for (WsBucket &B : WsBuckets)
       for (void *P : B.Free)
@@ -306,6 +365,9 @@ private:
   std::unique_ptr<atc::TraceLog> Trace;
   std::string TracePath;
   atc::TraceBuffer *TB = nullptr;
+
+  /// ATCGEN_METRICS support; empty when the knob is unset.
+  std::string MetricsPath;
 };
 
 /// print_long builtin.

@@ -1,0 +1,69 @@
+//===- metrics/Exposition.h - Prometheus / JSON exposition ------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders MetricsSnapshots as Prometheus text exposition (format 0.0.4:
+/// what the sampler writes to --metrics file targets and serves on
+/// --metrics-port) and as a JSON time series, plus a small Prometheus
+/// text parser used by atc_top's file-tailing mode and the round-trip
+/// tests. See docs/METRICS.md for the metric-by-metric reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_METRICS_EXPOSITION_H
+#define ATC_METRICS_EXPOSITION_H
+
+#include "metrics/MetricsRegistry.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atc {
+
+/// Renders one snapshot as Prometheus text exposition: every
+/// SchedulerStats field per worker (counters as atc_<name>_total,
+/// high-water gauges as atc_<name>), the live gauges (deque depth, FSM
+/// mode, need_task), per-mode residency seconds, and the four log2
+/// histograms with cumulative le buckets.
+std::string renderPrometheus(const MetricsSnapshot &Snap,
+                             const MetricsMeta &Meta);
+
+/// Renders the recorded snapshot series as one JSON document (meta
+/// header + snapshots array with per-worker stats, gauges, residency,
+/// and histogram quantiles).
+std::string renderJsonSeries(const std::vector<MetricsSnapshot> &History,
+                             const MetricsMeta &Meta);
+
+/// One parsed exposition line: name, label set, and the value both raw
+/// (exact for 64-bit counters) and as double.
+struct PromSample {
+  std::string Name;
+  std::map<std::string, std::string> Labels;
+  std::string Raw;
+  double Value = 0;
+
+  /// The raw value as an unsigned integer (0 if not integral).
+  std::uint64_t asU64() const;
+};
+
+/// Parses Prometheus text exposition into its sample lines (comments and
+/// blank lines skipped). Tolerant of anything renderPrometheus emits.
+std::vector<PromSample> parsePrometheus(const std::string &Text);
+
+/// Sums `<name>_total{worker=...}` samples (or maxes `<name>` gauges when
+/// \p Gauge) across workers in \p Samples — the aggregate the CI metrics
+/// smoke compares against SchedulerStats.
+std::uint64_t promTotal(const std::vector<PromSample> &Samples,
+                        const std::string &Name, bool Gauge = false);
+
+/// Writes \p Text to \p Path atomically enough for a tailing reader
+/// (write to Path + ".tmp", then rename). Returns false on I/O failure.
+bool writeTextFileAtomic(const std::string &Path, const std::string &Text);
+
+} // namespace atc
+
+#endif // ATC_METRICS_EXPOSITION_H

@@ -1,0 +1,195 @@
+//===- metrics/MetricsRegistry.h - Whole-run metric registry ----*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-run metrics registry: one WorkerMetricsCell per worker plus
+/// run metadata — the structural twin of trace/TraceLog.h. WorkerRuntime
+/// arms one when SchedulerConfig::Metrics is set (its own, or the
+/// externally owned SchedulerConfig::MetricsSink so a sampler thread or
+/// atc_top can watch the run live) and hands each worker a pointer to its
+/// cell; the simulator and the generated-code executor build their own.
+/// RunResult carries the registry back to the CLI for the final snapshot.
+///
+/// sample() is safe to call from any thread at any time (all cell reads
+/// are relaxed atomic loads); recorded snapshots form the JSON time
+/// series the exposition layer renders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_METRICS_METRICSREGISTRY_H
+#define ATC_METRICS_METRICSREGISTRY_H
+
+#include "metrics/Metrics.h"
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace atc {
+
+/// Run metadata embedded in every exposition (Prometheus labels, JSON
+/// header) — same shape as TraceMeta so the two halves of the
+/// observability story identify runs identically.
+struct MetricsMeta {
+  std::string Scheduler; ///< schedulerKindName of the run.
+  std::string Source;    ///< "runtime", "sim", or "genruntime".
+  std::string Workload;  ///< Free-form workload label ("nqueens-12", ...).
+  int SchemaVersion = 1;
+};
+
+/// One worker's state in one snapshot: plain copies of everything the
+/// cell publishes.
+struct WorkerSample {
+  std::uint64_t Stats[NumStatFields] = {};
+  std::uint64_t ModeNs[NumTraceModes] = {};
+  std::int64_t DequeDepth = 0;
+  TraceMode Mode = TraceMode::Idle;
+  bool NeedTask = false;
+  HistogramCounts StealLatencyNs;
+  HistogramCounts SpawnCostNs;
+  HistogramCounts DequeDepthHist;
+  HistogramCounts ReseedIntervalNs;
+
+  std::uint64_t stat(StatField F) const {
+    return Stats[static_cast<unsigned>(F)];
+  }
+};
+
+/// A timestamped point-in-time view of every worker.
+struct MetricsSnapshot {
+  std::uint64_t TimeNs = 0;
+  std::vector<WorkerSample> Workers;
+
+  /// Sums (counters) / maxes (gauges) field \p F across workers — the
+  /// aggregate the Prometheus totals and the coherence tests use.
+  std::uint64_t total(StatField F) const {
+    std::uint64_t T = 0;
+    for (const WorkerSample &W : Workers)
+      if (statFieldIsGauge(F))
+        T = T > W.stat(F) ? T : W.stat(F);
+      else
+        T += W.stat(F);
+    return T;
+  }
+
+  /// Reconstructs an aggregated SchedulerStats from the per-worker
+  /// mirrors (exact after the final post-join publish).
+  SchedulerStats toStats() const {
+    SchedulerStats S;
+    for (unsigned I = 0; I != NumStatFields; ++I)
+      setStatFieldValue(S, static_cast<StatField>(I),
+                        total(static_cast<StatField>(I)));
+    return S;
+  }
+};
+
+/// Per-run metric collection; see the file comment.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  explicit MetricsRegistry(int NumWorkers) { reset(NumWorkers); }
+
+  /// (Re)sizes to \p NumWorkers cells and zeroes them. Not safe against a
+  /// concurrent sampler when the size changes (cells are reallocated);
+  /// pre-size the registry before starting one.
+  void reset(int NumWorkers) {
+    assert(NumWorkers >= 1 && "metrics registry needs at least one worker");
+    auto N = static_cast<std::size_t>(NumWorkers);
+    if (Cells.size() != N) {
+      Cells.clear();
+      Cells.reserve(N);
+      for (std::size_t I = 0; I != N; ++I)
+        Cells.push_back(std::make_unique<WorkerMetricsCell>());
+    } else {
+      for (auto &C : Cells)
+        C->reset();
+    }
+    std::lock_guard<std::mutex> Lock(HistoryMutex);
+    History.clear();
+  }
+
+  int numWorkers() const { return static_cast<int>(Cells.size()); }
+
+  WorkerMetricsCell &cell(int W) {
+    return *Cells[static_cast<std::size_t>(W)];
+  }
+  const WorkerMetricsCell &cell(int W) const {
+    return *Cells[static_cast<std::size_t>(W)];
+  }
+
+  /// Takes a snapshot of every cell, stamped with \p TimeNs (0 means
+  /// "now" on the real clock; the simulator passes virtual time). Mode
+  /// residency includes the still-open interval of the current mode so a
+  /// worker parked in one long span still shows progress between polls.
+  MetricsSnapshot sample(std::uint64_t TimeNs = 0) const {
+    MetricsSnapshot Snap;
+    Snap.TimeNs = TimeNs != 0 ? TimeNs : nowNanos();
+    Snap.Workers.resize(Cells.size());
+    for (std::size_t I = 0; I != Cells.size(); ++I) {
+      const WorkerMetricsCell &C = *Cells[I];
+      WorkerSample &W = Snap.Workers[I];
+      for (unsigned F = 0; F != NumStatFields; ++F)
+        W.Stats[F] = C.stat(static_cast<StatField>(F));
+      for (int M = 0; M != NumTraceModes; ++M)
+        W.ModeNs[M] = C.modeNanos(static_cast<TraceMode>(M));
+      W.Mode = C.mode();
+      W.NeedTask = C.needTask();
+      W.DequeDepth = C.dequeDepth();
+      // Live adjustment: credit the open interval to the current mode.
+      // Racy against a concurrent transition by design — the error is
+      // bounded by one interval and self-corrects at the next sample.
+      std::uint64_t Start = C.modeStartNanos();
+      if (Start != 0 && Snap.TimeNs > Start)
+        W.ModeNs[static_cast<unsigned>(W.Mode)] += Snap.TimeNs - Start;
+      W.StealLatencyNs = C.StealLatencyNs.snapshot();
+      W.SpawnCostNs = C.SpawnCostNs.snapshot();
+      W.DequeDepthHist = C.DequeDepth.snapshot();
+      W.ReseedIntervalNs = C.ReseedIntervalNs.snapshot();
+    }
+    return Snap;
+  }
+
+  /// Appends \p Snap to the bounded history (oldest dropped past the cap).
+  void recordSnapshot(MetricsSnapshot Snap) {
+    std::lock_guard<std::mutex> Lock(HistoryMutex);
+    History.push_back(std::move(Snap));
+    while (History.size() > HistoryCap)
+      History.pop_front();
+  }
+
+  /// sample() + recordSnapshot() — the sampler thread's per-tick step.
+  MetricsSnapshot sampleAndRecord(std::uint64_t TimeNs = 0) {
+    MetricsSnapshot Snap = sample(TimeNs);
+    recordSnapshot(Snap);
+    return Snap;
+  }
+
+  /// Copies out the recorded series (cheap relative to exposition).
+  std::vector<MetricsSnapshot> history() const {
+    std::lock_guard<std::mutex> Lock(HistoryMutex);
+    return {History.begin(), History.end()};
+  }
+
+  MetricsMeta Meta;
+
+  /// Max snapshots retained (default one minute at the default 100 ms
+  /// sampler period, ten at 6 s — bounded so an unattended sampler never
+  /// grows without limit).
+  std::size_t HistoryCap = 600;
+
+private:
+  std::vector<std::unique_ptr<WorkerMetricsCell>> Cells;
+  mutable std::mutex HistoryMutex;
+  std::deque<MetricsSnapshot> History;
+};
+
+} // namespace atc
+
+#endif // ATC_METRICS_METRICSREGISTRY_H

@@ -1,0 +1,94 @@
+//===- metrics/Quantile.h - Shared quantile / log2-bucket math --*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Header-only quantile and log2-bucket math shared by the metrics layer
+/// (LogHistogram quantiles, Prometheus bucket bounds) and the trace
+/// summarizer (TraceSummary latency percentiles and its display
+/// histogram). Keeping one copy means a percentile printed by atc_top and
+/// one printed by trace_timeline over the same data agree exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_METRICS_QUANTILE_H
+#define ATC_METRICS_QUANTILE_H
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atc {
+
+/// Number of log2 buckets used by LogHistogram: bucket 0 holds value 0,
+/// bucket B >= 1 holds values in [2^(B-1), 2^B). 64-bit values have at
+/// most 64 significant bits, so bit_width <= 64 and 65 buckets cover the
+/// full range with no clamping ambiguity at the top.
+inline constexpr unsigned NumLog2Buckets = 65;
+
+/// The log2 bucket index for \p V: 0 for V == 0, else bit_width(V)
+/// (so 1 -> bucket 1, [2,3] -> 2, [4,7] -> 3, ...).
+constexpr unsigned log2BucketFor(std::uint64_t V) {
+  return static_cast<unsigned>(std::bit_width(V));
+}
+
+/// Smallest value that lands in bucket \p B (0 for the zero bucket).
+constexpr std::uint64_t log2BucketLowerBound(unsigned B) {
+  return B == 0 ? 0 : std::uint64_t{1} << (B - 1);
+}
+
+/// Largest value that lands in bucket \p B (inclusive).
+constexpr std::uint64_t log2BucketUpperBound(unsigned B) {
+  if (B == 0)
+    return 0;
+  if (B >= 64)
+    return ~std::uint64_t{0};
+  return (std::uint64_t{1} << B) - 1;
+}
+
+/// Percentile \p P (0..1) of an ascending-sorted \p Sorted, linearly
+/// interpolated on index P * (N - 1) — the convention the trace
+/// summarizer has always printed, now shared (callers sort once and ask
+/// for as many percentiles as they like). Returns 0 on empty input.
+inline double percentileSorted(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  double Idx = P * static_cast<double>(Sorted.size() - 1);
+  std::size_t Lo = static_cast<std::size_t>(Idx);
+  std::size_t Hi = Lo + 1 < Sorted.size() ? Lo + 1 : Sorted.size() - 1;
+  double Frac = Idx - static_cast<double>(Lo);
+  return Sorted[Lo] * (1 - Frac) + Sorted[Hi] * Frac;
+}
+
+/// Interpolated quantile \p Q (0..1) from log2 bucket counts: walks the
+/// cumulative distribution to the bucket containing the target rank and
+/// interpolates linearly inside it. Returns 0 when the histogram is
+/// empty. \p Buckets must have NumLog2Buckets entries.
+inline double quantileFromLog2Buckets(const std::uint64_t *Buckets,
+                                      std::uint64_t Count, double Q) {
+  if (Count == 0)
+    return 0.0;
+  double Target = Q * static_cast<double>(Count);
+  std::uint64_t Seen = 0;
+  for (unsigned B = 0; B != NumLog2Buckets; ++B) {
+    if (Buckets[B] == 0)
+      continue;
+    double Before = static_cast<double>(Seen);
+    Seen += Buckets[B];
+    if (static_cast<double>(Seen) < Target)
+      continue;
+    double Lo = static_cast<double>(log2BucketLowerBound(B));
+    double Hi = static_cast<double>(log2BucketUpperBound(B)) + 1.0;
+    double Frac = (Target - Before) / static_cast<double>(Buckets[B]);
+    return Lo + (Hi - Lo) * std::clamp(Frac, 0.0, 1.0);
+  }
+  return static_cast<double>(log2BucketUpperBound(NumLog2Buckets - 1));
+}
+
+} // namespace atc
+
+#endif // ATC_METRICS_QUANTILE_H

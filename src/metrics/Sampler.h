@@ -1,0 +1,86 @@
+//===- metrics/Sampler.h - Background metrics sampler -----------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The background sampler: a thread that snapshots a MetricsRegistry on a
+/// configurable period, records the series into the registry history,
+/// rewrites a Prometheus text file, and optionally serves the latest
+/// exposition on a minimal HTTP endpoint (GET anything -> text/plain
+/// 0.0.4), so a scrape target or `curl` can watch a run live.
+///
+/// The CLI owns the registry (SchedulerConfig::MetricsSink) and the
+/// sampler's lifetime brackets the run: start() before runProblem,
+/// stop() after — stop takes one final sample, so the file and history
+/// always end with the exact post-join state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_METRICS_SAMPLER_H
+#define ATC_METRICS_SAMPLER_H
+
+#include "metrics/MetricsRegistry.h"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace atc {
+
+struct SamplerOptions {
+  int PeriodMs = 100;   ///< Snapshot period.
+  std::string PromFile; ///< Rewrite this file each tick (empty = none).
+  int HttpPort = -1;    ///< Serve /metrics: -1 disabled, 0 ephemeral
+                        ///  (see boundPort()), >0 fixed port (loopback).
+};
+
+/// Background sampler; see the file comment. Not copyable or movable
+/// (owns a thread watching `this`).
+class MetricsSampler {
+public:
+  MetricsSampler() = default;
+  ~MetricsSampler() { stop(); }
+  MetricsSampler(const MetricsSampler &) = delete;
+  MetricsSampler &operator=(const MetricsSampler &) = delete;
+
+  /// Starts sampling \p Reg. Returns false (started nothing) if already
+  /// running or the HTTP socket could not be bound.
+  bool start(MetricsRegistry &Reg, SamplerOptions Opts);
+
+  /// Stops the thread, taking one final sample (and file/endpoint
+  /// refresh) so consumers see the exact end-of-run state. Idempotent.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// The bound HTTP port (useful with HttpPort = 0), or -1 when disabled.
+  int boundPort() const { return Port; }
+
+  /// The most recently rendered exposition (what the endpoint serves).
+  std::string latestText() const {
+    std::lock_guard<std::mutex> Lock(TextMutex);
+    return Latest;
+  }
+
+private:
+  void loop();
+  void tick();
+  void serveOnce(int TimeoutMs);
+
+  MetricsRegistry *Reg = nullptr;
+  SamplerOptions Opts;
+  std::thread Thread;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> StopFlag{false};
+  int ListenFd = -1;
+  int Port = -1;
+  mutable std::mutex TextMutex;
+  std::string Latest;
+};
+
+} // namespace atc
+
+#endif // ATC_METRICS_SAMPLER_H

@@ -6,6 +6,7 @@
 
 #include "sim/SimEngine.h"
 #include "core/kernel/TaskCreationPolicy.h"
+#include "metrics/MetricsRegistry.h"
 #include "support/Compiler.h"
 #include "support/Prng.h"
 
@@ -59,8 +60,17 @@ struct SimWorker {
   /// Virtual-time trace ring, or null when the sim run is untraced.
   TraceBuffer *TB = nullptr;
 
+  /// Virtual-time metrics cell, or null when the sim run is unmetered.
+  WorkerMetricsCell *MC = nullptr;
+
+  /// Per-worker counter mirror, kept in the runtime's SchedulerStats
+  /// vocabulary so the metrics snapshot of a sim run carries the same
+  /// fields as a real run (the SimReport globals are sums of these).
+  SchedulerStats Stats;
+
   double Now = 0;
   double LastProductive = 0;
+  double IdleStart = -1; ///< Virtual time this worker went idle, or -1.
   std::vector<SimFrame> Stack;
   SplitMix64 Rng;
   SimBreakdown B;
@@ -85,7 +95,7 @@ struct SimWorker {
 class Simulator {
 public:
   Simulator(const SimTree &Tree, const SimOptions &Opts,
-            const CostModel &Costs, TraceLog *Log)
+            const CostModel &Costs, TraceLog *Log, MetricsRegistry *Metrics)
       : Tree(Tree), Opts(Opts), C(Costs), CutoffDepth(Opts.effectiveCutoff()) {
     for (int I = 0; I < Opts.NumWorkers; ++I)
       Workers.emplace_back(Opts.Seed + static_cast<std::uint64_t>(I));
@@ -98,6 +108,20 @@ public:
     }
 #else
     (void)Log;
+#endif
+#if ATC_METRICS_ENABLED
+    if (Metrics) {
+      Metrics->reset(Opts.NumWorkers);
+      Metrics->Meta.Scheduler = schedulerKindName(Opts.Kind);
+      Metrics->Meta.Source = "sim";
+      for (int I = 0; I < Opts.NumWorkers; ++I) {
+        WorkerMetricsCell &Cell = Metrics->cell(I);
+        Cell.begin(0); // virtual clocks start at t = 0
+        Workers[static_cast<std::size_t>(I)].MC = &Cell;
+      }
+    }
+#else
+    (void)Metrics;
 #endif
   }
 
@@ -131,6 +155,15 @@ private:
   void chargeSpawn(SimWorker &W, bool IsSpecial);
   int pickVictim(SimWorker &W, int Self);
 
+  /// Mirrors \p W's stealable-frame count into its metrics cell — the sim
+  /// analogue of the deques' depth gauge — and tracks the high-water.
+  void publishSimDepth(SimWorker &W) {
+    if (W.OpenStealable > W.Stats.DequeHighWater)
+      W.Stats.DequeHighWater = W.OpenStealable;
+    ATC_METRIC(W.MC, dequeDepthGauge().store(W.OpenStealable,
+                                             std::memory_order_relaxed));
+  }
+
   /// Emits \p K on \p W's ring stamped with its virtual clock.
   void emit([[maybe_unused]] SimWorker &W,
             [[maybe_unused]] TraceEventKind K,
@@ -140,11 +173,12 @@ private:
   }
 
   /// Re-derives \p W's mode from its stack top and records the change, if
-  /// any. Called once per step so virtual-time spans track the frame
-  /// structure the way TraceModeScope tracks the real call structure.
+  /// any, on both the trace ring and the metrics cell. Called once per
+  /// step so virtual-time spans track the frame structure the way
+  /// TraceModeScope tracks the real call structure.
   void syncTraceMode(SimWorker &W) {
-#if ATC_TRACE_ENABLED
-    if (ATC_UNLIKELY(W.TB != nullptr)) {
+#if ATC_TRACE_ENABLED || ATC_METRICS_ENABLED
+    if (ATC_UNLIKELY(W.TB != nullptr || W.MC != nullptr)) {
       TraceMode M;
       if (W.Stack.empty()) {
         M = TraceMode::Idle;
@@ -157,7 +191,11 @@ private:
         else
           M = traceModeFor(F.Mode);
       }
-      W.TB->setModeAt(static_cast<std::uint64_t>(W.Now), M);
+#if ATC_TRACE_ENABLED
+      if (W.TB)
+        W.TB->setModeAt(static_cast<std::uint64_t>(W.Now), M);
+#endif
+      ATC_METRIC(W.MC, setModeAt(static_cast<std::uint64_t>(W.Now), M));
     }
 #else
     (void)W;
@@ -196,6 +234,11 @@ void Simulator::chargeSpawn(SimWorker &W, bool IsSpecial) {
   W.B.OverheadNs += Ns;
   ++R.TasksCreated;
   ++R.Copies;
+  ++W.Stats.TasksCreated;
+  ++W.Stats.Spawns;
+  ++W.Stats.WorkspaceCopies;
+  W.Stats.CopiedBytes += static_cast<std::uint64_t>(C.StateBytes);
+  ATC_METRIC(W.MC, SpawnCostNs.record(static_cast<std::uint64_t>(Ns)));
 }
 
 SimReport Simulator::run() {
@@ -225,6 +268,7 @@ SimReport Simulator::run() {
         F.Stealable = true;
         W.OpenStealable = 1;
         R.MaxStealableFrames = 1;
+        publishSimDepth(W);
         chargeSpawn(W, false); // the root task itself
         emit(W, TraceEventKind::SpawnReal,
              static_cast<std::uint32_t>(F.Mode), 0);
@@ -273,9 +317,15 @@ SimReport Simulator::run() {
          "simulation lost track of nodes (tree sizes must partition)");
 
   for (int I = 0; I < Opts.NumWorkers; ++I) {
-    R.PerWorker[static_cast<std::size_t>(I)] = Workers[I].B;
-    R.Total += Workers[I].B;
-    R.MakespanNs = std::max(R.MakespanNs, Workers[I].LastProductive);
+    SimWorker &W = Workers[static_cast<std::size_t>(I)];
+    R.PerWorker[static_cast<std::size_t>(I)] = W.B;
+    R.Total += W.B;
+    R.MakespanNs = std::max(R.MakespanNs, W.LastProductive);
+    // Final exact publish: after this the registry's aggregate equals the
+    // SimReport counters (the same contract the real runtime keeps with
+    // SchedulerStats).
+    syncTraceMode(W);
+    ATC_METRIC(W.MC, publishStats(W.Stats));
   }
   R.NodesProcessed = Processed;
   return R;
@@ -284,8 +334,19 @@ SimReport Simulator::run() {
 void Simulator::step(int Wi) {
   SimWorker &W = Workers[static_cast<std::size_t>(Wi)];
   if (W.Stack.empty()) {
+    if (W.IdleStart < 0)
+      W.IdleStart = W.Now;
     syncTraceMode(W); // idle span begins before the attempt's events
     idleStep(Wi);
+    if (!W.Stack.empty() && W.IdleStart >= 0) {
+      // Acquired work: the whole empty-stack span was steal latency.
+      double Waited = W.Now - W.IdleStart;
+      W.IdleStart = -1;
+      W.Stats.StealWaitNs += static_cast<std::uint64_t>(Waited);
+      ATC_METRIC(W.MC, StealLatencyNs.record(
+                           static_cast<std::uint64_t>(Waited)));
+      ATC_METRIC(W.MC, publishStats(W.Stats));
+    }
     syncTraceMode(W);
     return;
   }
@@ -333,6 +394,8 @@ void Simulator::visitChild(SimWorker &W) {
     F.WaitJobs.push_back(ChildJob);
     if (Special) {
       ++R.SpecialTasks;
+      ++W.Stats.SpecialTasks;
+      ATC_METRIC(W.MC, recordReseed(static_cast<std::uint64_t>(W.Now)));
       emit(W, TraceEventKind::NeedTaskObserve, 0,
            static_cast<std::uint16_t>(W.Stack.size()));
     }
@@ -348,6 +411,8 @@ void Simulator::visitChild(SimWorker &W) {
     W.Now += Ns;
     W.B.OverheadNs += Ns;
     ++R.Copies;
+    ++W.Stats.WorkspaceCopies;
+    W.Stats.CopiedBytes += static_cast<std::uint64_t>(C.StateBytes);
   }
 
   // Charge the node's work and the edge overheads.
@@ -355,11 +420,14 @@ void Simulator::visitChild(SimWorker &W) {
   W.B.WorkNs += C.NodeWorkNs;
   if (Spawned) {
     chargeSpawn(W, Special);
+    ATC_METRIC(W.MC, DequeDepth.record(
+                         static_cast<std::uint64_t>(W.OpenStealable)));
     emit(W, TraceEventKind::SpawnReal,
          static_cast<std::uint32_t>(ChildMode),
          static_cast<std::uint16_t>(W.Stack.size()));
   } else {
     ++R.FakeNodes;
+    ++W.Stats.FakeTasks;
     // As in the real runtime: one spawn-fake per fake-task subtree entry,
     // not per node (R.FakeNodes has the exact count).
     if (ChildMode == CodeVersion::Check && F.Mode != CodeVersion::Check)
@@ -369,6 +437,7 @@ void Simulator::visitChild(SimWorker &W) {
   if (Polled || Opts.Kind == SchedulerKind::Tascell) {
     W.Now += C.PollNs;
     W.B.PollNs += C.PollNs;
+    ++W.Stats.Polls;
   }
   if (Opts.Kind == SchedulerKind::Tascell) {
     // Nested-function (choice point) management on the shadow stack.
@@ -384,8 +453,10 @@ void Simulator::visitChild(SimWorker &W) {
     --J->Remaining;
 
   W.LastProductive = W.Now;
-  if (F.Stealable && F.Next == F.End)
+  if (F.Stealable && F.Next == F.End) {
     --W.OpenStealable; // level exhausted: no longer steal material
+    publishSimDepth(W);
+  }
 
   // Expand and push the child's level.
   Tree.children(Node, KidsScratch);
@@ -401,6 +472,7 @@ void Simulator::visitChild(SimWorker &W) {
   if (NF.Stealable) {
     ++W.OpenStealable;
     R.MaxStealableFrames = std::max(R.MaxStealableFrames, W.OpenStealable);
+    publishSimDepth(W);
   }
   W.Stack.push_back(std::move(NF));
 }
@@ -417,6 +489,7 @@ void Simulator::frameEnd(SimWorker &W) {
     // re-check (usleep(100) in the real systems).
     W.Now += C.SleepNs;
     W.B.WaitChildrenNs += C.SleepNs;
+    W.Stats.WaitChildrenNs += static_cast<std::uint64_t>(C.SleepNs);
     return;
   }
   if (F.TraceWaiting)
@@ -443,6 +516,7 @@ void Simulator::dequeStealAttempt(int Wi) {
   }
   int Vi = pickVictim(W, Wi);
   SimWorker &V = Workers[static_cast<std::size_t>(Vi)];
+  ++W.Stats.StealAttempts;
   emit(W, TraceEventKind::StealAttempt, static_cast<std::uint32_t>(Vi));
 
   // Oldest stealable frame with untried siblings. The victim's *top*
@@ -465,6 +539,7 @@ void Simulator::dequeStealAttempt(int Wi) {
 
   if (!Target) {
     ++R.StealFails;
+    ++W.Stats.StealFails;
     ++W.FailStreak;
     // Light backoff only: Cilk-style thieves retry at memory-latency
     // timescales; aggressive sleeping would starve the need_task
@@ -478,6 +553,7 @@ void Simulator::dequeStealAttempt(int Wi) {
     if (Opts.Kind == SchedulerKind::AdaptiveTC &&
         ++V.StolenNum > Opts.MaxStolenNum) {
       V.NeedTask = true;
+      ATC_METRIC(V.MC, setNeedTask(true));
       if (V.StolenNum == Opts.MaxStolenNum + 1)
         emit(W, TraceEventKind::NeedTaskRaise,
              static_cast<std::uint32_t>(Vi));
@@ -487,9 +563,11 @@ void Simulator::dequeStealAttempt(int Wi) {
 
   // Steal the continuation: the whole untried range moves to the thief.
   ++R.Steals;
+  ++W.Stats.Steals;
   W.FailStreak = 0;
   V.StolenNum = 0;
   V.NeedTask = false;
+  ATC_METRIC(V.MC, setNeedTask(false));
   W.Now += C.StealNs;
   W.B.IdleNs += C.StealNs;
   emit(W, TraceEventKind::StealSuccess, static_cast<std::uint32_t>(Vi));
@@ -506,10 +584,13 @@ void Simulator::dequeStealAttempt(int Wi) {
   TF.Stealable = true;
   TF.NodeJob = Target->NodeJob;
   Target->End = StealBegin; // victim keeps only its in-flight child
-  if (Target->Next >= Target->End)
+  if (Target->Next >= Target->End) {
     --V.OpenStealable;
+    publishSimDepth(V);
+  }
   ++W.OpenStealable;
   R.MaxStealableFrames = std::max(R.MaxStealableFrames, W.OpenStealable);
+  publishSimDepth(W);
   W.Stack.push_back(std::move(TF));
   W.LastProductive = W.Now;
 }
@@ -535,6 +616,8 @@ void Simulator::tascellIdle(int Wi) {
     W.WaitingOn = Vi;
     W.HasResponse = false;
     ++R.Requests;
+    ++W.Stats.Requests;
+    ++W.Stats.StealAttempts;
     W.Now += C.PollNs;
     emit(W, TraceEventKind::StealAttempt, static_cast<std::uint32_t>(Vi));
     return;
@@ -545,12 +628,14 @@ void Simulator::tascellIdle(int Wi) {
     W.WaitingOn = -1;
     if (W.Response.Deny) {
       ++R.StealFails;
+      ++W.Stats.StealFails;
       W.B.IdleNs += C.RequestRoundTripNs;
       W.Now += C.RequestRoundTripNs;
       emit(W, TraceEventKind::StealFail, static_cast<std::uint32_t>(Vi));
       return;
     }
     ++R.Steals;
+    ++W.Stats.Steals;
     W.Now = std::max(W.Now, W.Response.ReadyAt) + C.RequestRoundTripNs;
     W.B.IdleNs += C.RequestRoundTripNs;
     W.Stack.push_back(std::move(W.Response.Frame));
@@ -567,6 +652,7 @@ void Simulator::tascellIdle(int Wi) {
     Rq.Response.Deny = true;
     Rq.Response.ReadyAt = W.Now;
     ++R.RequestsDenied;
+    ++W.Stats.RequestsDenied;
   }
   W.Mailbox.clear();
   double Ns = C.SleepNs / 2;
@@ -594,6 +680,7 @@ void Simulator::tascellPoll(int Wi) {
     Rq.Response.Deny = true;
     Rq.Response.ReadyAt = W.Now;
     ++R.RequestsDenied;
+    ++W.Stats.RequestsDenied;
     return;
   }
 
@@ -609,6 +696,10 @@ void Simulator::tascellPoll(int Wi) {
   W.Now += Cost;
   W.B.OverheadNs += Cost;
   ++R.Copies;
+  ++W.Stats.WorkspaceCopies;
+  W.Stats.CopiedBytes += static_cast<std::uint64_t>(C.StateBytes);
+  W.Stats.BacktrackSteps += 2 * (W.Stack.size() - Split);
+  ATC_METRIC(W.MC, SpawnCostNs.record(static_cast<std::uint64_t>(Cost)));
 
   long long DonatedNodes = 0;
   SimFrame DF;
@@ -634,7 +725,8 @@ void Simulator::tascellPoll(int Wi) {
 } // namespace
 
 SimReport atc::simulate(const SimTree &Tree, const SimOptions &Opts,
-                        const CostModel &Costs, TraceLog *Log) {
-  Simulator S(Tree, Opts, Costs, Log);
+                        const CostModel &Costs, TraceLog *Log,
+                        MetricsRegistry *Metrics) {
+  Simulator S(Tree, Opts, Costs, Log, Metrics);
   return S.run();
 }

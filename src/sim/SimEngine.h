@@ -47,6 +47,8 @@
 
 namespace atc {
 
+class MetricsRegistry;
+
 /// Simulation parameters.
 struct SimOptions {
   SchedulerKind Kind = SchedulerKind::AdaptiveTC;
@@ -130,8 +132,16 @@ struct SimReport {
 /// (trace/TraceEvent.h) stamped with their *virtual* clocks — paper-scale
 /// multi-thread figures become loadable in Perfetto even though the sim
 /// runs on one host core.
+///
+/// When \p Metrics is non-null, the simulated workers publish the same
+/// live-metrics schema as the real runtime (metrics/MetricsRegistry.h)
+/// stamped with their virtual clocks: the registry is reset to
+/// Opts.NumWorkers cells and after the run each cell holds the worker's
+/// exact counters, mode residencies, and histograms — so a Prometheus
+/// snapshot of an 8-worker paper-scale run renders from a one-core host.
 SimReport simulate(const SimTree &Tree, const SimOptions &Opts,
-                   const CostModel &Costs, TraceLog *Log = nullptr);
+                   const CostModel &Costs, TraceLog *Log = nullptr,
+                   MetricsRegistry *Metrics = nullptr);
 
 } // namespace atc
 

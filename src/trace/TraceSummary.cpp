@@ -6,6 +6,8 @@
 
 #include "trace/TraceSummary.h"
 
+#include "metrics/Quantile.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdarg>
@@ -27,17 +29,6 @@ void appendf(std::string &Out, const char *Fmt, ...) {
   if (N > 0)
     Out.append(Buf, static_cast<std::size_t>(
                         std::min<int>(N, sizeof(Buf) - 1)));
-}
-
-double percentile(std::vector<double> V, double P) {
-  if (V.empty())
-    return 0;
-  std::sort(V.begin(), V.end());
-  double Idx = P * static_cast<double>(V.size() - 1);
-  std::size_t Lo = static_cast<std::size_t>(Idx);
-  std::size_t Hi = std::min(Lo + 1, V.size() - 1);
-  double Frac = Idx - static_cast<double>(Lo);
-  return V[Lo] * (1 - Frac) + V[Hi] * Frac;
 }
 
 } // namespace
@@ -148,14 +139,17 @@ std::string formatSummary(const TraceSummary &S) {
               100.0 * Us / ModeTotal, Us / 1000.0);
   }
 
-  // Steal latency histogram, log2 microsecond buckets.
+  // Steal latency histogram, log2 microsecond buckets. Sorted once here;
+  // each percentileSorted call is then a constant-time lookup (the old
+  // helper took the vector by value and re-sorted per percentile).
   if (!S.StealLatenciesUs.empty()) {
+    std::vector<double> Sorted = S.StealLatenciesUs;
+    std::sort(Sorted.begin(), Sorted.end());
     appendf(Out, "\nsteal latency (idle-episode start -> success), n=%zu:\n",
             S.StealLatenciesUs.size());
     appendf(Out, "  p50 %.1f us   p90 %.1f us   p99 %.1f us\n",
-            percentile(S.StealLatenciesUs, 0.50),
-            percentile(S.StealLatenciesUs, 0.90),
-            percentile(S.StealLatenciesUs, 0.99));
+            percentileSorted(Sorted, 0.50), percentileSorted(Sorted, 0.90),
+            percentileSorted(Sorted, 0.99));
     constexpr int NumBuckets = 12; // <1us .. >=1s in log2 decades
     std::vector<std::uint64_t> Buckets(NumBuckets, 0);
     for (double L : S.StealLatenciesUs) {
@@ -185,15 +179,13 @@ std::string formatSummary(const TraceSummary &S) {
   // Time-to-first-reseed: the adaptation latency the paper's special
   // tasks exist to minimize.
   if (!S.ReseedLatenciesUs.empty()) {
+    std::vector<double> Sorted = S.ReseedLatenciesUs;
+    std::sort(Sorted.begin(), Sorted.end());
     appendf(Out,
             "\nneed_task -> special-push (reseed latency), n=%zu:\n"
             "  min %.1f us   p50 %.1f us   max %.1f us\n",
-            S.ReseedLatenciesUs.size(),
-            *std::min_element(S.ReseedLatenciesUs.begin(),
-                              S.ReseedLatenciesUs.end()),
-            percentile(S.ReseedLatenciesUs, 0.50),
-            *std::max_element(S.ReseedLatenciesUs.begin(),
-                              S.ReseedLatenciesUs.end()));
+            S.ReseedLatenciesUs.size(), Sorted.front(),
+            percentileSorted(Sorted, 0.50), Sorted.back());
   }
   return Out;
 }

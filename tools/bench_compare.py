@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Compare fresh micro_spawn / micro_deque runs against the committed
+baselines (BENCH_spawn.json / BENCH_deque.json) with noise tolerance.
+
+The committed baselines were recorded on one specific machine; a fresh
+run on different hardware is uniformly faster or slower. To compare
+across machines, every benchmark's fresh/baseline ratio is normalized by
+the *median* ratio across all compared benchmarks (the machine-speed
+factor), and only benchmarks whose normalized ratio exceeds --tolerance
+are flagged: a true regression shows up as one benchmark drifting away
+from the pack, not as the pack moving together.
+
+Usage (from the repo root, after a Release build):
+
+    python3 tools/bench_compare.py \
+        --spawn-bench build/bench/micro_spawn \
+        --deque-bench build/bench/micro_deque
+
+    # or compare pre-recorded --benchmark_format=json outputs:
+    python3 tools/bench_compare.py --spawn-json fresh_spawn.json
+
+Exit status: 0 when every compared benchmark is within tolerance,
+1 on regression, 2 on usage/run errors.
+"""
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+
+# Deque benchmarks whose baseline entries are throughput (items/sec,
+# higher is better) rather than per-op time.
+DRAIN_PREFIXES = ("BM_DrainStealThe/", "BM_DrainStealAtomic/")
+
+# Contended* numbers are preemption-bound on small shared runners (see
+# the note in BENCH_deque.json); comparing them is noise, so they are
+# skipped and listed as such.
+SKIP_PREFIXES = ("BM_ContendedStealThe/", "BM_ContendedStealAtomic/")
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def run_benchmark(binary, min_time):
+    """Runs a google-benchmark binary and returns its parsed JSON."""
+    cmd = [
+        binary,
+        "--benchmark_format=json",
+        "--benchmark_min_time={}".format(min_time),
+    ]
+    try:
+        out = subprocess.run(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, check=True
+        )
+    except (OSError, subprocess.CalledProcessError) as e:
+        sys.exit("error: cannot run {}: {}".format(binary, e))
+    return json.loads(out.stdout.decode())
+
+
+def fresh_results(bench_json):
+    """{name: (real_time_ns, items_per_second or None)} from a
+    google-benchmark JSON document."""
+    res = {}
+    for b in bench_json.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        res[b["name"]] = (
+            float(b["real_time"]) * unit,
+            b.get("items_per_second"),
+        )
+    return res
+
+
+def spawn_pairs(fresh, baseline):
+    """(name, fresh_metric, base_metric, kind) pairs for micro_spawn.
+    Baseline names match the benchmark names exactly. runs.current is the
+    most recent committed record (refreshed when a PR legitimately moves
+    the numbers); runs.after is the original PR-2 record kept for
+    history."""
+    runs = baseline.get("runs", {})
+    base_runs = runs.get("current") or runs.get("after", {})
+    pairs, missing = [], []
+    for name, entry in sorted(base_runs.items()):
+        base_ns = entry.get("real_time_ns")
+        if base_ns is None:
+            continue
+        if name not in fresh:
+            missing.append(name)
+            continue
+        pairs.append((name, fresh[name][0], float(base_ns), "time"))
+    return pairs, missing
+
+
+def deque_pairs(fresh, baseline):
+    """Pairs for micro_deque: single-thread per-op times by stripping the
+    BM_ prefix, and DrainSteal* throughput via drain.<kind>.thieves_<n>."""
+    pairs, missing, skipped = [], [], []
+    single = baseline.get("single_thread_ns", {})
+    drain = baseline.get("drain", {})
+    for name, (ns, ips) in sorted(fresh.items()):
+        if name.startswith(SKIP_PREFIXES):
+            skipped.append(name)
+            continue
+        if name.startswith(DRAIN_PREFIXES):
+            # "BM_DrainStealThe/4/manual_time" -> kind "the", thieves "4".
+            kind = "the" if "The" in name else "atomic"
+            thieves = name.split("/")[1]
+            base_ips = drain.get(kind, {}).get("thieves_" + thieves)
+            if base_ips is None or not ips:
+                missing.append(name)
+            else:
+                pairs.append((name, float(ips), float(base_ips), "throughput"))
+            continue
+        short = name[3:] if name.startswith("BM_") else name
+        base_ns = single.get(short)
+        if base_ns is None:
+            missing.append(name)
+        else:
+            pairs.append((name, ns, float(base_ns), "time"))
+    return pairs, missing, skipped
+
+
+def compare(pairs, tolerance):
+    """Returns (rows, regressions). ratio > 1 always means 'fresh is
+    slower than baseline'; normalization divides out the pack's median."""
+    ratios = []
+    for _, fresh_v, base_v, kind in pairs:
+        if kind == "time":
+            ratios.append(fresh_v / base_v)
+        else:  # throughput: higher is better, invert
+            ratios.append(base_v / fresh_v)
+    speed = statistics.median(ratios) if ratios else 1.0
+    rows, regressions = [], []
+    for (name, fresh_v, base_v, kind), ratio in zip(pairs, ratios):
+        norm = ratio / speed if speed > 0 else ratio
+        verdict = "ok"
+        if norm > tolerance:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        elif norm < 1.0 / tolerance:
+            verdict = "improved"
+        rows.append((name, base_v, fresh_v, kind, ratio, norm, verdict))
+    return rows, regressions, speed
+
+
+def report(title, rows, speed, missing, skipped):
+    print("== {} (machine-speed factor {:.2f}x) ==".format(title, speed))
+    print(
+        "{:<42} {:>14} {:>14} {:>7} {:>6}  {}".format(
+            "benchmark", "baseline", "fresh", "ratio", "norm", "verdict"
+        )
+    )
+    for name, base_v, fresh_v, kind, ratio, norm, verdict in rows:
+        unit = "ns" if kind == "time" else "it/s"
+        print(
+            "{:<42} {:>12.1f}{} {:>12.1f}{} {:>6.2f}x {:>5.2f}x  {}".format(
+                name, base_v, unit, fresh_v, unit, ratio, norm, verdict
+            )
+        )
+    for name in missing:
+        print("{:<42} (no baseline entry: skipped)".format(name))
+    for name in skipped:
+        print("{:<42} (preemption-bound on shared runners: skipped)".format(name))
+    print()
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("--spawn-bench", help="path to the micro_spawn binary")
+    ap.add_argument("--deque-bench", help="path to the micro_deque binary")
+    ap.add_argument(
+        "--spawn-json", help="pre-recorded micro_spawn --benchmark_format=json output"
+    )
+    ap.add_argument(
+        "--deque-json", help="pre-recorded micro_deque --benchmark_format=json output"
+    )
+    ap.add_argument(
+        "--spawn-baseline", default="BENCH_spawn.json", help="committed spawn baseline"
+    )
+    ap.add_argument(
+        "--deque-baseline", default="BENCH_deque.json", help="committed deque baseline"
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.6,
+        help="max allowed normalized slow-down per benchmark (default 1.6; "
+        "use a larger value on noisy shared runners)",
+    )
+    ap.add_argument(
+        "--min-time",
+        type=float,
+        default=0.05,
+        help="per-benchmark measurement window in seconds (default 0.05)",
+    )
+    args = ap.parse_args()
+
+    any_compared = False
+    failed = []
+
+    if args.spawn_bench or args.spawn_json:
+        if args.spawn_json:
+            with open(args.spawn_json) as f:
+                fresh = fresh_results(json.load(f))
+        else:
+            fresh = fresh_results(run_benchmark(args.spawn_bench, args.min_time))
+        with open(args.spawn_baseline) as f:
+            baseline = json.load(f)
+        pairs, missing = spawn_pairs(fresh, baseline)
+        rows, regressions, speed = compare(pairs, args.tolerance)
+        report("micro_spawn vs " + args.spawn_baseline, rows, speed, missing, [])
+        failed += regressions
+        any_compared = any_compared or bool(pairs)
+
+    if args.deque_bench or args.deque_json:
+        if args.deque_json:
+            with open(args.deque_json) as f:
+                fresh = fresh_results(json.load(f))
+        else:
+            fresh = fresh_results(run_benchmark(args.deque_bench, args.min_time))
+        with open(args.deque_baseline) as f:
+            baseline = json.load(f)
+        pairs, missing, skipped = deque_pairs(fresh, baseline)
+        rows, regressions, speed = compare(pairs, args.tolerance)
+        report("micro_deque vs " + args.deque_baseline, rows, speed, missing, skipped)
+        failed += regressions
+        any_compared = any_compared or bool(pairs)
+
+    if not any_compared:
+        sys.exit("error: nothing compared; pass --spawn-bench/--deque-bench "
+                 "(or --spawn-json/--deque-json)")
+    if failed:
+        print("FAILED: {} benchmark(s) regressed: {}".format(
+            len(failed), ", ".join(failed)))
+        return 1
+    print("OK: all compared benchmarks within {:.2f}x normalized tolerance"
+          .format(args.tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
