@@ -34,9 +34,24 @@ int main(int argc, char **argv) {
   std::string TraceTree = "tree3r";
   std::string TraceSystem = "adaptivetc";
   long long TraceThreads = 8;
+  std::string Deque = "the";
+  std::string StealPol = "one";
+  std::string Victim = "random";
+  long long VictimGroup = 4;
   OptionSet Opts("Figure 10: speedup on unbalanced trees");
   Opts.addInt("scale", &Scale, "tree size in nodes");
   Opts.addFlag("quick", &Quick, "thread counts {1,2,4,8} only");
+  Opts.addString("deque", &Deque,
+                 "modelled ready-deque: the (lock round trip per steal), "
+                 "atomic or chaselev (lock-free CAS claim)");
+  Opts.addString("steal-policy", &StealPol,
+                 "one continuation per raid (one) or batch up to half the "
+                 "victim's stealable frames (half)");
+  Opts.addString("victim", &Victim,
+                 "victim ordering: random (the sim's historical default), "
+                 "affinity, or partitioned");
+  Opts.addInt("victim-group", &VictimGroup,
+              "group width for --victim partitioned (default 4)");
   Opts.addString("csv", &CsvPath, "also write results as CSV to this file");
   Opts.addString("trace", &TracePath,
                  "also record one run's virtual-time event trace to this "
@@ -49,6 +64,24 @@ int main(int argc, char **argv) {
   Opts.addInt("trace-threads", &TraceThreads,
               "worker count the trace records (default 8)");
   Opts.parse(argc, argv);
+
+  DequeKind DQ;
+  StealPolicy SP;
+  VictimPolicy VP;
+  if (!parseDequeKind(Deque, DQ))
+    reportFatalError("unknown deque kind '" + Deque + "'");
+  if (!parseStealPolicy(StealPol, SP))
+    reportFatalError("unknown steal policy '" + StealPol + "'");
+  if (!parseVictimPolicy(Victim, VP))
+    reportFatalError("unknown victim policy '" + Victim + "'");
+  // Applied to every simulated configuration below (tables, diagnostics,
+  // and the optional traced replay).
+  auto applyPolicies = [&](SimOptions &O) {
+    O.Deque = DQ;
+    O.Steal = SP;
+    O.Victim = VP;
+    O.VictimGroupSize = static_cast<int>(VictimGroup);
+  };
 
   struct Panel {
     const char *Title;
@@ -91,6 +124,7 @@ int main(int argc, char **argv) {
           SimOptions SimOpts;
           SimOpts.Kind = K;
           SimOpts.NumWorkers = T;
+          applyPolicies(SimOpts);
           CostModel Costs;
           SimReport R = simulate(Tree, SimOpts, Costs);
           Row.push_back(TextTable::fmt(R.speedup(), 2));
@@ -117,6 +151,7 @@ int main(int argc, char **argv) {
       SimOptions SimOpts;
       SimOpts.Kind = K;
       SimOpts.NumWorkers = 8;
+      applyPolicies(SimOpts);
       CostModel Costs;
       SimReport R = simulate(Tree, SimOpts, Costs);
       double Busy = R.Total.totalNs();
@@ -136,6 +171,7 @@ int main(int argc, char **argv) {
     if (!parseSchedulerKind(TraceSystem, SimOpts.Kind))
       reportFatalError("unknown scheduler '" + TraceSystem + "'");
     SimOpts.NumWorkers = static_cast<int>(TraceThreads);
+    applyPolicies(SimOpts);
     SimTree Tree(SimTree::preset(TraceTree, Scale));
     CostModel Costs;
     TraceLog Log(SimOpts.NumWorkers, 1u << 20);

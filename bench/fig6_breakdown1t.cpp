@@ -41,8 +41,9 @@ int main(int argc, char **argv) {
   Opts.addString("csv", &CsvPath, "also write results as CSV to this file");
   std::string Deque = "the";
   Opts.addString("deque", &Deque,
-                 "ready-deque implementation: the (mutex, paper-fidelity) "
-                 "or atomic (lock-free CAS)");
+                 "ready-deque implementation: the (mutex, paper-fidelity), "
+                 "atomic (lock-free CAS), or chaselev (lock-free, "
+                 "growable ring)");
   Opts.parse(argc, argv);
   DequeKind DQ;
   if (!parseDequeKind(Deque, DQ))

@@ -8,11 +8,13 @@
 /// google-benchmark micro-benchmarks of the deque implementations: the
 /// fixed-array THE-protocol deque (Cilk 5.4.6 / AdaptiveTC), the
 /// lock-free special-task AtomicDeque (SchedulerConfig::Deque = atomic),
-/// and the growable lock-free Chase-Lev deque (the related-work
-/// overflow-free alternative). The single-thread benches are the unit
-/// costs the simulator's CostModel is calibrated against; the Contended*
-/// benches measure steal throughput with 1/2/4/8 thief threads hammering
-/// one owner — the scenario the lock-free steal path exists for.
+/// and the growable lock-free ChaseLevDeque (SchedulerConfig::Deque =
+/// chaselev — same protocol, overflow-free). The single-thread benches
+/// are the unit costs the simulator's CostModel is calibrated against;
+/// the Contended* benches measure steal throughput with 1/2/4/8 thief
+/// threads hammering one owner — the scenario the lock-free steal path
+/// exists for; the BatchSteal* benches are the per-frame claim cost of a
+/// steal-half batch (SchedulerConfig::Steal = half).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -238,11 +240,16 @@ static void BM_EmptyProbeAtomic(benchmark::State &State) {
 }
 BENCHMARK(BM_EmptyProbeAtomic);
 
+static void BM_EmptyProbeChaseLev(benchmark::State &State) {
+  emptyProbe<ChaseLevDeque>(State);
+}
+BENCHMARK(BM_EmptyProbeChaseLev);
+
 static void BM_ChaseLevPushPop(benchmark::State &State) {
   ChaseLevDeque D(1024);
   int Dummy = 0;
   for (auto _ : State) {
-    D.push(&Dummy);
+    D.tryPush(&Dummy);
     benchmark::DoNotOptimize(D.pop());
   }
 }
@@ -253,7 +260,7 @@ static void BM_ChaseLevPushStealBatch(benchmark::State &State) {
   int Dummy = 0;
   for (auto _ : State) {
     for (int I = 0; I < 64; ++I)
-      D.push(&Dummy);
+      D.tryPush(&Dummy);
     for (int I = 0; I < 64; ++I)
       benchmark::DoNotOptimize(D.steal());
   }
@@ -261,17 +268,83 @@ static void BM_ChaseLevPushStealBatch(benchmark::State &State) {
 }
 BENCHMARK(BM_ChaseLevPushStealBatch);
 
+static void BM_ChaseLevSpecialRoundTrip(benchmark::State &State) {
+  // Same protocol round-trip as the The/Atomic variants: push special,
+  // push child, steal child via the Head += 2 jump, fail the child pop,
+  // fail the special pop (Tail restored to Head).
+  ChaseLevDeque D(1024);
+  int Special = 0, Child = 0;
+  for (auto _ : State) {
+    D.tryPush(&Special, /*Special=*/true);
+    D.tryPush(&Child);
+    benchmark::DoNotOptimize(D.steal());
+    benchmark::DoNotOptimize(D.pop());
+    benchmark::DoNotOptimize(D.popSpecial());
+  }
+}
+BENCHMARK(BM_ChaseLevSpecialRoundTrip);
+
+static void BM_ContendedStealChaseLev(benchmark::State &State) {
+  contendedSteal<ChaseLevDeque>(State);
+}
+BENCHMARK(BM_ContendedStealChaseLev)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+static void BM_DrainStealChaseLev(benchmark::State &State) {
+  drainSteal<ChaseLevDeque>(State);
+}
+BENCHMARK(BM_DrainStealChaseLev)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+
 static void BM_ChaseLevGrowth(benchmark::State &State) {
   // Overflow behaviour: the Chase-Lev deque grows instead of rejecting.
   int Dummy = 0;
   for (auto _ : State) {
     ChaseLevDeque D(4);
     for (int I = 0; I < 512; ++I)
-      D.push(&Dummy);
+      D.tryPush(&Dummy);
     benchmark::DoNotOptimize(D.growCount());
   }
   State.SetItemsProcessed(State.iterations() * 512);
 }
 BENCHMARK(BM_ChaseLevGrowth);
+
+/// The steal-half claim loop (FramePolicy::stealExtra): one thief claims
+/// a 16-frame batch from a 64-deep victim, one steal() round per frame.
+/// Items processed = frames claimed, so items_per_second is the batch
+/// acquisition bandwidth — the cost steal-half pays per extra frame,
+/// which the lock-free kinds answer with one uncontended CAS and
+/// TheDeque with a mutex round.
+template <typename DequeT>
+static void batchSteal(benchmark::State &State) {
+  constexpr int Depth = 64, Batch = 16;
+  DequeT D(4096);
+  int Dummy = 0;
+  for (auto _ : State) {
+    for (int I = 0; I < Depth; ++I)
+      D.tryPush(&Dummy);
+    for (int I = 0; I < Batch; ++I)
+      benchmark::DoNotOptimize(D.steal());
+    while (D.pop() == PopResult::Success) {
+    }
+    D.reset();
+  }
+  State.SetItemsProcessed(State.iterations() * Batch);
+}
+
+static void BM_BatchStealThe(benchmark::State &State) {
+  batchSteal<TheDeque>(State);
+}
+BENCHMARK(BM_BatchStealThe);
+
+static void BM_BatchStealAtomic(benchmark::State &State) {
+  batchSteal<AtomicDeque>(State);
+}
+BENCHMARK(BM_BatchStealAtomic);
+
+static void BM_BatchStealChaseLev(benchmark::State &State) {
+  batchSteal<ChaseLevDeque>(State);
+}
+BENCHMARK(BM_BatchStealChaseLev);
 
 BENCHMARK_MAIN();

@@ -39,6 +39,8 @@ int main(int argc, char **argv) {
   long long BoardSize = 13;
   std::string Scheduler = "adaptivetc";
   std::string Deque = "the";
+  std::string StealPol = "one";
+  std::string Victim = "affinity";
   std::string TracePath;
   long long TraceCap = 1 << 20;
   OptionSet Opts("Count n-queens solutions, optionally recording a "
@@ -49,8 +51,15 @@ int main(int argc, char **argv) {
                  "sequential, cilk, cilk-synched, tascell, cutoff, or "
                  "adaptivetc");
   Opts.addString("deque", &Deque,
-                 "ready-deque implementation: the (mutex, paper-fidelity) "
-                 "or atomic (lock-free CAS)");
+                 "ready-deque implementation: the (mutex, paper-fidelity), "
+                 "atomic (lock-free CAS), or chaselev (lock-free, growable "
+                 "ring)");
+  Opts.addString("steal-policy", &StealPol,
+                 "one frame per raid (one) or batch up to half the "
+                 "victim's deque (half)");
+  Opts.addString("victim", &Victim,
+                 "victim ordering: affinity (retry last success), random, "
+                 "or partitioned (group-first)");
   Opts.addString("trace", &TracePath,
                  "record a scheduler event trace to this file "
                  "(Chrome/Perfetto trace.json)");
@@ -66,6 +75,10 @@ int main(int argc, char **argv) {
     reportFatalError("unknown scheduler '" + Scheduler + "'");
   if (!parseDequeKind(Deque, Cfg.Deque))
     reportFatalError("unknown deque kind '" + Deque + "'");
+  if (!parseStealPolicy(StealPol, Cfg.Steal))
+    reportFatalError("unknown steal policy '" + StealPol + "'");
+  if (!parseVictimPolicy(Victim, Cfg.Victim))
+    reportFatalError("unknown victim policy '" + Victim + "'");
   Cfg.NumWorkers = static_cast<int>(Workers);
   Cfg.Trace = !TracePath.empty();
   Cfg.TraceCap = static_cast<int>(TraceCap);

@@ -37,16 +37,30 @@ int main(int argc, char **argv) {
   OptionSet Opts("Quickstart: n-queens under every scheduler");
   Opts.addInt("threads", &Threads, "worker threads (default 4)");
   Opts.addInt("n", &BoardSize, "board size (default 11)");
+  std::string StealPol = "one";
+  std::string Victim = "affinity";
   Opts.addString("deque", &Deque,
-                 "ready-deque implementation: the (mutex, paper-fidelity) "
-                 "or atomic (lock-free CAS)");
+                 "ready-deque implementation: the (mutex, paper-fidelity), "
+                 "atomic (lock-free CAS), or chaselev (lock-free, growable "
+                 "ring)");
+  Opts.addString("steal-policy", &StealPol,
+                 "one frame per raid (one) or batch up to half the "
+                 "victim's deque (half)");
+  Opts.addString("victim", &Victim,
+                 "victim ordering: affinity, random, or partitioned");
   Opts.addString("trace", &TracePath,
                  "record the AdaptiveTC run's event trace to this file "
                  "(Chrome/Perfetto trace.json)");
   Opts.parse(argc, argv);
   DequeKind DQ;
+  StealPolicy SP;
+  VictimPolicy VP;
   if (!parseDequeKind(Deque, DQ))
     reportFatalError("unknown deque kind '" + Deque + "'");
+  if (!parseStealPolicy(StealPol, SP))
+    reportFatalError("unknown steal policy '" + StealPol + "'");
+  if (!parseVictimPolicy(Victim, VP))
+    reportFatalError("unknown victim policy '" + Victim + "'");
 
   // 1. A problem is a type with the choice-loop shape: isLeaf /
   //    leafResult / numChoices / applyChoice / undoChoice over a
@@ -74,6 +88,8 @@ int main(int argc, char **argv) {
     SchedulerConfig Cfg;
     Cfg.Kind = Kind;
     Cfg.Deque = DQ;
+    Cfg.Steal = SP;
+    Cfg.Victim = VP;
     Cfg.NumWorkers = static_cast<int>(Threads);
     Cfg.Trace = !TracePath.empty() && Kind == SchedulerKind::AdaptiveTC;
     RunResult<long long> R;

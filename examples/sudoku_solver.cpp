@@ -44,8 +44,16 @@ int main(int argc, char **argv) {
                  "adaptivetc");
   std::string Deque = "the";
   Opts.addString("deque", &Deque,
-                 "ready-deque implementation: the (mutex, paper-fidelity) "
-                 "or atomic (lock-free CAS)");
+                 "ready-deque implementation: the (mutex, paper-fidelity), "
+                 "atomic (lock-free CAS), or chaselev (lock-free, growable "
+                 "ring)");
+  std::string StealPol = "one";
+  Opts.addString("steal-policy", &StealPol,
+                 "one frame per raid (one) or batch up to half the "
+                 "victim's deque (half)");
+  std::string Victim = "affinity";
+  Opts.addString("victim", &Victim,
+                 "victim ordering: affinity, random, or partitioned");
   Opts.addInt("threads", &Threads, "worker threads");
   std::string TracePath;
   Opts.addString("trace", &TracePath,
@@ -60,6 +68,10 @@ int main(int argc, char **argv) {
     reportFatalError("unknown scheduler '" + Scheduler + "'");
   if (!parseDequeKind(Deque, Cfg.Deque))
     reportFatalError("unknown deque kind '" + Deque + "'");
+  if (!parseStealPolicy(StealPol, Cfg.Steal))
+    reportFatalError("unknown steal policy '" + StealPol + "'");
+  if (!parseVictimPolicy(Victim, Cfg.Victim))
+    reportFatalError("unknown victim policy '" + Victim + "'");
   Cfg.NumWorkers = static_cast<int>(Threads);
   Cfg.Trace = !TracePath.empty();
 

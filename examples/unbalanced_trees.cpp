@@ -50,9 +50,35 @@ int main(int argc, char **argv) {
   Opts.addString("trace-system", &TraceSystem,
                  "which system the trace records: cilk-synched, tascell, "
                  "or adaptivetc");
+  std::string Deque = "the";
+  std::string StealPol = "one";
+  std::string Victim = "random";
+  Opts.addString("deque", &Deque,
+                 "modelled ready-deque: the (lock round trip per steal), "
+                 "atomic or chaselev (lock-free CAS claim)");
+  Opts.addString("steal-policy", &StealPol,
+                 "one continuation per raid (one) or batch up to half the "
+                 "victim's stealable frames (half)");
+  Opts.addString("victim", &Victim,
+                 "victim ordering: random, affinity, or partitioned");
   MetricsCliOptions MOpt;
   addMetricsOptions(Opts, MOpt);
   Opts.parse(argc, argv);
+
+  DequeKind DQ;
+  StealPolicy SP;
+  VictimPolicy VP;
+  if (!parseDequeKind(Deque, DQ))
+    reportFatalError("unknown deque kind '" + Deque + "'");
+  if (!parseStealPolicy(StealPol, SP))
+    reportFatalError("unknown steal policy '" + StealPol + "'");
+  if (!parseVictimPolicy(Victim, VP))
+    reportFatalError("unknown victim policy '" + Victim + "'");
+  auto applyPolicies = [&](SimOptions &O) {
+    O.Deque = DQ;
+    O.Steal = SP;
+    O.Victim = VP;
+  };
 
   SimTree Tree(SimTree::preset(TreeName, Scale));
   auto Shares = Tree.depth1SharePercent();
@@ -69,6 +95,7 @@ int main(int argc, char **argv) {
   for (int T = 1; T <= MaxThreads; ++T) {
     SimOptions SimOpts;
     SimOpts.NumWorkers = T;
+    applyPolicies(SimOpts);
 
     SimOpts.Kind = SchedulerKind::CilkSynched;
     SimReport Syn = simulate(Tree, SimOpts, Costs);
@@ -97,6 +124,7 @@ int main(int argc, char **argv) {
     if (!parseSchedulerKind(TraceSystem, SimOpts.Kind))
       reportFatalError("unknown scheduler '" + TraceSystem + "'");
     SimOpts.NumWorkers = static_cast<int>(MaxThreads);
+    applyPolicies(SimOpts);
     TraceLog Log(SimOpts.NumWorkers, 1u << 20);
     simulate(Tree, SimOpts, Costs, &Log);
     Log.Meta.Workload = TreeName;
@@ -120,6 +148,7 @@ int main(int argc, char **argv) {
     if (!parseSchedulerKind(TraceSystem, SimOpts.Kind))
       reportFatalError("unknown scheduler '" + TraceSystem + "'");
     SimOpts.NumWorkers = static_cast<int>(MaxThreads);
+    applyPolicies(SimOpts);
     MetricsRegistry Reg;
     SimReport Rep = simulate(Tree, SimOpts, Costs, nullptr, &Reg);
     Reg.Meta.Scheduler = schedulerKindName(SimOpts.Kind);

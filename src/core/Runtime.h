@@ -122,6 +122,8 @@ RunResult<typename P::Result> runProblem(P &Prob,
       return detail::runDequeBased<P, TheDeque>(Prob, Root, Cfg);
     case DequeKind::Atomic:
       return detail::runDequeBased<P, AtomicDeque>(Prob, Root, Cfg);
+    case DequeKind::ChaseLev:
+      return detail::runDequeBased<P, ChaseLevDeque>(Prob, Root, Cfg);
     }
     ATC_UNREACHABLE("unhandled deque kind");
   }

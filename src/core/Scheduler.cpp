@@ -65,17 +65,11 @@ bool atc::parseSchedulerKind(const std::string &Name, SchedulerKind &Out) {
   return false;
 }
 
-const char *atc::dequeKindName(DequeKind Kind) {
-  switch (Kind) {
-  case DequeKind::The:
-    return "the";
-  case DequeKind::Atomic:
-    return "atomic";
-  }
-  ATC_UNREACHABLE("unhandled deque kind");
-}
+namespace {
 
-bool atc::parseDequeKind(const std::string &Name, DequeKind &Out) {
+/// Shared name normalization for the option parsers: strip "-"/"_" and
+/// lowercase.
+std::string normalizeKey(const std::string &Name) {
   std::string Key;
   Key.reserve(Name.size());
   for (char C : Name) {
@@ -83,12 +77,88 @@ bool atc::parseDequeKind(const std::string &Name, DequeKind &Out) {
       continue;
     Key += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
   }
+  return Key;
+}
+
+} // namespace
+
+const char *atc::dequeKindName(DequeKind Kind) {
+  switch (Kind) {
+  case DequeKind::The:
+    return "the";
+  case DequeKind::Atomic:
+    return "atomic";
+  case DequeKind::ChaseLev:
+    return "chaselev";
+  }
+  ATC_UNREACHABLE("unhandled deque kind");
+}
+
+bool atc::parseDequeKind(const std::string &Name, DequeKind &Out) {
+  std::string Key = normalizeKey(Name);
   if (Key == "the" || Key == "mutex" || Key == "lock") {
     Out = DequeKind::The;
     return true;
   }
   if (Key == "atomic" || Key == "cas" || Key == "lockfree") {
     Out = DequeKind::Atomic;
+    return true;
+  }
+  if (Key == "chaselev" || Key == "cl" || Key == "growable") {
+    Out = DequeKind::ChaseLev;
+    return true;
+  }
+  return false;
+}
+
+const char *atc::stealPolicyName(StealPolicy Policy) {
+  switch (Policy) {
+  case StealPolicy::One:
+    return "one";
+  case StealPolicy::Half:
+    return "half";
+  }
+  ATC_UNREACHABLE("unhandled steal policy");
+}
+
+bool atc::parseStealPolicy(const std::string &Name, StealPolicy &Out) {
+  std::string Key = normalizeKey(Name);
+  if (Key == "one" || Key == "single" || Key == "stealone") {
+    Out = StealPolicy::One;
+    return true;
+  }
+  if (Key == "half" || Key == "batch" || Key == "stealhalf") {
+    Out = StealPolicy::Half;
+    return true;
+  }
+  return false;
+}
+
+const char *atc::victimPolicyName(VictimPolicy Policy) {
+  switch (Policy) {
+  case VictimPolicy::Affinity:
+    return "affinity";
+  case VictimPolicy::Random:
+    return "random";
+  case VictimPolicy::Partitioned:
+    return "partitioned";
+  }
+  ATC_UNREACHABLE("unhandled victim policy");
+}
+
+bool atc::parseVictimPolicy(const std::string &Name, VictimPolicy &Out) {
+  std::string Key = normalizeKey(Name);
+  if (Key == "affinity" || Key == "last" || Key == "lastvictim") {
+    Out = VictimPolicy::Affinity;
+    return true;
+  }
+  if (Key == "random" || Key == "rand" || Key == "uniform") {
+    Out = VictimPolicy::Random;
+    return true;
+  }
+  if (Key == "partitioned" || Key == "near" || Key == "group" ||
+      Key == "nearfirst") {
+    Out = VictimPolicy::Partitioned;
     return true;
   }
   return false;

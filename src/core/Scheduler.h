@@ -52,21 +52,72 @@ bool parseSchedulerKind(const std::string &Name, SchedulerKind &Out);
 
 /// The ready-deque implementation used by the deque-based engines.
 ///
-///  * The    - the paper's simplified Cilk THE-protocol deque (Fig. 3):
-///             thieves serialize on the victim's mutex. The paper-fidelity
-///             baseline and the default.
-///  * Atomic - lock-free Chase-Lev-style deque with CAS-on-Head steals,
-///             extended with the special-task protocol (AtomicDeque.h).
+///  * The      - the paper's simplified Cilk THE-protocol deque (Fig. 3):
+///               thieves serialize on the victim's mutex. The
+///               paper-fidelity baseline and the default.
+///  * Atomic   - lock-free Chase-Lev-style deque with CAS-on-Head steals,
+///               extended with the special-task protocol (AtomicDeque.h).
+///  * ChaseLev - the same lock-free protocol over a growable ring
+///               (ChaseLevDeque.h): never overflows, DequeCapacity is
+///               only the initial size. The fastest steal path.
 enum class DequeKind {
   The,
   Atomic,
+  ChaseLev,
 };
 
-/// Returns the display name ("the" / "atomic").
+/// Returns the display name ("the" / "atomic" / "chaselev").
 const char *dequeKindName(DequeKind Kind);
 
 /// Parses a deque kind name (case-insensitive). Returns true on success.
 bool parseDequeKind(const std::string &Name, DequeKind &Out);
+
+/// How much work one successful steal transfers (deque-based engines).
+///
+///  * One  - the classic continuation steal: one frame per acquire (the
+///           paper's protocol and the default).
+///  * Half - batch acquisition: the thief keeps claiming frames after the
+///           first — up to half of the victim's observed depth, bounded
+///           by SchedulerConfig::MaxStolenNum — and stashes the surplus
+///           for its next acquires. Each frame is still claimed by an
+///           individual CAS / lock round (a wider bulk claim would race
+///           with the owner's pop arbitration), which is why the
+///           lock-free deques make batching cheap and TheDeque pays a
+///           mutex round per extra frame.
+enum class StealPolicy {
+  One,
+  Half,
+};
+
+/// Returns the display name ("one" / "half").
+const char *stealPolicyName(StealPolicy Policy);
+
+/// Parses a steal policy name (case-insensitive). Returns true on
+/// success.
+bool parseStealPolicy(const std::string &Name, StealPolicy &Out);
+
+/// Victim ordering for the kernel's steal loop (all scheduler kinds).
+///
+///  * Affinity    - retry the last successful victim first, random
+///                  otherwise (the default; locality of work chains).
+///  * Random      - uniform random victim every attempt (the textbook
+///                  work-stealing baseline).
+///  * Partitioned - near-first: pick within the thief's worker group
+///                  (VictimGroupSize consecutive ids) until a failure
+///                  streak shows the group has run dry, then go global —
+///                  the localized work stealing of Suksompong et al.
+enum class VictimPolicy {
+  Affinity,
+  Random,
+  Partitioned,
+};
+
+/// Returns the display name ("affinity" / "random" / "partitioned").
+const char *victimPolicyName(VictimPolicy Policy);
+
+/// Parses a victim policy name (case-insensitive). Returns true on
+/// success.
+bool parseVictimPolicy(const std::string &Name, VictimPolicy &Out);
 
 /// Shared scheduler configuration.
 struct SchedulerConfig {
@@ -76,7 +127,11 @@ struct SchedulerConfig {
   /// N").
   int NumWorkers = 1;
 
-  /// Capacity of each worker's fixed-array deque.
+  /// Capacity of each worker's deque, in entries. For the fixed-array
+  /// kinds (The, Atomic) this is a hard limit — tryPush beyond it reports
+  /// overflow and the spawn degrades to a plain call. For ChaseLev it is
+  /// only the *initial* ring size (rounded up to a power of two); the
+  /// ring grows geometrically and never overflows.
   int DequeCapacity = 8192;
 
   /// Per-worker slab-arena capacity, in chunks, for the frame / workspace
@@ -86,8 +141,23 @@ struct SchedulerConfig {
   int PoolCap = 4096;
 
   /// Ready-deque implementation. The THE-protocol deque is the default
-  /// (paper fidelity); Atomic selects the lock-free steal path.
+  /// (paper fidelity); Atomic and ChaseLev select the lock-free steal
+  /// path (ChaseLev additionally grows instead of overflowing).
   DequeKind Deque = DequeKind::The;
+
+  /// Steal transfer width for the deque-based engines: steal-one (the
+  /// paper's protocol, default) or steal-half batch acquisition. Ignored
+  /// by Sequential and Tascell (which donates half by construction).
+  StealPolicy Steal = StealPolicy::One;
+
+  /// Victim ordering for the kernel's steal loop; applies to every
+  /// scheduler kind (the kernel owns victim selection).
+  VictimPolicy Victim = VictimPolicy::Affinity;
+
+  /// Worker-group size for VictimPolicy::Partitioned: workers with ids
+  /// [k*G, (k+1)*G) form a locality group that near-first stealing
+  /// prefers.
+  int VictimGroupSize = 4;
 
   /// Task-creation cut-off. -1 selects the paper's default of log2(N)
   /// ("the cut-off ... is initially set to log N by the runtime system").

@@ -17,15 +17,19 @@
 
 #include "core/kernel/KernelWorker.h"
 #include "deque/AtomicDeque.h"
+#include "deque/ChaseLevDeque.h"
 #include "deque/TheDeque.h"
 #include "support/Compiler.h"
+
+#include <vector>
 
 namespace atc {
 
 /// Deque-engine worker state, parameterized by the ready-deque
-/// implementation (TheDeque or AtomicDeque — see SchedulerConfig::Deque).
-/// One instance per worker thread; the deque and the inherited need_task
-/// fields are the only members touched by other threads.
+/// implementation (TheDeque, AtomicDeque or ChaseLevDeque — see
+/// SchedulerConfig::Deque). One instance per worker thread; the deque and
+/// the inherited need_task fields are the only members touched by other
+/// threads.
 ///
 /// KernelWorker ends with the cache-line-padded Stats block, so the deque
 /// starts on a fresh line and the kernel's layout rule (each thief-
@@ -37,6 +41,13 @@ struct alignas(ATC_CACHE_LINE_SIZE) WorkerContextT : KernelWorker {
 
   /// Ready-task deque ("d-e-que" in the paper).
   DequeT Deque;
+
+  /// Surplus frames from a steal-half batch acquisition
+  /// (SchedulerConfig::Steal == StealPolicy::Half), drained before the
+  /// next victim round. Thief-local — only this worker touches it, so it
+  /// needs no synchronization; the run cannot terminate while it is
+  /// non-empty (every stashed frame owes its parent a join deposit).
+  std::vector<void *> Stash;
 };
 
 /// The paper-fidelity default configuration.

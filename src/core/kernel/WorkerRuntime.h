@@ -6,7 +6,8 @@
 ///
 /// \file
 /// The scheduler kernel every SchedulerKind runs on: worker threads, the
-/// steal loop (victim affinity, truncated-exponential backoff, the paper's
+/// steal loop (pluggable victim ordering — see VictimPolicy — plus the
+/// steal-half stash drain, truncated-exponential backoff, and the paper's
 /// stolen_num / need_task signalling), termination detection, result
 /// publication and statistics aggregation live here — once. What differs
 /// between systems (how work is represented, acquired from a victim, and
@@ -40,6 +41,10 @@
 ///   // (EmptyProbes, RequestsDenied, ...).
 ///   AcquireOutcome tryAcquire(Worker &Thief, Worker &Victim, bool Helping,
 ///                             Task &Out);
+///   // Hands back work the thief already owns (the steal-half surplus
+///   // stash); the kernel drains this before picking a victim. Policies
+///   // without batch acquisition return false unconditionally.
+///   bool takeStashed(Worker &Thief, Task &Out);
 ///   void execute(Worker &W, Task T);
 ///   // Fold policy-owned state (deque counters, arena stats, unflushed
 ///   // locals) into the run total; runs on the main thread after join.
@@ -218,7 +223,7 @@ public:
     while (NeedHelp()) {
       if (Cfg.NumWorkers > 1) {
         Task T;
-        if (acquireOnce(W, /*Helping=*/true, T) ==
+        if (acquireOnce(W, /*Helping=*/true, T, FailStreak) ==
             AcquireOutcome::Acquired) {
           Pol.execute(W, T);
           FailStreak = 0;
@@ -254,7 +259,7 @@ private:
     std::uint64_t IdleBegin = nowNanos();
     while (!Done.load(std::memory_order_acquire)) {
       Task T;
-      AcquireOutcome O = acquireOnce(W, /*Helping=*/false, T);
+      AcquireOutcome O = acquireOnce(W, /*Helping=*/false, T, FailStreak);
       if (O == AcquireOutcome::Acquired) {
         FailStreak = 0;
         std::uint64_t Waited = nowNanos() - IdleBegin;
@@ -276,26 +281,83 @@ private:
     W.Stats.StealWaitNs += nowNanos() - IdleBegin;
   }
 
-  /// One acquire attempt: pick a victim (last-successful victim first,
-  /// random otherwise), let the policy try to take work from it, then do
-  /// the kernel-side bookkeeping — steal counters, affinity update, and
-  /// the paper's stolen_num / need_task signalling. A failed attempt
-  /// (including a policy-side emptiness probe) counts as a failed steal
-  /// for that protocol, since an AdaptiveTC victim busy in fake tasks has
-  /// an *empty* deque precisely when it needs to be told to publish
-  /// special tasks.
-  AcquireOutcome acquireOnce(Worker &W, bool Helping, Task &Out) {
-    assert(Cfg.NumWorkers > 1 && "acquire with no possible victim");
-    // Victim selection: affinity first — the last victim work came from
-    // is the most likely to still have more — falling back to random.
-    int V = W.LastVictim;
-    bool Affine = (V >= 0 && V != W.Id);
-    if (!Affine) {
-      V = static_cast<int>(
-          W.Rng.nextBelow(static_cast<std::uint64_t>(Cfg.NumWorkers - 1)));
-      if (V >= W.Id)
-        ++V;
+  /// Uniform-random victim, excluding the thief itself.
+  int randomVictim(Worker &W) {
+    int V = static_cast<int>(
+        W.Rng.nextBelow(static_cast<std::uint64_t>(Cfg.NumWorkers - 1)));
+    if (V >= W.Id)
+      ++V;
+    return V;
+  }
+
+  /// Victim selection per Cfg.Victim (see VictimPolicy). Sets \p Affine
+  /// when the choice is a last-victim retry (feeds AffinityHits).
+  ///
+  ///  * Affinity    - the last victim work came from is the most likely
+  ///                  to still have more; random otherwise.
+  ///  * Random      - uniform random every attempt.
+  ///  * Partitioned - random within the thief's VictimGroupSize group of
+  ///                  consecutive ids until the caller's failure streak
+  ///                  covers two sweeps of the group (it has run dry, or
+  ///                  its work is all below steal depth), then global.
+  int pickVictim(Worker &W, int FailStreak, bool &Affine) {
+    switch (Cfg.Victim) {
+    case VictimPolicy::Affinity: {
+      int V = W.LastVictim;
+      if (V >= 0 && V != W.Id) {
+        Affine = true;
+        return V;
+      }
+      return randomVictim(W);
     }
+    case VictimPolicy::Random:
+      return randomVictim(W);
+    case VictimPolicy::Partitioned: {
+      const int G = Cfg.VictimGroupSize > 1 ? Cfg.VictimGroupSize : 1;
+      const int Lo = (W.Id / G) * G;
+      const int Span =
+          Lo + G <= Cfg.NumWorkers ? G : Cfg.NumWorkers - Lo;
+      if (Span >= 2 && FailStreak < 2 * Span) {
+        int V = Lo + static_cast<int>(W.Rng.nextBelow(
+                         static_cast<std::uint64_t>(Span - 1)));
+        if (V >= W.Id)
+          ++V;
+        return V;
+      }
+      return randomVictim(W);
+    }
+    }
+    ATC_UNREACHABLE("unhandled victim policy");
+  }
+
+  /// One acquire attempt: drain any steal-half surplus the thief already
+  /// holds, else pick a victim (pickVictim above), let the policy try to
+  /// take work from it, then do the kernel-side bookkeeping — steal
+  /// counters, affinity update, and the paper's stolen_num / need_task
+  /// signalling. A failed attempt (including a policy-side emptiness
+  /// probe) counts as a failed steal for that protocol, since an
+  /// AdaptiveTC victim busy in fake tasks has an *empty* deque precisely
+  /// when it needs to be told to publish special tasks. \p FailStreak is
+  /// the caller's consecutive-failure count (Partitioned selection widens
+  /// once it shows the local group is dry).
+  AcquireOutcome acquireOnce(Worker &W, bool Helping, Task &Out,
+                             int FailStreak) {
+    assert(Cfg.NumWorkers > 1 && "acquire with no possible victim");
+    // A stashed frame from an earlier steal-half batch is work this
+    // thief already claimed (join counts were bumped at claim time):
+    // take it before bothering another victim. Accounted as an attempt
+    // plus a steal so StealAttempts == Steals + StealFails holds; no
+    // victim-side signalling or steal-flow trace applies (no victim).
+    if (Pol.takeStashed(W, Out)) {
+      ++W.Stats.StealAttempts;
+      ++W.Stats.Steals;
+      if (Helping)
+        ++W.Stats.HelpSteals;
+      return AcquireOutcome::Acquired;
+    }
+
+    bool Affine = false;
+    int V = pickVictim(W, FailStreak, Affine);
     Worker &Victim = *Workers[static_cast<std::size_t>(V)];
 
     ++W.Stats.StealAttempts;

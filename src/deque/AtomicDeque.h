@@ -24,7 +24,8 @@
 ///    to the observed Head).
 ///  * The buffer is a fixed-size circular array: tryPush reports overflow
 ///    instead of growing, so the schedulers can count overflow pressure
-///    exactly as with the fixed THE array.
+///    exactly as with the fixed THE array. ChaseLevDeque is the same
+///    protocol over a growable ring.
 ///
 /// Index discipline: Head and Tail are monotonically increasing 64-bit
 /// counters over a circular buffer (slot = index % capacity). They are
@@ -55,6 +56,17 @@
 /// T-1 (plain claim) or T-2-with-special (jump), and the monotonicity of
 /// Head makes either observation contradict the owner's fenced read.
 ///
+/// Memory-ordering discipline: every protocol-critical access to Head and
+/// Tail is seq_cst, mirroring the fence placement of the C11 Chase-Lev
+/// formulation but with seq_cst operations instead of standalone fences —
+/// ThreadSanitizer models operations precisely while its fence support is
+/// incomplete. The correctness argument leans on the single-total-order
+/// guarantee: once the owner's Tail store + Head load pair completes, any
+/// thief whose Head read postdates a conflicting CAS is guaranteed to
+/// read the owner's new Tail, so stale-index claims are impossible. Slot
+/// contents are relaxed atomics published by the Tail store and validated
+/// by the claiming CAS.
+///
 /// Thread-safety contract: one owner thread calls tryPush/pop/popSpecial/
 /// reset; any number of thief threads call steal. Identical to TheDeque.
 ///
@@ -78,23 +90,116 @@ namespace atc {
 class AtomicDeque {
 public:
   /// Creates a deque with room for \p Capacity entries.
-  explicit AtomicDeque(int Capacity = 8192);
+  explicit AtomicDeque(int Capacity = 8192)
+      : Cap(Capacity), Slots(std::make_unique<Slot[]>(
+                           static_cast<std::size_t>(Capacity))) {
+    assert(Capacity > 0 && "deque capacity must be positive");
+  }
 
   AtomicDeque(const AtomicDeque &) = delete;
   AtomicDeque &operator=(const AtomicDeque &) = delete;
 
   /// Owner: pushes \p Frame at the tail. Returns false on overflow.
-  bool tryPush(void *Frame, bool Special = false);
+  bool tryPush(void *Frame, bool Special = false) {
+    std::int64_t T = Tail.load(std::memory_order_relaxed);
+    std::int64_t H = Head.load(std::memory_order_acquire);
+    if (ATC_UNLIKELY(T - H >= static_cast<std::int64_t>(Cap))) {
+      Overflows.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Slot &S = slot(T);
+    S.Frame.store(Frame, std::memory_order_relaxed);
+    S.Special.store(Special, std::memory_order_relaxed);
+    // Publish the entry before the index: a thief that observes the new
+    // Tail must see the slot contents (release part of seq_cst).
+    Tail.store(T + 1, std::memory_order_seq_cst);
+    int Depth = static_cast<int>(T + 1 - H);
+    if (Depth > HighWater.load(std::memory_order_relaxed))
+      HighWater.store(Depth, std::memory_order_relaxed);
+    publishDepth();
+    return true;
+  }
 
   /// Owner: pops the tail entry. Failure means the entry was stolen (or
   /// claimed by a thief's special-child jump); the indices are restored
   /// so the deque reads as empty.
-  PopResult pop();
+  PopResult pop() {
+    std::int64_t T = Tail.load(std::memory_order_relaxed) - 1; // our entry
+    Tail.store(T, std::memory_order_seq_cst);
+    std::int64_t H = Head.load(std::memory_order_seq_cst);
+
+    if (ATC_LIKELY(H < T)) {
+      if (H == T - 1 && slot(H).Special.load(std::memory_order_relaxed)) {
+        // A special sits directly below our entry at the head: a thief's
+        // H += 2 jump can claim our entry even though Head never points
+        // at it. Arbitrate by executing the jump ourselves; that consumes
+        // the special entry too, so on success re-publish it at the new
+        // head. The deque must keep reading [special] after a successful
+        // child pop — exactly TheDeque's state here — so that the spawn
+        // loop's subsequent pushes stay under the special's protection
+        // and the eventual popSpecial() finds the entry.
+        void *SpecialFrame = slot(H).Frame.load(std::memory_order_relaxed);
+        if (Head.compare_exchange_strong(H, H + 2, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed)) {
+          Slot &S = slot(H + 2);
+          S.Frame.store(SpecialFrame, std::memory_order_relaxed);
+          S.Special.store(true, std::memory_order_relaxed);
+          // Publish the slot before the index (release part of seq_cst).
+          Tail.store(T + 2, std::memory_order_seq_cst); // [special] at H+2
+          publishDepth();
+          return PopResult::Success;
+        }
+        // A thief's jump won the race: our entry was stolen.
+        Tail.store(T + 1, std::memory_order_seq_cst);
+        publishDepth();
+        return PopResult::Failure;
+      }
+      // At least one non-jumpable entry below ours: plain take. Safe by
+      // the Chase-Lev argument — a thief claiming index T would have had
+      // to observe Head at T (or T-1 with a special), contradicting our
+      // fenced read of H < T-1 (or the non-special slot at T-1).
+      publishDepth();
+      return PopResult::Success;
+    }
+
+    if (H == T) {
+      // Single entry: the classic Chase-Lev race, resolved by CAS.
+      bool Won = Head.compare_exchange_strong(
+          H, H + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      Tail.store(T + 1, std::memory_order_seq_cst);
+      publishDepth();
+      return Won ? PopResult::Success : PopResult::Failure;
+    }
+
+    // H > T: the entry was already claimed before we decremented Tail.
+    assert(H == T + 1 && "head advanced past an unpublished entry");
+    Tail.store(H, std::memory_order_seq_cst);
+    publishDepth();
+    return PopResult::Failure;
+  }
 
   /// Owner: pops a special task from the tail. Failure means the
   /// special's child was stolen (the thief's H += 2 jump consumed the
   /// special entry as well).
-  PopResult popSpecial();
+  PopResult popSpecial() {
+    std::int64_t T = Tail.load(std::memory_order_relaxed) - 1; // special
+    Tail.store(T, std::memory_order_seq_cst);
+    std::int64_t H = Head.load(std::memory_order_seq_cst);
+    if (H <= T) {
+      // The special entry is intact; nothing below it is jumpable and a
+      // special alone is unstealable, so no thief can contend: plain
+      // take.
+      publishDepth();
+      return PopResult::Success;
+    }
+    // A thief's jump consumed the special together with its stolen child.
+    // The owner's failed pop() of the stolen child already restored Tail
+    // to Head, so after our decrement the gap reads as exactly one.
+    assert(H == T + 1 && "head in impossible state past a special");
+    Tail.store(H, std::memory_order_seq_cst); // the THE "H = T" reset
+    publishDepth();
+    return PopResult::Failure;
+  }
 
   /// Thief: steals the head entry; if the head is special, steals the
   /// special's child via a single CAS Head -> Head+2.
@@ -106,7 +211,44 @@ public:
   /// owner's failure handling (FramePolicy's join protocol does — see
   /// DESIGN.md "Lock-free steal path").
   StealResult steal(void (*OnSteal)(void *Frame, void *Ctx) = nullptr,
-                    void *Ctx = nullptr);
+                    void *Ctx = nullptr) {
+    std::int64_t H = Head.load(std::memory_order_seq_cst);
+    std::int64_t T = Tail.load(std::memory_order_seq_cst);
+    if (H >= T)
+      return {StealResult::Status::Empty, nullptr};
+
+    Slot &S = slot(H);
+    if (ATC_LIKELY(!S.Special.load(std::memory_order_relaxed))) {
+      // Read the frame before the CAS: the slot may be recycled once
+      // Head moves past it, and the CAS succeeding is what certifies the
+      // read.
+      void *Frame = S.Frame.load(std::memory_order_relaxed);
+      if (!Head.compare_exchange_strong(H, H + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        CasRetries.fetch_add(1, std::memory_order_relaxed);
+        return {StealResult::Status::Empty, nullptr};
+      }
+      if (OnSteal)
+        OnSteal(Frame, Ctx);
+      publishDepth();
+      return {StealResult::Status::Success, Frame};
+    }
+
+    // Special at the head: it can never be stolen; claim its child (the
+    // next entry) with a single CAS Head -> Head+2 when one is present.
+    if (T - H < 2)
+      return {StealResult::Status::Empty, nullptr};
+    void *Frame = slot(H + 1).Frame.load(std::memory_order_relaxed);
+    if (!Head.compare_exchange_strong(H, H + 2, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      CasRetries.fetch_add(1, std::memory_order_relaxed);
+      return {StealResult::Status::Empty, nullptr};
+    }
+    if (OnSteal)
+      OnSteal(Frame, Ctx);
+    publishDepth();
+    return {StealResult::Status::Success, Frame};
+  }
 
   /// True when no entry is present (approximate under concurrency).
   /// Relaxed loads only — this is the thieves' lock-free emptiness probe.
@@ -147,7 +289,11 @@ public:
   /// Owner: drops all entries. Must not race with thieves. Indices stay
   /// monotonic (Tail is pulled down to Head) so stale thieves can never
   /// observe a reused index value.
-  void reset();
+  void reset() {
+    std::int64_t H = Head.load(std::memory_order_seq_cst);
+    Tail.store(H, std::memory_order_seq_cst);
+    publishDepth();
+  }
 
   /// Live-metrics hook (src/metrics): when attached, every size-changing
   /// operation stores the new occupancy into \p Gauge with a relaxed

@@ -1,26 +1,58 @@
-//===- deque/ChaseLevDeque.h - Dynamic circular WS deque --------*- C++ -*-===//
+//===- deque/ChaseLevDeque.h - Growable special-task WS deque ---*- C++ -*-===//
 //
 // Part of the AdaptiveTC project, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Chase & Lev's dynamic circular work-stealing deque (SPAA'05) — the
-/// related-work alternative the paper cites for avoiding deque overflow
-/// ("a work-stealing d-e-que using a buffer pool that does not have the
-/// overflow problem"). Included so benches can compare the overflow-free
-/// lock-free design against the fixed-array THE deque, and to measure the
-/// paper's claim that AdaptiveTC's fewer pushes make the fixed array safe.
+/// Chase & Lev's dynamic circular work-stealing deque (SPAA'05) promoted
+/// to a first-class scheduler deque: the same interface and the same
+/// AdaptiveTC special-task semantics as TheDeque / AtomicDeque
+/// (SchedulerConfig::Deque = chaselev), with the growable ring that the
+/// paper cites as the related-work answer to deque overflow ("a
+/// work-stealing d-e-que using a buffer pool that does not have the
+/// overflow problem").
 ///
-/// Standard C11-memory-model formulation (Le, Pop, Cohen, Zappa Nardelli,
-/// PPoPP'13). Owner calls push/pop; thieves call steal. The buffer grows
-/// geometrically; old buffers are retired to a pool freed at destruction
-/// (safe memory reclamation without an epoch scheme).
+/// Relationship to AtomicDeque: the index protocol is identical —
+/// monotonic 64-bit Head/Tail, CAS-on-Head steals, the special-task
+/// H += 2 child jump, owner-side arbitration with special re-publication
+/// (see AtomicDeque.h for the full protocol argument; every owner-side
+/// race case carries over unchanged because growth is owner-only and
+/// never moves live entries to new indices). What differs:
+///
+///  * The ring grows geometrically instead of rejecting pushes: tryPush
+///    never fails, overflowCount() is always 0, and growCount() reports
+///    how many times a fixed array of the initial capacity would have
+///    overflowed. SchedulerConfig::DequeCapacity is therefore an
+///    *initial* capacity here (rounded up to a power of two), not a
+///    limit.
+///  * Ring-buffer reclamation: a grown-out buffer may still be read by
+///    in-flight thieves (they loaded the buffer pointer before the
+///    owner swapped it), so old buffers are *retired* to a list owned by
+///    the deque and freed only at destruction — safe memory reclamation
+///    without an epoch/hazard scheme. Entries in [Head, Tail) are copied
+///    to the new buffer at the same indices, so a thief holding the old
+///    buffer still reads the correct entry for any index its CAS can
+///    certify; total retired memory is bounded by twice the final
+///    capacity (geometric growth).
+///
+/// Memory-ordering discipline: seq_cst *operations* on Head/Tail (and an
+/// acquire/release handoff on the buffer pointer), exactly like
+/// AtomicDeque and unlike the textbook formulation's standalone fences —
+/// ThreadSanitizer models operations precisely while its fence support
+/// is incomplete, so this deque is TSan-clean by construction.
+///
+/// Thread-safety contract: one owner thread calls tryPush/pop/popSpecial/
+/// reset; any number of thief threads call steal. Identical to TheDeque
+/// and AtomicDeque.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ATC_DEQUE_CHASELEVDEQUE_H
 #define ATC_DEQUE_CHASELEVDEQUE_H
+
+#include "deque/TheDeque.h" // PopResult / StealResult
+#include "support/Compiler.h"
 
 #include <atomic>
 #include <cassert>
@@ -29,69 +61,306 @@
 
 namespace atc {
 
-/// Lock-free growable work-stealing deque of opaque pointers.
+/// Growable lock-free work-stealing deque with AdaptiveTC special-task
+/// support. Drop-in replacement for TheDeque / AtomicDeque that never
+/// overflows.
 class ChaseLevDeque {
 public:
-  explicit ChaseLevDeque(std::int64_t InitialCapacity = 64);
-  ~ChaseLevDeque();
+  /// Creates a deque with an *initial* capacity of \p Capacity entries,
+  /// rounded up to a power of two. The ring grows on demand.
+  explicit ChaseLevDeque(int Capacity = 8192) {
+    assert(Capacity > 0 && "deque capacity must be positive");
+    std::int64_t N = 2;
+    while (N < Capacity)
+      N *= 2;
+    Buffer.store(new RingBuffer(N), std::memory_order_relaxed);
+  }
+
+  ~ChaseLevDeque() {
+    delete Buffer.load(std::memory_order_relaxed);
+    for (RingBuffer *RB : Retired)
+      delete RB;
+  }
 
   ChaseLevDeque(const ChaseLevDeque &) = delete;
   ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
 
-  /// Owner: pushes \p Frame at the bottom. Grows the buffer when full —
-  /// never fails.
-  void push(void *Frame);
-
-  /// Owner: pops from the bottom. Returns nullptr when empty or lost to a
-  /// concurrent thief.
-  void *pop();
-
-  /// Thief: steals from the top. Returns nullptr when empty or when the
-  /// race with another thief/owner was lost (caller should retry
-  /// elsewhere).
-  void *steal();
-
-  /// Approximate number of entries.
-  std::int64_t size() const {
-    std::int64_t B = Bottom.load(std::memory_order_relaxed);
-    std::int64_t T = Top.load(std::memory_order_relaxed);
-    return B > T ? B - T : 0;
+  /// Owner: pushes \p Frame at the tail, growing the ring when full.
+  /// Always succeeds (returns true; the bool return keeps the signature
+  /// interchangeable with the fixed-array deques).
+  bool tryPush(void *Frame, bool Special = false) {
+    std::int64_t T = Tail.load(std::memory_order_relaxed);
+    std::int64_t H = Head.load(std::memory_order_acquire);
+    RingBuffer *RB = Buffer.load(std::memory_order_relaxed);
+    if (ATC_UNLIKELY(T - H >= RB->Capacity)) {
+      RB = grow(RB, H, T);
+      Buffer.store(RB, std::memory_order_release);
+    }
+    Slot &S = RB->slot(T);
+    S.Frame.store(Frame, std::memory_order_relaxed);
+    S.Special.store(Special, std::memory_order_relaxed);
+    // Publish the entry before the index: a thief that observes the new
+    // Tail must see the slot contents — and, across a growth, the new
+    // buffer pointer (its release-store above precedes this seq_cst
+    // store, so reading the new Tail acquires both).
+    Tail.store(T + 1, std::memory_order_seq_cst);
+    int Depth = static_cast<int>(T + 1 - H);
+    if (Depth > HighWater.load(std::memory_order_relaxed))
+      HighWater.store(Depth, std::memory_order_relaxed);
+    publishDepth();
+    return true;
   }
 
-  bool empty() const { return size() == 0; }
+  /// Owner: pops the tail entry. Failure means the entry was stolen (or
+  /// claimed by a thief's special-child jump); the indices are restored
+  /// so the deque reads as empty. Protocol identical to AtomicDeque::pop.
+  PopResult pop() {
+    std::int64_t T = Tail.load(std::memory_order_relaxed) - 1; // our entry
+    RingBuffer *RB = Buffer.load(std::memory_order_relaxed);
+    Tail.store(T, std::memory_order_seq_cst);
+    std::int64_t H = Head.load(std::memory_order_seq_cst);
 
-  /// Number of buffer growths performed (overflow events that a fixed
-  /// array would have failed on).
+    if (ATC_LIKELY(H < T)) {
+      if (H == T - 1 && RB->slot(H).Special.load(std::memory_order_relaxed)) {
+        // A special sits directly below our entry at the head: a thief's
+        // H += 2 jump can claim our entry even though Head never points
+        // at it. Arbitrate by executing the jump ourselves; that consumes
+        // the special entry too, so on success re-publish it at the new
+        // head (see AtomicDeque.h for why a flag shortcut is wrong).
+        void *SpecialFrame = RB->slot(H).Frame.load(std::memory_order_relaxed);
+        if (Head.compare_exchange_strong(H, H + 2, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed)) {
+          Slot &S = RB->slot(H + 2);
+          S.Frame.store(SpecialFrame, std::memory_order_relaxed);
+          S.Special.store(true, std::memory_order_relaxed);
+          // Publish the slot before the index (release part of seq_cst).
+          Tail.store(T + 2, std::memory_order_seq_cst); // [special] at H+2
+          publishDepth();
+          return PopResult::Success;
+        }
+        // A thief's jump won the race: our entry was stolen.
+        Tail.store(T + 1, std::memory_order_seq_cst);
+        publishDepth();
+        return PopResult::Failure;
+      }
+      // At least one non-jumpable entry below ours: plain take (standard
+      // Chase-Lev argument, see AtomicDeque::pop).
+      publishDepth();
+      return PopResult::Success;
+    }
+
+    if (H == T) {
+      // Single entry: the classic Chase-Lev race, resolved by CAS.
+      bool Won = Head.compare_exchange_strong(
+          H, H + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      Tail.store(T + 1, std::memory_order_seq_cst);
+      publishDepth();
+      return Won ? PopResult::Success : PopResult::Failure;
+    }
+
+    // H > T: the entry was already claimed before we decremented Tail.
+    assert(H == T + 1 && "head advanced past an unpublished entry");
+    Tail.store(H, std::memory_order_seq_cst);
+    publishDepth();
+    return PopResult::Failure;
+  }
+
+  /// Owner: pops a special task from the tail. Failure means the
+  /// special's child was stolen (the thief's H += 2 jump consumed the
+  /// special entry as well).
+  PopResult popSpecial() {
+    std::int64_t T = Tail.load(std::memory_order_relaxed) - 1; // special
+    Tail.store(T, std::memory_order_seq_cst);
+    std::int64_t H = Head.load(std::memory_order_seq_cst);
+    if (H <= T) {
+      // The special entry is intact; nothing below it is jumpable and a
+      // special alone is unstealable, so no thief can contend.
+      publishDepth();
+      return PopResult::Success;
+    }
+    // A thief's jump consumed the special together with its stolen child.
+    assert(H == T + 1 && "head in impossible state past a special");
+    Tail.store(H, std::memory_order_seq_cst); // the THE "H = T" reset
+    publishDepth();
+    return PopResult::Failure;
+  }
+
+  /// Thief: steals the head entry; if the head is special, steals the
+  /// special's child via a single CAS Head -> Head+2.
+  ///
+  /// \p OnSteal, when non-null, runs with the stolen frame immediately
+  /// after the claiming CAS — no lock, so no happens-before edge to the
+  /// owner's pop/popSpecial failure (same contract as AtomicDeque).
+  StealResult steal(void (*OnSteal)(void *Frame, void *Ctx) = nullptr,
+                    void *Ctx = nullptr) {
+    std::int64_t H = Head.load(std::memory_order_seq_cst);
+    std::int64_t T = Tail.load(std::memory_order_seq_cst);
+    if (H >= T)
+      return {StealResult::Status::Empty, nullptr};
+    // Load the buffer *after* Tail: the owner release-stores the grown
+    // buffer before the Tail store that publishes into it, so a thief
+    // that read that Tail value reads a buffer holding every index in
+    // [H, T). A stale (retired) buffer is still readable — it is freed
+    // only at destruction — and holds the same entries at the indices a
+    // successful CAS can certify.
+    RingBuffer *RB = Buffer.load(std::memory_order_acquire);
+
+    if (ATC_LIKELY(!RB->slot(H).Special.load(std::memory_order_relaxed))) {
+      // Read the frame before the CAS: the slot may be recycled once
+      // Head moves past it, and the CAS succeeding certifies the read.
+      void *Frame = RB->slot(H).Frame.load(std::memory_order_relaxed);
+      if (!Head.compare_exchange_strong(H, H + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        CasRetries.fetch_add(1, std::memory_order_relaxed);
+        return {StealResult::Status::Empty, nullptr};
+      }
+      if (OnSteal)
+        OnSteal(Frame, Ctx);
+      publishDepth();
+      return {StealResult::Status::Success, Frame};
+    }
+
+    // Special at the head: it can never be stolen; claim its child (the
+    // next entry) with a single CAS Head -> Head+2 when one is present.
+    if (T - H < 2)
+      return {StealResult::Status::Empty, nullptr};
+    void *Frame = RB->slot(H + 1).Frame.load(std::memory_order_relaxed);
+    if (!Head.compare_exchange_strong(H, H + 2, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      CasRetries.fetch_add(1, std::memory_order_relaxed);
+      return {StealResult::Status::Empty, nullptr};
+    }
+    if (OnSteal)
+      OnSteal(Frame, Ctx);
+    publishDepth();
+    return {StealResult::Status::Success, Frame};
+  }
+
+  /// True when no entry is present (approximate under concurrency).
+  /// Relaxed loads only — this is the thieves' lock-free emptiness probe.
+  bool empty() const {
+    return Head.load(std::memory_order_relaxed) >=
+           Tail.load(std::memory_order_relaxed);
+  }
+
+  /// Number of entries between head and tail (approximate).
+  int size() const {
+    std::int64_t H = Head.load(std::memory_order_relaxed);
+    std::int64_t T = Tail.load(std::memory_order_relaxed);
+    return T > H ? static_cast<int>(T - H) : 0;
+  }
+
+  /// Current ring capacity (grows over the deque's lifetime).
+  int capacity() const {
+    return static_cast<int>(
+        Buffer.load(std::memory_order_relaxed)->Capacity);
+  }
+
+  /// tryPush rejections — always 0 (the ring grows instead); present so
+  /// the engines report the same overflow-pressure observability for
+  /// every deque kind. See growCount() for the growth events.
+  std::uint64_t overflowCount() const { return 0; }
+
+  /// Number of ring growths performed (each one is an overflow a fixed
+  /// array of the initial capacity would have hit).
   std::uint64_t growCount() const {
     return Grows.load(std::memory_order_relaxed);
   }
 
+  /// High-water mark of the deque depth (entries present at once).
+  int highWaterMark() const {
+    return HighWater.load(std::memory_order_relaxed);
+  }
+
+  /// Thief-side CAS attempts that lost a race and had to report Empty.
+  std::uint64_t casRetryCount() const {
+    return CasRetries.load(std::memory_order_relaxed);
+  }
+
+  /// Lock acquisitions — always 0; present so the engines can report the
+  /// same steal-path observability for every deque kind.
+  std::uint64_t lockAcquireCount() const { return 0; }
+
+  /// Owner: drops all entries. Must not race with thieves. Indices stay
+  /// monotonic (Tail is pulled down to Head) so stale thieves can never
+  /// observe a reused index value.
+  void reset() {
+    std::int64_t H = Head.load(std::memory_order_seq_cst);
+    Tail.store(H, std::memory_order_seq_cst);
+    publishDepth();
+  }
+
+  /// Live-metrics hook (src/metrics): when attached, every size-changing
+  /// operation stores the new occupancy into \p Gauge with a relaxed
+  /// atomic store. Same contract as the other deque kinds.
+  void attachDepthGauge(std::atomic<std::int64_t> *Gauge) {
+    DepthGauge = Gauge;
+  }
+
 private:
-  /// Circular array with capacity a power of two.
+  /// Publishes size() to the attached gauge (see attachDepthGauge).
+  void publishDepth() {
+#if ATC_METRICS_ENABLED
+    if (ATC_UNLIKELY(DepthGauge != nullptr))
+      DepthGauge->store(size(), std::memory_order_relaxed);
+#endif
+  }
+
+  /// Slot contents are atomic because a thief may read a slot while the
+  /// owner recycles (or re-publishes into) it; the claiming CAS discards
+  /// any such stale read.
+  struct Slot {
+    std::atomic<void *> Frame{nullptr};
+    std::atomic<bool> Special{false};
+  };
+
+  /// Circular array with power-of-two capacity; slot(I) = Slots[I & Mask]
+  /// keeps indices monotonic across growths.
   struct RingBuffer {
-    explicit RingBuffer(std::int64_t N) : Capacity(N), Mask(N - 1),
-                                          Slots(new std::atomic<void *>[N]) {}
+    explicit RingBuffer(std::int64_t N)
+        : Capacity(N), Mask(N - 1), Slots(new Slot[static_cast<std::size_t>(N)]) {}
     ~RingBuffer() { delete[] Slots; }
 
-    void *get(std::int64_t I) const {
-      return Slots[I & Mask].load(std::memory_order_relaxed);
-    }
-    void put(std::int64_t I, void *V) {
-      Slots[I & Mask].store(V, std::memory_order_relaxed);
-    }
+    RingBuffer(const RingBuffer &) = delete;
+    RingBuffer &operator=(const RingBuffer &) = delete;
+
+    Slot &slot(std::int64_t I) { return Slots[I & Mask]; }
 
     const std::int64_t Capacity;
     const std::int64_t Mask;
-    std::atomic<void *> *Slots;
+    Slot *Slots;
   };
 
-  RingBuffer *grow(RingBuffer *Old, std::int64_t B, std::int64_t T);
+  /// Owner-only: allocates a ring of twice the capacity, copies the live
+  /// entries [H, T) across at unchanged indices, and retires the old
+  /// buffer (in-flight thieves may still be reading it; see the file
+  /// comment on reclamation).
+  RingBuffer *grow(RingBuffer *Old, std::int64_t H, std::int64_t T) {
+    auto *New = new RingBuffer(Old->Capacity * 2);
+    for (std::int64_t I = H; I < T; ++I) {
+      New->slot(I).Frame.store(
+          Old->slot(I).Frame.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      New->slot(I).Special.store(
+          Old->slot(I).Special.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    Retired.push_back(Old);
+    Grows.fetch_add(1, std::memory_order_relaxed);
+    return New;
+  }
 
-  std::atomic<std::int64_t> Top{0};
-  std::atomic<std::int64_t> Bottom{0};
-  std::atomic<RingBuffer *> Buffer;
-  std::vector<RingBuffer *> Retired;
+  /// Head (steal end) and Tail (owner end); Head <= Tail when quiescent.
+  alignas(ATC_CACHE_LINE_SIZE) std::atomic<std::int64_t> Head{0};
+  alignas(ATC_CACHE_LINE_SIZE) std::atomic<std::int64_t> Tail{0};
+
+  std::atomic<RingBuffer *> Buffer{nullptr};
+  std::vector<RingBuffer *> Retired; ///< Owner-only; freed at destruction.
+
   std::atomic<std::uint64_t> Grows{0};
+  std::atomic<std::uint64_t> CasRetries{0};
+  std::atomic<int> HighWater{0};
+  std::atomic<std::int64_t> *DepthGauge = nullptr;
 };
 
 } // namespace atc

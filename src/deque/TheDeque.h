@@ -26,6 +26,11 @@
 /// any number of thief threads call steal. Thieves always take the lock;
 /// the owner takes it only on conflict (the THE fast path).
 ///
+/// Header-only (like AtomicDeque and ChaseLevDeque): the deque layer has
+/// no translation units, so atcc-generated code — which compiles with
+/// just -I <repo>/src and links no libraries — can instantiate any deque
+/// kind, and the push/pop/steal fast path inlines into the engines.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ATC_DEQUE_THEDEQUE_H
@@ -66,7 +71,11 @@ struct StealResult {
 class TheDeque {
 public:
   /// Creates a deque with room for \p Capacity entries.
-  explicit TheDeque(int Capacity = 8192);
+  explicit TheDeque(int Capacity = 8192)
+      : Cap(Capacity), Slots(std::make_unique<Entry[]>(
+                           static_cast<std::size_t>(Capacity))) {
+    assert(Capacity > 0 && "deque capacity must be positive");
+  }
 
   TheDeque(const TheDeque &) = delete;
   TheDeque &operator=(const TheDeque &) = delete;
@@ -74,16 +83,71 @@ public:
   /// Owner: pushes \p Frame at the tail. \p Special marks the entry as an
   /// AdaptiveTC special task (never stolen itself; thieves skip to its
   /// child). Returns false on overflow (entry not pushed).
-  bool tryPush(void *Frame, bool Special = false);
+  bool tryPush(void *Frame, bool Special = false) {
+    int T = Tail.load(std::memory_order_relaxed);
+    if (ATC_UNLIKELY(T >= Cap)) {
+      Overflows.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Slots[T].Frame = Frame;
+    Slots[T].Special.store(Special, std::memory_order_relaxed);
+    // Publish the entry before the index: a thief that observes the new
+    // Tail must see the slot contents.
+    Tail.store(T + 1, std::memory_order_seq_cst);
+    if (T + 1 > HighWater.load(std::memory_order_relaxed))
+      HighWater.store(T + 1, std::memory_order_relaxed);
+    publishDepth();
+    return true;
+  }
 
   /// Owner: pops the tail entry (Fig. 3a). Failure means the entry was
   /// stolen; the deque indices are restored so H == T (empty).
-  PopResult pop();
+  PopResult pop() {
+    // Fig. 3a. Fast path: decrement Tail; if no thief has passed it, done.
+    int T = Tail.load(std::memory_order_relaxed) - 1;
+    Tail.store(T, std::memory_order_seq_cst); // MEMBAR
+    int H = Head.load(std::memory_order_seq_cst);
+    if (ATC_LIKELY(H <= T)) {
+      publishDepth();
+      return PopResult::Success;
+    }
+
+    // Conflict: restore Tail and retry under the lock.
+    Tail.store(T + 1, std::memory_order_seq_cst);
+    LockAcquires.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Guard(Lock);
+    Tail.store(T, std::memory_order_seq_cst);
+    H = Head.load(std::memory_order_seq_cst);
+    if (H > T) {
+      // The entry was stolen. Restore Tail so the deque reads as empty
+      // (H == T) rather than inverted.
+      Tail.store(T + 1, std::memory_order_seq_cst);
+      publishDepth();
+      return PopResult::Failure;
+    }
+    publishDepth();
+    return PopResult::Success;
+  }
 
   /// Owner: pops a special task from the tail (Fig. 3b). Failure means the
   /// special's child was stolen; H is reset to T so the special remains
   /// conceptually at the head.
-  PopResult popSpecial();
+  PopResult popSpecial() {
+    // Fig. 3b: always under the lock; on failure reset H = T so the
+    // special task stays at the head (a special task can never be stolen).
+    LockAcquires.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Guard(Lock);
+    int T = Tail.load(std::memory_order_relaxed) - 1;
+    Tail.store(T, std::memory_order_seq_cst);
+    int H = Head.load(std::memory_order_seq_cst);
+    if (H > T) {
+      Head.store(T, std::memory_order_seq_cst);
+      publishDepth();
+      return PopResult::Failure;
+    }
+    publishDepth();
+    return PopResult::Success;
+  }
 
   /// Thief: steals the head entry (Fig. 3d). If the head entry is special,
   /// steals the special's child instead via the H += 2 protocol (Fig. 3e).
@@ -100,7 +164,74 @@ public:
   /// failure (which also resolves under this lock), so an owner that
   /// observes "stolen" is guaranteed to observe the bumped counters too.
   StealResult steal(void (*OnSteal)(void *Frame, void *Ctx) = nullptr,
-                    void *Ctx = nullptr);
+                    void *Ctx = nullptr) {
+    // Lock-free emptiness pre-check: most steal attempts under high worker
+    // counts probe deques with nothing stealable, and taking the victim's
+    // mutex for those serializes the whole steal path on lock and cache
+    // line contention. A relaxed H >= T read can only misreport "empty"
+    // for a deque that momentarily was (or will immediately read as)
+    // empty, which a failed steal attempt already means.
+    if (Head.load(std::memory_order_relaxed) >=
+        Tail.load(std::memory_order_relaxed))
+      return {StealResult::Status::Empty, nullptr};
+
+    LockAcquires.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Guard(Lock);
+    int H = Head.load(std::memory_order_relaxed);
+    int T = Tail.load(std::memory_order_seq_cst);
+    if (H >= T)
+      return {StealResult::Status::Empty, nullptr};
+
+    // Peek the head entry's kind to pick the claim width. The peek can
+    // race with the owner popping this very slot and re-pushing a
+    // different entry at the same index (the H/T re-check cannot tell:
+    // same index, new occupant), so it is only a *hint*: after the claim
+    // succeeds the slot is frozen — Tail cannot drop below the claimed
+    // index without the owner's pop conflicting into the lock this thief
+    // holds — and the flag is re-read; a mismatch undoes the claim and
+    // backs off.
+    if (!Slots[H].Special.load(std::memory_order_relaxed)) {
+      // Fig. 3d: claim the head entry, then re-check against the owner's
+      // concurrent pop.
+      Head.store(H + 1, std::memory_order_seq_cst); // MEMBAR
+      T = Tail.load(std::memory_order_seq_cst);
+      if (H + 1 > T) {
+        Head.store(H, std::memory_order_seq_cst);
+        return {StealResult::Status::Empty, nullptr};
+      }
+      if (ATC_UNLIKELY(Slots[H].Special.load(std::memory_order_relaxed))) {
+        // The peek raced with a re-push that put a special at the head;
+        // stealing it would violate the protocol. Undo and back off.
+        Head.store(H, std::memory_order_seq_cst);
+        return {StealResult::Status::Empty, nullptr};
+      }
+      void *Frame = Slots[H].Frame;
+      if (OnSteal)
+        OnSteal(Frame, Ctx);
+      publishDepth();
+      return {StealResult::Status::Success, Frame};
+    }
+
+    // Fig. 3e: the head is a special task, which can never be stolen;
+    // steal its child (the next entry) instead: H += 2.
+    Head.store(H + 2, std::memory_order_seq_cst); // MEMBAR
+    T = Tail.load(std::memory_order_seq_cst);
+    if (H + 2 > T) {
+      Head.store(H, std::memory_order_seq_cst);
+      return {StealResult::Status::Empty, nullptr};
+    }
+    if (ATC_UNLIKELY(!Slots[H].Special.load(std::memory_order_relaxed))) {
+      // The peek raced with a re-push that replaced the special with an
+      // ordinary entry; the H += 2 claim width was wrong. Undo, back off.
+      Head.store(H, std::memory_order_seq_cst);
+      return {StealResult::Status::Empty, nullptr};
+    }
+    void *Frame = Slots[H + 1].Frame;
+    if (OnSteal)
+      OnSteal(Frame, Ctx);
+    publishDepth();
+    return {StealResult::Status::Success, Frame};
+  }
 
   /// True when no entry is present (approximate under concurrency).
   bool empty() const { return Head.load(std::memory_order_relaxed) >=
@@ -138,7 +269,17 @@ public:
 
   /// Owner: resets the deque to the empty state. Must not race with
   /// thieves.
-  void reset();
+  void reset() {
+    // Under the lock so an in-flight thief (already past the lock-free
+    // emptiness pre-check) cannot interleave with the index rewind. The
+    // pre-check itself tolerates a racing reset: a stale read can only
+    // turn into a spurious "empty", which a failed steal attempt already
+    // means.
+    std::lock_guard<std::mutex> Guard(Lock);
+    Head.store(0, std::memory_order_seq_cst);
+    Tail.store(0, std::memory_order_seq_cst);
+    publishDepth();
+  }
 
   /// Live-metrics hook (src/metrics): when attached, every size-changing
   /// operation stores the new occupancy into \p Gauge with a relaxed

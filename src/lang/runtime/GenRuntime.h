@@ -31,6 +31,17 @@
 /// capacity (events; default 1M). Compiled out with ATC_TRACE=OFF builds
 /// (-DATC_TRACE_ENABLED=0).
 ///
+/// Deque knob: ATCGEN_DEQUE=the|atomic|chaselev mirrors every protocol
+/// operation (push, pop, pushSpecial, popSpecial) into a real scheduler
+/// deque of that kind, running alongside the shadow vector and asserted
+/// to agree after every step — the single-worker executor becomes a
+/// protocol-conformance harness for the deque layer, driving the exact
+/// operation sequences atcc emits (including the special-task pushes the
+/// forced-need_task mode provokes) through the same header-only deques
+/// the core runtime schedules with. ATCGEN_DEQUE_CAP overrides the
+/// (initial) capacity — with chaselev a tiny cap forces ring growth in
+/// the middle of the run. Unset means shadow-only, unchanged behaviour.
+///
 /// Metrics knob: ATCGEN_METRICS=<path> writes a Prometheus text
 /// exposition (0.0.4) of the run's protocol counters to <path> when the
 /// Worker is destroyed — the same atc_* metric families the core
@@ -52,6 +63,11 @@
 // Event tracing (header-only exporter included too: generated binaries
 // write their own trace.json — see the ATCGEN_TRACE knob below).
 #include "trace/TraceJson.h"
+// The three scheduler deques (all header-only so generated code, which
+// links nothing, can instantiate them — see the ATCGEN_DEQUE knob).
+#include "deque/AtomicDeque.h"
+#include "deque/ChaseLevDeque.h"
+#include "deque/TheDeque.h"
 
 #include <cassert>
 #include <cstddef>
@@ -103,6 +119,45 @@ struct GenStats {
   std::uint64_t WorkspaceReuses = 0;      ///< Allocs served by the freelist.
 };
 
+/// Type-erased adapter over the three scheduler deques for the
+/// ATCGEN_DEQUE conformance mirror (see the file comment). Virtual
+/// dispatch is fine here: the mirror is a validation knob, never the
+/// measured path.
+class DequeMirror {
+public:
+  virtual ~DequeMirror() = default;
+  virtual const char *kind() const = 0;
+  virtual void push(void *Frame, bool Special) = 0;
+  virtual atc::PopResult pop() = 0;
+  virtual atc::PopResult popSpecial() = 0;
+  virtual int size() const = 0;
+  virtual std::uint64_t growCount() const = 0;
+};
+
+template <class DequeT> class DequeMirrorOf final : public DequeMirror {
+public:
+  DequeMirrorOf(const char *Kind, int Capacity) : Kind(Kind), D(Capacity) {}
+  const char *kind() const override { return Kind; }
+  void push(void *Frame, bool Special) override {
+    bool Ok = D.tryPush(Frame, Special);
+    (void)Ok;
+    assert(Ok && "ATCGEN_DEQUE mirror overflow: raise ATCGEN_DEQUE_CAP");
+  }
+  atc::PopResult pop() override { return D.pop(); }
+  atc::PopResult popSpecial() override { return D.popSpecial(); }
+  int size() const override { return D.size(); }
+  std::uint64_t growCount() const override {
+    if constexpr (requires { D.growCount(); })
+      return D.growCount();
+    else
+      return 0;
+  }
+
+private:
+  const char *Kind;
+  DequeT D;
+};
+
 /// Single-worker executor implementing the generated-code ABI.
 struct Worker {
   explicit Worker(int CutoffDepth = 0) : Fsm(CutoffDepth) {
@@ -123,6 +178,28 @@ struct Worker {
     if (const char *Path = std::getenv("ATCGEN_METRICS"))
       MetricsPath = Path;
 #endif
+    if (const char *Kind = std::getenv("ATCGEN_DEQUE")) {
+      int Cap = 8192;
+      if (const char *CapStr = std::getenv("ATCGEN_DEQUE_CAP"))
+        if (long V = std::atol(CapStr); V > 0)
+          Cap = static_cast<int>(V);
+      std::string K(Kind);
+      if (K == "the")
+        Mirror = std::make_unique<DequeMirrorOf<atc::TheDeque>>("the", Cap);
+      else if (K == "atomic")
+        Mirror =
+            std::make_unique<DequeMirrorOf<atc::AtomicDeque>>("atomic", Cap);
+      else if (K == "chaselev")
+        Mirror = std::make_unique<DequeMirrorOf<atc::ChaseLevDeque>>(
+            "chaselev", Cap);
+      else {
+        std::fprintf(stderr,
+                     "atcgen: unknown ATCGEN_DEQUE kind '%s' "
+                     "(expected the|atomic|chaselev)\n",
+                     Kind);
+        std::exit(2);
+      }
+    }
   }
 
   int cutoff() const { return Fsm.cutoff(); }
@@ -194,6 +271,10 @@ struct Worker {
     ATC_TRACE_EVENT(TB, atc::TraceEventKind::SpawnReal, 0,
                     static_cast<std::uint16_t>(F->Dp));
     Deque.push_back(F);
+    if (Mirror) {
+      Mirror->push(F, /*Special=*/false);
+      assertMirrorAgrees();
+    }
   }
 
   /// Owner pop after a spawned child returns. \p ChildResult and
@@ -206,6 +287,13 @@ struct Worker {
     ++Stats.Pops;
     assert(!Deque.empty() && Deque.back() == F && "unbalanced THE pop");
     Deque.pop_back();
+    if (Mirror) {
+      atc::PopResult R = Mirror->pop();
+      (void)R;
+      assert(R == atc::PopResult::Success &&
+             "mirror deque pop failed with no thieves");
+      assertMirrorAgrees();
+    }
     return true;
   }
 
@@ -215,6 +303,10 @@ struct Worker {
     ATC_TRACE_EVENT(TB, atc::TraceEventKind::SpecialPush, 0,
                     static_cast<std::uint16_t>(F->Dp));
     Deque.push_back(F);
+    if (Mirror) {
+      Mirror->push(F, /*Special=*/true);
+      assertMirrorAgrees();
+    }
   }
 
   /// pop_specialtask: true when the special's child was not stolen.
@@ -224,6 +316,13 @@ struct Worker {
     ATC_TRACE_EVENT(TB, atc::TraceEventKind::SpecialPop, 0,
                     static_cast<std::uint16_t>(F->Dp));
     Deque.pop_back();
+    if (Mirror) {
+      atc::PopResult R = Mirror->popSpecial();
+      (void)R;
+      assert(R == atc::PopResult::Success &&
+             "mirror pop_specialtask failed with no thieves");
+      assertMirrorAgrees();
+    }
     return true;
   }
 
@@ -327,6 +426,15 @@ struct Worker {
   }
 
   ~Worker() {
+    if (Mirror)
+      std::fprintf(stderr,
+                   "atcgen: deque mirror '%s' verified %llu pushes / %llu "
+                   "pops / %llu special pairs (%llu ring growths)\n",
+                   Mirror->kind(),
+                   static_cast<unsigned long long>(Stats.Pushes),
+                   static_cast<unsigned long long>(Stats.Pops),
+                   static_cast<unsigned long long>(Stats.SpecialPops),
+                   static_cast<unsigned long long>(Mirror->growCount()));
 #if ATC_TRACE_ENABLED
     if (Trace && !atc::writeChromeTraceFile(*Trace, TracePath))
       std::fprintf(stderr, "atcgen: cannot write trace to %s\n",
@@ -355,10 +463,21 @@ private:
     std::vector<void *> Free;
   };
 
+  /// Shadow-vs-mirror agreement check (the mirror deque must hold exactly
+  /// the shadow's entries after every protocol step; size is the strongest
+  /// property observable without breaking the deques' encapsulation).
+  void assertMirrorAgrees() const {
+    assert(Mirror->size() == static_cast<int>(Deque.size()) &&
+           "mirror deque diverged from the protocol shadow");
+  }
+
   atc::FiveVersionFsm Fsm;
   int ForceEvery = 0;
   std::vector<TaskInfoBase *> Deque;
   std::vector<WsBucket> WsBuckets;
+
+  /// ATCGEN_DEQUE support; null when the knob is unset (shadow-only).
+  std::unique_ptr<DequeMirror> Mirror;
 
   /// ATCGEN_TRACE support; see the file comment. TB stays null when the
   /// knob is unset, so each emission site costs one predictable branch.

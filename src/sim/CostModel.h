@@ -59,8 +59,15 @@ struct CostModel {
   /// poll.
   double TascellFrameNs = 40;
 
-  /// Thief-side cost of a successful steal (lock + restore).
+  /// Thief-side cost of a successful steal (lock + restore) on the THE
+  /// deque.
   double StealNs = 400;
+
+  /// Thief-side cost of a successful CAS-claim steal (the lock-free
+  /// deques: atomic, chaselev). One seq_cst compare-exchange plus the
+  /// frame restore — no lock round trip, so cheaper than StealNs
+  /// (micro_deque's contended-steal benches are the ballpark source).
+  double CasStealNs = 250;
 
   /// Thief-side cost of a failed steal attempt.
   double StealFailNs = 120;

@@ -81,9 +81,14 @@ struct SimWorker {
 
   int FailStreak = 0;
 
+  /// Last victim a steal (or donation) succeeded against, or -1; the
+  /// Affinity victim policy retries it first, as in the runtime kernel.
+  int LastVictim = -1;
+
   // Tascell.
   std::vector<int> Mailbox; ///< Requester ids, serviced one per poll.
   int WaitingOn = -1;       ///< Victim id while a request is pending.
+  bool PendingAffine = false; ///< Pending request went to LastVictim.
   bool HasResponse = false;
   SimResponse Response;
 
@@ -153,7 +158,14 @@ private:
     return true;
   }
   void chargeSpawn(SimWorker &W, bool IsSpecial);
-  int pickVictim(SimWorker &W, int Self);
+  int randomVictim(SimWorker &W, int Self);
+  int pickVictim(SimWorker &W, int Self, bool &Affine);
+
+  /// Thief-side cost of a successful claim for the configured deque kind
+  /// (THE lock round trip vs lock-free CAS).
+  double stealClaimNs() const {
+    return Opts.Deque == DequeKind::The ? C.StealNs : C.CasStealNs;
+  }
 
   /// Mirrors \p W's stealable-frame count into its metrics cell — the sim
   /// analogue of the deques' depth gauge — and tracks the high-water.
@@ -215,12 +227,45 @@ private:
   SimReport R;
 };
 
-int Simulator::pickVictim(SimWorker &W, int Self) {
+int Simulator::randomVictim(SimWorker &W, int Self) {
   int V = static_cast<int>(
       W.Rng.nextBelow(static_cast<std::uint64_t>(Opts.NumWorkers - 1)));
   if (V >= Self)
     ++V;
   return V;
+}
+
+/// Same policy ladder as the runtime kernel's pickVictim
+/// (core/kernel/WorkerRuntime.h): Affinity retries the last successful
+/// victim, Partitioned confines the search to the worker's group until a
+/// failure streak of twice the group span escalates it globally.
+int Simulator::pickVictim(SimWorker &W, int Self, bool &Affine) {
+  switch (Opts.Victim) {
+  case VictimPolicy::Affinity: {
+    int V = W.LastVictim;
+    if (V >= 0 && V != Self) {
+      Affine = true;
+      return V;
+    }
+    return randomVictim(W, Self);
+  }
+  case VictimPolicy::Random:
+    return randomVictim(W, Self);
+  case VictimPolicy::Partitioned: {
+    const int G = Opts.VictimGroupSize > 1 ? Opts.VictimGroupSize : 1;
+    const int Lo = (Self / G) * G;
+    const int Span = Lo + G <= Opts.NumWorkers ? G : Opts.NumWorkers - Lo;
+    if (Span >= 2 && W.FailStreak < 2 * Span) {
+      int V = Lo + static_cast<int>(W.Rng.nextBelow(
+                       static_cast<std::uint64_t>(Span - 1)));
+      if (V >= Self)
+        ++V;
+      return V;
+    }
+    return randomVictim(W, Self);
+  }
+  }
+  ATC_UNREACHABLE("unhandled victim policy");
 }
 
 void Simulator::chargeSpawn(SimWorker &W, bool IsSpecial) {
@@ -514,7 +559,8 @@ void Simulator::dequeStealAttempt(int Wi) {
     W.Now += C.StealFailNs;
     return;
   }
-  int Vi = pickVictim(W, Wi);
+  bool Affine = false;
+  int Vi = pickVictim(W, Wi, Affine);
   SimWorker &V = Workers[static_cast<std::size_t>(Vi)];
   ++W.Stats.StealAttempts;
   emit(W, TraceEventKind::StealAttempt, static_cast<std::uint32_t>(Vi));
@@ -541,6 +587,7 @@ void Simulator::dequeStealAttempt(int Wi) {
     ++R.StealFails;
     ++W.Stats.StealFails;
     ++W.FailStreak;
+    W.LastVictim = -1;
     // Light backoff only: Cilk-style thieves retry at memory-latency
     // timescales; aggressive sleeping would starve the need_task
     // signalling path (stolen_num accumulates per failed attempt).
@@ -564,34 +611,78 @@ void Simulator::dequeStealAttempt(int Wi) {
   // Steal the continuation: the whole untried range moves to the thief.
   ++R.Steals;
   ++W.Stats.Steals;
+  if (Affine)
+    ++W.Stats.AffinityHits;
   W.FailStreak = 0;
+  W.LastVictim = Vi;
   V.StolenNum = 0;
   V.NeedTask = false;
   ATC_METRIC(V.MC, setNeedTask(false));
-  W.Now += C.StealNs;
-  W.B.IdleNs += C.StealNs;
+  W.Now += stealClaimNs();
+  W.B.IdleNs += stealClaimNs();
   emit(W, TraceEventKind::StealSuccess, static_cast<std::uint32_t>(Vi));
 
-  SimFrame TF;
-  TF.Kids.assign(Target->Kids.begin() + StealBegin,
-                 Target->Kids.begin() + Target->End);
-  TF.End = static_cast<int>(TF.Kids.size());
-  // The slow version dispatches children through the fast/check rule
-  // regardless of which version originally spawned the task — so a
-  // stolen fast_2 continuation re-enters poll-capable fast mode.
-  TF.Mode = CodeVersion::Fast;
-  TF.Dp = Target->Dp;
-  TF.Stealable = true;
-  TF.NodeJob = Target->NodeJob;
-  Target->End = StealBegin; // victim keeps only its in-flight child
-  if (Target->Next >= Target->End) {
-    --V.OpenStealable;
-    publishSimDepth(V);
+  /// Detaches the untried range [Begin, F.End) of the victim frame \p F
+  /// as a fresh thief frame on \p W's stack.
+  auto takeRange = [&](SimFrame &F, int Begin) {
+    SimFrame TF;
+    TF.Kids.assign(F.Kids.begin() + Begin, F.Kids.begin() + F.End);
+    TF.End = static_cast<int>(TF.Kids.size());
+    // The slow version dispatches children through the fast/check rule
+    // regardless of which version originally spawned the task — so a
+    // stolen fast_2 continuation re-enters poll-capable fast mode.
+    TF.Mode = CodeVersion::Fast;
+    TF.Dp = F.Dp;
+    TF.Stealable = true;
+    TF.NodeJob = F.NodeJob;
+    F.End = Begin; // victim keeps only its in-flight child
+    if (F.Next >= F.End) {
+      --V.OpenStealable;
+      publishSimDepth(V);
+    }
+    ++W.OpenStealable;
+    R.MaxStealableFrames = std::max(R.MaxStealableFrames, W.OpenStealable);
+    publishSimDepth(W);
+    W.Stack.push_back(std::move(TF));
+  };
+
+  // Steal-half: in the same raid, claim up to half of the victim's other
+  // stealable continuations (each one more CAS / deque op, no extra
+  // victim-selection round), bounded by MaxStolenNum — the kernel's
+  // FramePolicy::stealExtra. Claimed *before* the primary so the oldest
+  // continuation ends on top of the thief's stack and runs first, the
+  // extras waiting below exactly like the kernel's stash.
+  if (Opts.Steal == StealPolicy::Half) {
+    std::vector<std::size_t> Later;
+    for (std::size_t I = 0; I < V.Stack.size(); ++I) {
+      SimFrame &F = V.Stack[I];
+      if (&F == Target)
+        continue;
+      bool IsTop = (I + 1 == V.Stack.size());
+      if (F.Stealable && F.Next + (IsTop ? 1 : 0) < F.End)
+        Later.push_back(I);
+    }
+    int Extra = static_cast<int>(Later.size()) / 2;
+    const int Cap = (Opts.MaxStolenNum > 1 ? Opts.MaxStolenNum : 1) - 1;
+    if (Extra > Cap)
+      Extra = Cap;
+    // Youngest extras first so older continuations sit higher on the
+    // thief's stack (it drains oldest-first).
+    for (int I = 0; I < Extra; ++I) {
+      std::size_t Idx = Later[Later.size() - 1 - static_cast<std::size_t>(I)];
+      SimFrame &F = V.Stack[Idx];
+      bool IsTop = (Idx + 1 == V.Stack.size());
+      takeRange(F, F.Next + (IsTop ? 1 : 0));
+      ++R.Steals;
+      ++W.Stats.Steals;
+      ++W.Stats.StealAttempts;
+      ++W.Stats.BatchSteals;
+      W.Now += C.DequeOpNs;
+      W.B.IdleNs += C.DequeOpNs;
+    }
   }
-  ++W.OpenStealable;
-  R.MaxStealableFrames = std::max(R.MaxStealableFrames, W.OpenStealable);
-  publishSimDepth(W);
-  W.Stack.push_back(std::move(TF));
+
+  takeRange(*Target, StealBegin);
   W.LastProductive = W.Now;
 }
 
@@ -610,10 +701,12 @@ void Simulator::tascellIdle(int Wi) {
   }
 
   if (W.WaitingOn < 0) {
-    // Post a request to a random victim.
-    int Vi = pickVictim(W, Wi);
+    // Post a request to a victim chosen by the configured policy.
+    bool Affine = false;
+    int Vi = pickVictim(W, Wi, Affine);
     Workers[static_cast<std::size_t>(Vi)].Mailbox.push_back(Wi);
     W.WaitingOn = Vi;
+    W.PendingAffine = Affine;
     W.HasResponse = false;
     ++R.Requests;
     ++W.Stats.Requests;
@@ -629,6 +722,8 @@ void Simulator::tascellIdle(int Wi) {
     if (W.Response.Deny) {
       ++R.StealFails;
       ++W.Stats.StealFails;
+      ++W.FailStreak;
+      W.LastVictim = -1;
       W.B.IdleNs += C.RequestRoundTripNs;
       W.Now += C.RequestRoundTripNs;
       emit(W, TraceEventKind::StealFail, static_cast<std::uint32_t>(Vi));
@@ -636,6 +731,10 @@ void Simulator::tascellIdle(int Wi) {
     }
     ++R.Steals;
     ++W.Stats.Steals;
+    if (W.PendingAffine)
+      ++W.Stats.AffinityHits;
+    W.FailStreak = 0;
+    W.LastVictim = Vi;
     W.Now = std::max(W.Now, W.Response.ReadyAt) + C.RequestRoundTripNs;
     W.B.IdleNs += C.RequestRoundTripNs;
     W.Stack.push_back(std::move(W.Response.Frame));

@@ -60,7 +60,30 @@ struct SimOptions {
   int Cutoff = -1;
 
   /// Failed-steal threshold before need_task is raised (paper: 20).
+  /// Also bounds a steal-half batch, as in SchedulerConfig::MaxStolenNum.
   int MaxStolenNum = 20;
+
+  /// Deque kind the virtual workers are modelled with. The index
+  /// protocol is invisible at this abstraction level; what carries into
+  /// virtual time is the thief-side claim cost (CostModel::StealNs for
+  /// the THE lock round trip, CostModel::CasStealNs for the lock-free
+  /// CAS deques).
+  DequeKind Deque = DequeKind::The;
+
+  /// Steal-one vs steal-half (each extra continuation claimed in the
+  /// same raid costs only a deque operation), as in
+  /// SchedulerConfig::Steal. Deque-based kinds only; Tascell donations
+  /// are always half-splits.
+  StealPolicy Steal = StealPolicy::One;
+
+  /// Victim ordering for idle workers, as in SchedulerConfig::Victim.
+  /// The sim's historical default is uniform random (the committed
+  /// fig6/fig8/fig10 records were produced with it), so Random stays the
+  /// default here even though the real runtime defaults to Affinity.
+  VictimPolicy Victim = VictimPolicy::Random;
+
+  /// Group width for VictimPolicy::Partitioned.
+  int VictimGroupSize = 4;
 
   /// Models the paper's "Cutoff-library" variant, where "the cost of
   /// workspace copying cannot be reduced": the runtime, lacking the

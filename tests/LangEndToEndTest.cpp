@@ -128,6 +128,32 @@ TEST(LangEndToEnd, NQueensCorrectAcrossCutoffs) {
   }
 }
 
+TEST(LangEndToEnd, NQueensCorrectWithDequeMirror) {
+  // ATCGEN_DEQUE mirrors every protocol operation into a real scheduler
+  // deque with step-by-step agreement asserts; an abort (protocol
+  // divergence) fails the exit-status check inside compileAndRun.
+  for (const char *Kind : {"the", "atomic", "chaselev"})
+    EXPECT_EQ(compileAndRun(NQueensSrc, std::string("ATCGEN_DEQUE=") + Kind),
+              "92\n")
+        << Kind;
+}
+
+TEST(LangEndToEnd, DequeMirrorComposesWithForcedSpecialTasks) {
+  // Forced need_task drives pushSpecial/popSpecial through the mirror;
+  // a 2-entry initial capacity forces ChaseLev ring growth mid-run (the
+  // fixed-capacity kinds get the same protocol at default capacity).
+  EXPECT_EQ(compileAndRun(NQueensSrc, "ATCGEN_DEQUE=chaselev "
+                                      "ATCGEN_DEQUE_CAP=2 "
+                                      "ATCGEN_FORCE_NEEDTASK=3"),
+            "92\n");
+  EXPECT_EQ(compileAndRun(NQueensSrc,
+                          "ATCGEN_DEQUE=atomic ATCGEN_FORCE_NEEDTASK=3"),
+            "92\n");
+  EXPECT_EQ(compileAndRun(NQueensSrc,
+                          "ATCGEN_DEQUE=the ATCGEN_FORCE_NEEDTASK=3"),
+            "92\n");
+}
+
 TEST(LangEndToEnd, FibComputesCorrectly) {
   const char *Src = R"(
     cilk long fib(int n) {

@@ -235,6 +235,30 @@ TEST(MetricsSim, RegistryAggregateMatchesSimReport) {
   EXPECT_EQ(Snap.TimeNs, static_cast<std::uint64_t>(Rep.MakespanNs));
 }
 
+TEST(MetricsSim, StealHalfAndAffinityCountersSurfaceInSnapshot) {
+  // The policy knobs' dedicated counters (batch extras, affinity-retry
+  // hits) travel the same publishStats path as every other stat.
+  SimTree Tree(SimTree::preset("tree2l", 40'000));
+  SimOptions Opts;
+  Opts.Kind = SchedulerKind::Cilk;
+  Opts.NumWorkers = 8;
+  Opts.Deque = DequeKind::ChaseLev;
+  Opts.Steal = StealPolicy::Half;
+  Opts.Victim = VictimPolicy::Affinity;
+  CostModel Costs;
+  MetricsRegistry Reg;
+  SimReport Rep = simulate(Tree, Opts, Costs, nullptr, &Reg);
+  MetricsSnapshot Snap =
+      Reg.sample(static_cast<std::uint64_t>(Rep.MakespanNs));
+  EXPECT_EQ(Snap.total(StatField::Steals), Rep.Steals);
+  EXPECT_GT(Snap.total(StatField::BatchSteals), 0u);
+  EXPECT_GE(Snap.total(StatField::Steals), Snap.total(StatField::BatchSteals));
+  EXPECT_GT(Snap.total(StatField::AffinityHits), 0u);
+  // The steal-accounting identity survives batching.
+  EXPECT_EQ(Snap.total(StatField::StealAttempts),
+            Snap.total(StatField::Steals) + Snap.total(StatField::StealFails));
+}
+
 #endif // ATC_METRICS_ENABLED
 
 //===----------------------------------------------------------------------===//

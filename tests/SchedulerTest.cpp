@@ -31,6 +31,8 @@ struct MatrixCase {
   SchedulerKind Kind;
   int Threads;
   DequeKind Deque = DequeKind::The;
+  StealPolicy Steal = StealPolicy::One;
+  VictimPolicy Victim = VictimPolicy::Affinity;
 };
 
 std::string caseName(const ::testing::TestParamInfo<MatrixCase> &Info) {
@@ -40,6 +42,10 @@ std::string caseName(const ::testing::TestParamInfo<MatrixCase> &Info) {
       C = '_';
   if (Info.param.Deque != DequeKind::The)
     Name += std::string("_") + dequeKindName(Info.param.Deque);
+  if (Info.param.Steal != StealPolicy::One)
+    Name += std::string("_steal") + stealPolicyName(Info.param.Steal);
+  if (Info.param.Victim != VictimPolicy::Affinity)
+    Name += std::string("_") + victimPolicyName(Info.param.Victim);
   return Name + "_t" + std::to_string(Info.param.Threads);
 }
 
@@ -48,10 +54,16 @@ SchedulerConfig makeConfig(const MatrixCase &MC) {
   Cfg.Kind = MC.Kind;
   Cfg.NumWorkers = MC.Threads;
   Cfg.Deque = MC.Deque;
+  Cfg.Steal = MC.Steal;
+  Cfg.Victim = MC.Victim;
   return Cfg;
 }
 
 constexpr DequeKind AtomicDQ = DequeKind::Atomic;
+constexpr DequeKind ChaseLevDQ = DequeKind::ChaseLev;
+constexpr StealPolicy HalfSP = StealPolicy::Half;
+constexpr VictimPolicy RandomVP = VictimPolicy::Random;
+constexpr VictimPolicy PartitionedVP = VictimPolicy::Partitioned;
 
 const MatrixCase AllCases[] = {
     {SchedulerKind::Cilk, 1},        {SchedulerKind::Cilk, 2},
@@ -76,6 +88,30 @@ const MatrixCase AllCases[] = {
     {SchedulerKind::AdaptiveTC, 2, AtomicDQ},
     {SchedulerKind::AdaptiveTC, 4, AtomicDQ},
     {SchedulerKind::AdaptiveTC, 8, AtomicDQ},
+    // ... and over the growable ChaseLevDeque.
+    {SchedulerKind::Cilk, 1, ChaseLevDQ},
+    {SchedulerKind::Cilk, 4, ChaseLevDQ},
+    {SchedulerKind::Cilk, 8, ChaseLevDQ},
+    {SchedulerKind::CilkSynched, 4, ChaseLevDQ},
+    {SchedulerKind::CilkSynched, 8, ChaseLevDQ},
+    {SchedulerKind::Cutoff, 4, ChaseLevDQ},
+    {SchedulerKind::Cutoff, 8, ChaseLevDQ},
+    {SchedulerKind::AdaptiveTC, 1, ChaseLevDQ},
+    {SchedulerKind::AdaptiveTC, 2, ChaseLevDQ},
+    {SchedulerKind::AdaptiveTC, 4, ChaseLevDQ},
+    {SchedulerKind::AdaptiveTC, 8, ChaseLevDQ},
+    // Steal-half batch acquisition and the non-default victim orderings
+    // must likewise be invisible to the results.
+    {SchedulerKind::Cilk, 4, ChaseLevDQ, HalfSP},
+    {SchedulerKind::Cilk, 8, AtomicDQ, HalfSP},
+    {SchedulerKind::AdaptiveTC, 4, ChaseLevDQ, HalfSP},
+    {SchedulerKind::AdaptiveTC, 8, DequeKind::The, HalfSP},
+    {SchedulerKind::Cilk, 4, ChaseLevDQ, HalfSP, RandomVP},
+    {SchedulerKind::AdaptiveTC, 4, ChaseLevDQ, StealPolicy::One, RandomVP},
+    {SchedulerKind::AdaptiveTC, 8, ChaseLevDQ, HalfSP, PartitionedVP},
+    {SchedulerKind::Tascell, 4, DequeKind::The, StealPolicy::One, RandomVP},
+    {SchedulerKind::Tascell, 8, DequeKind::The, StealPolicy::One,
+     PartitionedVP},
 };
 
 class SchedulerMatrix : public ::testing::TestWithParam<MatrixCase> {};
@@ -318,21 +354,72 @@ TEST(SchedulerBehaviour, SpecialTasksFireWithAtomicDeque) {
       << "special-task path never fired on the atomic deque";
 }
 
+TEST(SchedulerBehaviour, SpecialTasksFireWithChaseLevDeque) {
+  // Forced pressure over the growable deque: the Head += 2 jump, the
+  // owner-side popSpecial accounting AND ring growth (tiny initial
+  // capacity) must carry the protocol end to end.
+  NQueensArray Prob;
+  SchedulerConfig Cfg;
+  Cfg.Kind = SchedulerKind::AdaptiveTC;
+  Cfg.Deque = DequeKind::ChaseLev;
+  Cfg.DequeCapacity = 2; // grows under the run's own spawns
+  Cfg.NumWorkers = 4;
+  Cfg.MaxStolenNum = 0;
+  std::uint64_t Specials = 0;
+  for (int Attempt = 0; Attempt < 10 && Specials == 0; ++Attempt) {
+    Cfg.Seed = 277 + static_cast<std::uint64_t>(Attempt);
+    auto R = runProblem(Prob, NQueensArray::makeRoot(11), Cfg);
+    ASSERT_EQ(R.Value, 2680) << "attempt " << Attempt;
+    Specials = R.Stats.SpecialTasks;
+  }
+  EXPECT_GT(Specials, 0u)
+      << "special-task path never fired on the Chase-Lev deque";
+}
+
+TEST(SchedulerBehaviour, StealHalfBatchesAndStaysExact) {
+  // Steal-half on a task-per-node policy (deep deques): batches must
+  // actually form, every stashed frame must later drain as a counted
+  // steal (Steals > BatchSteals would fail if stashed work was lost),
+  // and the result must be unchanged. Scheduling is nondeterministic on
+  // a time-sliced host, so retry seeds until a batch is observed.
+  NQueensArray Prob;
+  SchedulerConfig Cfg;
+  Cfg.Kind = SchedulerKind::Cilk;
+  Cfg.Deque = DequeKind::ChaseLev;
+  Cfg.Steal = StealPolicy::Half;
+  Cfg.NumWorkers = 4;
+  std::uint64_t Batched = 0;
+  for (int Attempt = 0; Attempt < 10 && Batched == 0; ++Attempt) {
+    Cfg.Seed = 377 + static_cast<std::uint64_t>(Attempt);
+    auto R = runProblem(Prob, NQueensArray::makeRoot(10), Cfg);
+    ASSERT_EQ(R.Value, 724) << "attempt " << Attempt;
+    ASSERT_EQ(R.Stats.StealAttempts, R.Stats.Steals + R.Stats.StealFails)
+        << "attempt " << Attempt;
+    ASSERT_GE(R.Stats.Steals, R.Stats.BatchSteals)
+        << "every batched frame must drain as a stash-hit steal";
+    Batched = R.Stats.BatchSteals;
+  }
+  EXPECT_GT(Batched, 0u) << "steal-half never claimed a batch";
+}
+
 //===----------------------------------------------------------------------===//
 // Kernel / policy layering invariants
 //===----------------------------------------------------------------------===//
 
 // Every tree node runs under exactly one code version, so the kernel's
 // accounting must partition the tree for every task-creation policy over
-// either deque: real tasks + fake tasks = tree nodes, and every steal
-// attempt resolves to a steal or a fail. This is the cross-policy
-// uniformity the shared WorkerRuntime guarantees.
+// every deque kind and steal policy: real tasks + fake tasks = tree
+// nodes, and every steal attempt resolves to a steal or a fail (stash
+// drains count one of each, so steal-half keeps the identity). This is
+// the cross-policy uniformity the shared WorkerRuntime guarantees.
 TEST(PolicyMatrix, TaskAccountingPartitionsTheTree) {
   const SchedulerKind Kinds[] = {SchedulerKind::Cilk,
                                  SchedulerKind::CilkSynched,
                                  SchedulerKind::Cutoff,
                                  SchedulerKind::AdaptiveTC};
-  const DequeKind Deques[] = {DequeKind::The, DequeKind::Atomic};
+  const DequeKind Deques[] = {DequeKind::The, DequeKind::Atomic,
+                              DequeKind::ChaseLev};
+  const StealPolicy Steals[] = {StealPolicy::One, StealPolicy::Half};
 
   NQueensArray NQ;
   auto NQRoot = NQueensArray::makeRoot(9);
@@ -353,31 +440,74 @@ TEST(PolicyMatrix, TaskAccountingPartitionsTheTree) {
   }
 
   for (SchedulerKind Kind : Kinds)
-    for (DequeKind DQ : Deques) {
+    for (DequeKind DQ : Deques)
+      for (StealPolicy SP : Steals) {
+        SchedulerConfig Cfg;
+        Cfg.Kind = Kind;
+        Cfg.Deque = DQ;
+        Cfg.Steal = SP;
+        Cfg.NumWorkers = 4;
+        const std::string What = std::string(schedulerKindName(Kind)) +
+                                 "/" + dequeKindName(DQ) + "/" +
+                                 stealPolicyName(SP);
+
+        auto RN = runProblem(NQ, NQueensArray::makeRoot(9), Cfg);
+        EXPECT_EQ(RN.Value, NQExpected) << What;
+        EXPECT_EQ(RN.Stats.TasksCreated + RN.Stats.FakeTasks,
+                  static_cast<std::uint64_t>(NQProfile.Nodes))
+            << What << ": node accounting does not partition the tree";
+        EXPECT_EQ(RN.Stats.StealAttempts,
+                  RN.Stats.Steals + RN.Stats.StealFails)
+            << What;
+        if (SP == StealPolicy::One) {
+          EXPECT_EQ(RN.Stats.BatchSteals, 0u) << What;
+        } else {
+          EXPECT_GE(RN.Stats.Steals, RN.Stats.BatchSteals) << What;
+        }
+
+        // The heavier Sudoku tree only for steal-one: the batch path is
+        // already covered above and the matrix is 24 configs deep.
+        if (SP != StealPolicy::One)
+          continue;
+        auto RS = runProblem(SU, Sudoku::makeInstance("balance"), Cfg);
+        EXPECT_EQ(RS.Value, SUExpected) << What;
+        EXPECT_EQ(RS.Stats.TasksCreated + RS.Stats.FakeTasks,
+                  static_cast<std::uint64_t>(SUProfile.Nodes))
+            << What << ": node accounting does not partition the tree";
+        EXPECT_EQ(RS.Stats.StealAttempts,
+                  RS.Stats.Steals + RS.Stats.StealFails)
+            << What;
+      }
+}
+
+// Victim ordering is kernel-owned, so every scheduler kind — Tascell's
+// mailbox engine included — must accept every VictimPolicy and produce
+// the same result. Partitioned runs with a group smaller than the worker
+// count so both the in-group and the escalation path execute.
+TEST(PolicyMatrix, VictimPoliciesAreResultInvisible) {
+  const SchedulerKind Kinds[] = {SchedulerKind::Cilk,
+                                 SchedulerKind::AdaptiveTC,
+                                 SchedulerKind::Tascell};
+  const VictimPolicy Victims[] = {VictimPolicy::Affinity,
+                                  VictimPolicy::Random,
+                                  VictimPolicy::Partitioned};
+  NQueensArray Prob;
+  auto Root = NQueensArray::makeRoot(9);
+  long long Expected = runSequential(Prob, Root);
+  for (SchedulerKind Kind : Kinds)
+    for (VictimPolicy VP : Victims) {
       SchedulerConfig Cfg;
       Cfg.Kind = Kind;
-      Cfg.Deque = DQ;
+      Cfg.Victim = VP;
+      Cfg.VictimGroupSize = 2;
       Cfg.NumWorkers = 4;
-      const std::string What = std::string(schedulerKindName(Kind)) + "/" +
-                               dequeKindName(DQ);
-
-      auto RN = runProblem(NQ, NQueensArray::makeRoot(9), Cfg);
-      EXPECT_EQ(RN.Value, NQExpected) << What;
-      EXPECT_EQ(RN.Stats.TasksCreated + RN.Stats.FakeTasks,
-                static_cast<std::uint64_t>(NQProfile.Nodes))
-          << What << ": node accounting does not partition the tree";
-      EXPECT_EQ(RN.Stats.StealAttempts,
-                RN.Stats.Steals + RN.Stats.StealFails)
-          << What;
-
-      auto RS = runProblem(SU, Sudoku::makeInstance("balance"), Cfg);
-      EXPECT_EQ(RS.Value, SUExpected) << What;
-      EXPECT_EQ(RS.Stats.TasksCreated + RS.Stats.FakeTasks,
-                static_cast<std::uint64_t>(SUProfile.Nodes))
-          << What << ": node accounting does not partition the tree";
-      EXPECT_EQ(RS.Stats.StealAttempts,
-                RS.Stats.Steals + RS.Stats.StealFails)
-          << What;
+      auto R = runProblem(Prob, NQueensArray::makeRoot(9), Cfg);
+      EXPECT_EQ(R.Value, Expected) << schedulerKindName(Kind) << "/"
+                                   << victimPolicyName(VP);
+      if (VP != VictimPolicy::Affinity) {
+        EXPECT_EQ(R.Stats.AffinityHits, 0u)
+            << "affinity retries must be exclusive to the Affinity policy";
+      }
     }
 }
 

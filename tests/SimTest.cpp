@@ -151,6 +151,68 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 //===----------------------------------------------------------------------===//
+// Simulation: deque / steal / victim policy knobs
+//===----------------------------------------------------------------------===//
+
+SimReport runSimPolicies(const std::string &Preset, SchedulerKind Kind,
+                         int Workers, DequeKind DQ, StealPolicy SP,
+                         VictimPolicy VP) {
+  SimTree Tree(SimTree::preset(Preset, TestScale));
+  SimOptions Opts;
+  Opts.Kind = Kind;
+  Opts.NumWorkers = Workers;
+  Opts.Deque = DQ;
+  Opts.Steal = SP;
+  Opts.Victim = VP;
+  Opts.VictimGroupSize = 2;
+  CostModel Costs;
+  return simulate(Tree, Opts, Costs);
+}
+
+TEST(SimPolicies, EveryCombinationProcessesEveryNode) {
+  for (SchedulerKind Kind : {SchedulerKind::Cilk, SchedulerKind::AdaptiveTC,
+                             SchedulerKind::Tascell})
+    for (DequeKind DQ : {DequeKind::The, DequeKind::ChaseLev})
+      for (StealPolicy SP : {StealPolicy::One, StealPolicy::Half})
+        for (VictimPolicy VP : {VictimPolicy::Random, VictimPolicy::Affinity,
+                                VictimPolicy::Partitioned}) {
+          SimReport R = runSimPolicies("tree2l", Kind, 8, DQ, SP, VP);
+          EXPECT_EQ(R.NodesProcessed, TestScale)
+              << schedulerKindName(Kind) << "/" << dequeKindName(DQ) << "/"
+              << stealPolicyName(SP) << "/" << victimPolicyName(VP);
+        }
+}
+
+TEST(SimPolicies, PolicyRunsAreDeterministic) {
+  for (VictimPolicy VP : {VictimPolicy::Affinity, VictimPolicy::Partitioned}) {
+    SimReport A = runSimPolicies("fig8", SchedulerKind::AdaptiveTC, 8,
+                                 DequeKind::ChaseLev, StealPolicy::Half, VP);
+    SimReport B = runSimPolicies("fig8", SchedulerKind::AdaptiveTC, 8,
+                                 DequeKind::ChaseLev, StealPolicy::Half, VP);
+    EXPECT_DOUBLE_EQ(A.MakespanNs, B.MakespanNs);
+    EXPECT_EQ(A.Steals, B.Steals);
+  }
+}
+
+TEST(SimPolicies, LockFreeClaimIsNeverChargedMoreThanTheLock) {
+  // Identical runs except the per-claim cost: the lock-free deques charge
+  // CasStealNs (< StealNs), so total idle time cannot grow.
+  SimTree Tree(SimTree::preset("tree3l", TestScale));
+  CostModel Costs;
+  SimOptions Opts;
+  Opts.Kind = SchedulerKind::Cilk;
+  Opts.NumWorkers = 8;
+  Opts.Deque = DequeKind::The;
+  SimReport Lock = simulate(Tree, Opts, Costs);
+  Opts.Deque = DequeKind::ChaseLev;
+  SimReport Cas = simulate(Tree, Opts, Costs);
+  EXPECT_EQ(Lock.NodesProcessed, Cas.NodesProcessed);
+  // Cheaper claims may reshuffle the interleaving, so compare with slack
+  // rather than strictly.
+  EXPECT_LE(Cas.MakespanNs, Lock.MakespanNs * 1.02);
+}
+
+//===----------------------------------------------------------------------===//
 // Simulation: qualitative shapes from the paper
 //===----------------------------------------------------------------------===//
 

@@ -31,12 +31,27 @@ import sys
 
 # Deque benchmarks whose baseline entries are throughput (items/sec,
 # higher is better) rather than per-op time.
-DRAIN_PREFIXES = ("BM_DrainStealThe/", "BM_DrainStealAtomic/")
+DRAIN_PREFIXES = (
+    "BM_DrainStealThe/",
+    "BM_DrainStealAtomic/",
+    "BM_DrainStealChaseLev/",
+)
 
 # Contended* numbers are preemption-bound on small shared runners (see
 # the note in BENCH_deque.json); comparing them is noise, so they are
 # skipped and listed as such.
-SKIP_PREFIXES = ("BM_ContendedStealThe/", "BM_ContendedStealAtomic/")
+SKIP_PREFIXES = (
+    "BM_ContendedStealThe/",
+    "BM_ContendedStealAtomic/",
+    "BM_ContendedStealChaseLev/",
+)
+
+
+def drain_kind(name):
+    """Deque kind key for a BM_DrainSteal* benchmark name."""
+    if "ChaseLev" in name:
+        return "chaselev"
+    return "the" if "The" in name else "atomic"
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -104,7 +119,7 @@ def deque_pairs(fresh, baseline):
             continue
         if name.startswith(DRAIN_PREFIXES):
             # "BM_DrainStealThe/4/manual_time" -> kind "the", thieves "4".
-            kind = "the" if "The" in name else "atomic"
+            kind = drain_kind(name)
             thieves = name.split("/")[1]
             base_ips = drain.get(kind, {}).get("thieves_" + thieves)
             if base_ips is None or not ips:
