@@ -5,7 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The canonical tracing demo: count n-queens solutions under a chosen
+/// The canonical tracing demo: count n-queens solutions (or run any
+/// other ProblemRegistry workload via --problem) under a chosen
 /// scheduler and optionally record a scheduler event trace (see
 /// docs/TRACING.md). The trace loads directly in Perfetto / Chrome
 /// about:tracing — one track per worker, colored by FSM mode, with
@@ -23,7 +24,7 @@
 
 #include "core/Runtime.h"
 #include "metrics/MetricsCli.h"
-#include "problems/NQueens.h"
+#include "problems/ProblemRegistry.h"
 #include "support/Error.h"
 #include "support/Options.h"
 #include "support/Timer.h"
@@ -37,6 +38,7 @@ using namespace atc;
 int main(int argc, char **argv) {
   long long Workers = 4;
   long long BoardSize = 13;
+  std::string Problem = "nqueens-array";
   std::string Scheduler = "adaptivetc";
   std::string Deque = "the";
   std::string StealPol = "one";
@@ -46,7 +48,11 @@ int main(int argc, char **argv) {
   OptionSet Opts("Count n-queens solutions, optionally recording a "
                  "scheduler event trace for Perfetto");
   Opts.addInt("workers", &Workers, "worker threads (default 4)");
-  Opts.addInt("n", &BoardSize, "board size (default 13)");
+  Opts.addInt("n", &BoardSize, "problem size (default 13 for n-queens; "
+                               "0 = the kind's registry default)");
+  Opts.addString("problem", &Problem,
+                 "workload from the problem registry (default "
+                 "nqueens-array; see SERVING.md for the kind list)");
   Opts.addString("sched", &Scheduler,
                  "sequential, cilk, cilk-synched, tascell, cutoff, or "
                  "adaptivetc");
@@ -88,17 +94,19 @@ int main(int argc, char **argv) {
                          "--trace will produce no events\n");
 #endif
 
-  NQueensArray Prob;
-  auto Root = NQueensArray::makeRoot(static_cast<int>(BoardSize));
+  ProblemRunner Prob;
+  std::string Err;
+  if (!makeProblemRunner(Problem, static_cast<int>(BoardSize), Prob, Err))
+    reportFatalError(Err);
 
   MetricsCliSession Metrics;
-  Metrics.arm(Cfg, MOpt, std::to_string(BoardSize) + "-queens");
+  Metrics.arm(Cfg, MOpt, Prob.Workload);
 
   RunResult<long long> R;
-  double Sec = timeSeconds([&] { R = runProblem(Prob, Root, Cfg); });
-  std::printf("%lld-queens: %lld solutions in %.1f ms (%s, %lld workers)\n",
-              BoardSize, R.Value, Sec * 1e3, schedulerKindName(Cfg.Kind),
-              Workers);
+  double Sec = timeSeconds([&] { R = Prob.Run(Cfg); });
+  std::printf("%s: %lld in %.1f ms (%s, %lld workers)\n",
+              Prob.Workload.c_str(), R.Value, Sec * 1e3,
+              schedulerKindName(Cfg.Kind), Workers);
   std::printf("scheduler: %s\n", R.Stats.summary().c_str());
 
   if (!TracePath.empty()) {
@@ -107,7 +115,7 @@ int main(int argc, char **argv) {
                            "scheduler or tracing compiled out)\n");
       return 1;
     }
-    R.Trace->Meta.Workload = std::to_string(BoardSize) + "-queens";
+    R.Trace->Meta.Workload = Prob.Workload;
     if (!writeChromeTraceFile(*R.Trace, TracePath)) {
       std::fprintf(stderr, "nqueens: cannot write trace to '%s'\n",
                    TracePath.c_str());

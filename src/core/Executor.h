@@ -1,0 +1,61 @@
+//===- core/Executor.h - Worker-thread execution strategy -------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seam between "what a run computes" (WorkerRuntime + policy) and
+/// "where its worker loops execute" (threads). Historically the kernel
+/// spawned and joined one std::thread per worker inside every run() —
+/// fine for one-shot benchmarks, fatal for a server that must absorb a
+/// stream of jobs without paying thread creation and teardown per job.
+///
+/// WorkerExecutor is that seam: run() hands it the worker count and the
+/// per-worker entry function, and the executor decides which OS threads
+/// execute them. Two implementations exist:
+///
+///  * the kernel's built-in default (no executor configured): spawn N
+///    threads, join them — exactly the historical per-run behaviour;
+///  * SchedulerPool (core/SchedulerPool.h): a persistent pool whose
+///    threads park between jobs, so back-to-back runs reuse the same OS
+///    threads (hot caches, no clone/exit churn, stable thread ids).
+///
+/// The executor contract:
+///  * dispatch(N, Body) invokes Body(0), ..., Body(N-1), each exactly
+///    once, on whatever threads it likes, and returns only after every
+///    invocation has completed (a full barrier);
+///  * calls from multiple threads must serialize internally (the server's
+///    dispatcher is single-threaded today, but the contract should not
+///    depend on that);
+///  * Body(0) is the root worker — executors must not reorder or drop it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_EXECUTOR_H
+#define ATC_CORE_EXECUTOR_H
+
+#include <functional>
+
+namespace atc {
+
+/// Abstract execution strategy for a run's worker loops; see the file
+/// comment for the contract.
+class WorkerExecutor {
+public:
+  virtual ~WorkerExecutor() = default;
+
+  /// Runs Body(0..NumWorkers-1), one invocation per worker id, returning
+  /// once all have completed.
+  virtual void dispatch(int NumWorkers,
+                        const std::function<void(int)> &Body) = 0;
+
+  /// Largest NumWorkers this executor can dispatch, or 0 for unbounded
+  /// (the spawn-per-run default). Callers clamp their configurations to
+  /// this before running.
+  virtual int capacity() const { return 0; }
+};
+
+} // namespace atc
+
+#endif // ATC_CORE_EXECUTOR_H

@@ -32,6 +32,7 @@
 namespace atc {
 
 class MetricsRegistry;
+class WorkerExecutor;
 
 /// The scheduling systems reproduced from the paper.
 enum class SchedulerKind {
@@ -196,6 +197,15 @@ struct SchedulerConfig {
   /// runtime resets matching-size registries cell-in-place (wait-free),
   /// so concurrent samplers stay valid.
   MetricsRegistry *MetricsSink = nullptr;
+
+  /// Externally owned execution strategy for the run's worker loops
+  /// (core/Executor.h), or null for the historical behaviour: spawn one
+  /// thread per worker inside run() and join them after. Point this at a
+  /// SchedulerPool to execute many runs back-to-back on the same OS
+  /// threads — the server layer's whole premise. The executor must
+  /// outlive every run against this config, and NumWorkers must not
+  /// exceed its capacity().
+  WorkerExecutor *Executor = nullptr;
 
   /// Resolves the effective cut-off depth: Cutoff if non-negative, else
   /// ceil(log2(NumWorkers)).

@@ -1,0 +1,84 @@
+//===- core/SchedulerPool.cpp - Persistent worker-thread pool -------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SchedulerPool.h"
+
+#include <cassert>
+
+using namespace atc;
+
+SchedulerPool::SchedulerPool(int NumThreads) {
+  assert(NumThreads >= 1 && "pool needs at least one thread");
+  Threads.reserve(static_cast<std::size_t>(NumThreads));
+  for (int I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([this, I] { threadMain(I); });
+}
+
+SchedulerPool::~SchedulerPool() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void SchedulerPool::dispatch(int NumWorkers,
+                             const std::function<void(int)> &JobBody) {
+  assert(NumWorkers >= 1 && NumWorkers <= size() &&
+         "worker count exceeds pool size");
+  // One job at a time: the threads form a single team and the epoch slot
+  // holds one body.
+  std::lock_guard<std::mutex> Serial(DispatchLock);
+  std::unique_lock<std::mutex> Guard(Lock);
+  ++Epoch;
+  ActiveWorkers = NumWorkers;
+  Remaining = NumWorkers;
+  Body = &JobBody;
+  const std::uint64_t This = Epoch;
+  WakeWorkers.notify_all();
+  JobDone.wait(Guard, [&] { return Completed >= This; });
+  Body = nullptr;
+}
+
+void SchedulerPool::threadMain(int Id) {
+  std::uint64_t SeenEpoch = 0;
+  for (;;) {
+    const std::function<void(int)> *MyBody = nullptr;
+    {
+      std::unique_lock<std::mutex> Guard(Lock);
+      WakeWorkers.wait(Guard, [&] {
+        return ShuttingDown || (Epoch != SeenEpoch && Id < ActiveWorkers);
+      });
+      if (ShuttingDown)
+        return;
+      SeenEpoch = Epoch;
+      MyBody = Body;
+    }
+    (*MyBody)(Id);
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      if (--Remaining == 0) {
+        ++Completed;
+        JobDone.notify_all();
+      }
+    }
+  }
+}
+
+std::uint64_t SchedulerPool::jobsRun() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Completed;
+}
+
+std::vector<std::thread::id> SchedulerPool::threadIds() const {
+  std::vector<std::thread::id> Ids;
+  Ids.reserve(Threads.size());
+  for (const std::thread &T : Threads)
+    Ids.push_back(T.get_id());
+  return Ids;
+}

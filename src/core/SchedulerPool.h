@@ -1,0 +1,100 @@
+//===- core/SchedulerPool.h - Persistent worker-thread pool -----*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent worker-thread pool implementing WorkerExecutor: the
+/// scheduler-as-a-service substrate. Threads are created once, park on a
+/// condition variable between jobs, and execute the worker loops of many
+/// back-to-back runs without ever being respawned — point
+/// SchedulerConfig::Executor at a pool and every runProblem() against
+/// that config reuses its threads.
+///
+/// \code
+///   atc::SchedulerPool Pool(8);
+///   atc::SchedulerConfig Cfg;
+///   Cfg.NumWorkers = 8;
+///   Cfg.Executor = &Pool;
+///   for (Job &J : Jobs)                  // no thread churn across jobs
+///     auto R = atc::runProblem(Prob(J), Root(J), Cfg);
+/// \endcode
+///
+/// One job at a time: dispatch() serializes callers on an internal mutex
+/// (the pool's threads are a single team; two concurrent jobs would
+/// deadlock each other's barriers). Queueing and admission control live a
+/// layer up, in server/JobQueue.h.
+///
+/// A job may use fewer workers than the pool has threads: dispatch(N)
+/// with N < size() wakes only threads [0, N) and leaves the rest parked,
+/// so a mixed stream of 1-worker and 8-worker jobs shares one pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_CORE_SCHEDULERPOOL_H
+#define ATC_CORE_SCHEDULERPOOL_H
+
+#include "core/Executor.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atc {
+
+/// Persistent worker-thread pool; see the file comment.
+class SchedulerPool : public WorkerExecutor {
+public:
+  /// Creates \p NumThreads parked threads (at least 1).
+  explicit SchedulerPool(int NumThreads);
+
+  /// Joins every thread. Outstanding dispatch() calls complete first.
+  ~SchedulerPool() override;
+
+  SchedulerPool(const SchedulerPool &) = delete;
+  SchedulerPool &operator=(const SchedulerPool &) = delete;
+
+  /// Runs Body(0..NumWorkers-1) on the pool's threads (thread i runs
+  /// worker i) and returns when all are done. NumWorkers must be in
+  /// [1, size()]. Thread-safe; concurrent callers serialize.
+  void dispatch(int NumWorkers,
+                const std::function<void(int)> &Body) override;
+
+  int capacity() const override { return size(); }
+
+  int size() const { return static_cast<int>(Threads.size()); }
+
+  /// Jobs dispatched so far (epochs completed).
+  std::uint64_t jobsRun() const;
+
+  /// The pool threads' ids, index-aligned with worker ids. Stable for
+  /// the pool's whole lifetime — the reuse tests assert exactly this.
+  std::vector<std::thread::id> threadIds() const;
+
+private:
+  void threadMain(int Id);
+
+  std::vector<std::thread> Threads;
+
+  mutable std::mutex Lock;
+  std::condition_variable WakeWorkers; ///< New epoch or shutdown.
+  std::condition_variable JobDone;     ///< Last worker of an epoch.
+  // Job slot, guarded by Lock. Epoch increments publish a new job; each
+  // thread tracks the last epoch it ran so a wakeup is never consumed
+  // twice.
+  std::uint64_t Epoch = 0;
+  std::uint64_t Completed = 0; ///< Epochs fully finished.
+  int ActiveWorkers = 0;       ///< Workers the current epoch uses.
+  int Remaining = 0;           ///< Workers still running this epoch.
+  const std::function<void(int)> *Body = nullptr;
+  bool ShuttingDown = false;
+
+  std::mutex DispatchLock; ///< Serializes whole dispatch() calls.
+};
+
+} // namespace atc
+
+#endif // ATC_CORE_SCHEDULERPOOL_H

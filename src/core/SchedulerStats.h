@@ -72,6 +72,12 @@ struct alignas(ATC_CACHE_LINE_SIZE) SchedulerStats {
   /// Accumulates \p Other into this.
   SchedulerStats &operator+=(const SchedulerStats &Other);
 
+  /// Returns every field to its zero state — the explicit epoch boundary
+  /// for consumers that aggregate across back-to-back runs (the server
+  /// resets its roll-up between reporting windows; per-run isolation
+  /// itself needs nothing, WorkerRuntime rebuilds worker stats each run).
+  void reset() { *this = SchedulerStats(); }
+
   /// Renders a compact human-readable summary.
   std::string summary() const;
 

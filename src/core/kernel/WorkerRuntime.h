@@ -56,6 +56,7 @@
 #define ATC_CORE_KERNEL_WORKERRUNTIME_H
 
 #include "core/Backoff.h"
+#include "core/Executor.h"
 #include "core/Scheduler.h"
 #include "core/SchedulerStats.h"
 #include "core/kernel/KernelWorker.h"
@@ -144,7 +145,13 @@ public:
       // Single worker: run inline (no thread spawn) — this is the
       // configuration the paper's Table 2 overhead measurements use.
       workerMain(0);
+    } else if (Cfg.Executor != nullptr) {
+      // Externally owned execution strategy (a persistent SchedulerPool
+      // in the server): the same worker loops, somebody else's threads.
+      Cfg.Executor->dispatch(Cfg.NumWorkers,
+                             [this](int I) { workerMain(I); });
     } else {
+      // Per-run threads: the historical one-shot behaviour.
       std::vector<std::thread> Threads;
       Threads.reserve(static_cast<std::size_t>(Cfg.NumWorkers));
       for (int I = 0; I < Cfg.NumWorkers; ++I)

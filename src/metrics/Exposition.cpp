@@ -155,6 +155,10 @@ std::string atc::renderPrometheus(const MetricsSnapshot &Snap,
   appendf(Out, "# TYPE atc_workers gauge\natc_workers %d\n", NumWorkers);
   appendf(Out, "# TYPE atc_snapshot_time_ns gauge\natc_snapshot_time_ns %llu\n",
           static_cast<unsigned long long>(Snap.TimeNs));
+  appendf(Out, "# HELP atc_epoch Run epoch: registry reset count — ticks "
+               "once per job on a server registry\n");
+  appendf(Out, "# TYPE atc_epoch gauge\natc_epoch %llu\n",
+          static_cast<unsigned long long>(Snap.Epoch));
 
   // Every SchedulerStats field, per worker, straight from the mirror.
   for (unsigned I = 0; I != NumStatFields; ++I) {

@@ -65,6 +65,10 @@ struct WorkerSample {
 /// A timestamped point-in-time view of every worker.
 struct MetricsSnapshot {
   std::uint64_t TimeNs = 0;
+  /// Which run epoch the snapshot belongs to (see MetricsRegistry::
+  /// epoch()); lets a long-lived consumer tell "counter went backwards"
+  /// (a new run re-armed the cells) from "counter is still climbing".
+  std::uint64_t Epoch = 0;
   std::vector<WorkerSample> Workers;
 
   /// Sums (counters) / maxes (gauges) field \p F across workers — the
@@ -96,9 +100,15 @@ public:
   MetricsRegistry() = default;
   explicit MetricsRegistry(int NumWorkers) { reset(NumWorkers); }
 
-  /// (Re)sizes to \p NumWorkers cells and zeroes them. Not safe against a
-  /// concurrent sampler when the size changes (cells are reallocated);
-  /// pre-size the registry before starting one.
+  /// (Re)sizes to \p NumWorkers cells and zeroes them, opening a new
+  /// epoch. Not safe against a concurrent sampler when the size changes
+  /// (cells are reallocated); pre-size the registry before starting one.
+  ///
+  /// This is the per-run reset boundary the runtime calls at the top of
+  /// every run(): cells always start a run from zero, so back-to-back
+  /// runs against one registry (a server's SchedulerPool) aggregate
+  /// exactly — no stats carry over from job to job. The epoch counter
+  /// makes each reset observable to long-lived consumers.
   void reset(int NumWorkers) {
     assert(NumWorkers >= 1 && "metrics registry needs at least one worker");
     auto N = static_cast<std::size_t>(NumWorkers);
@@ -111,8 +121,18 @@ public:
       for (auto &C : Cells)
         C->reset();
     }
-    std::lock_guard<std::mutex> Lock(HistoryMutex);
-    History.clear();
+    EpochCounter.fetch_add(1, std::memory_order_relaxed);
+    if (ClearHistoryOnReset) {
+      std::lock_guard<std::mutex> Lock(HistoryMutex);
+      History.clear();
+    }
+  }
+
+  /// Number of reset() calls so far — the run-epoch id. A one-shot CLI
+  /// sees epoch 1 for its whole life; a server registry ticks once per
+  /// job. Exposed as atc_epoch in the Prometheus rendering.
+  std::uint64_t epoch() const {
+    return EpochCounter.load(std::memory_order_relaxed);
   }
 
   int numWorkers() const { return static_cast<int>(Cells.size()); }
@@ -131,6 +151,7 @@ public:
   MetricsSnapshot sample(std::uint64_t TimeNs = 0) const {
     MetricsSnapshot Snap;
     Snap.TimeNs = TimeNs != 0 ? TimeNs : nowNanos();
+    Snap.Epoch = epoch();
     Snap.Workers.resize(Cells.size());
     for (std::size_t I = 0; I != Cells.size(); ++I) {
       const WorkerMetricsCell &C = *Cells[I];
@@ -184,8 +205,15 @@ public:
   /// grows without limit).
   std::size_t HistoryCap = 600;
 
+  /// Whether reset() drops the recorded snapshot history. True (the
+  /// default) matches the one-run-per-registry CLIs; a server flips it
+  /// off so its sampler's time series spans job boundaries (snapshots
+  /// stay distinguishable via their Epoch stamp).
+  bool ClearHistoryOnReset = true;
+
 private:
   std::vector<std::unique_ptr<WorkerMetricsCell>> Cells;
+  std::atomic<std::uint64_t> EpochCounter{0};
   mutable std::mutex HistoryMutex;
   std::deque<MetricsSnapshot> History;
 };

@@ -7,52 +7,11 @@
 #include "metrics/Sampler.h"
 
 #include "metrics/Exposition.h"
+#include "support/LoopbackHttp.h"
 
-#include <cstring>
-
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace atc;
-
-namespace {
-
-/// Binds a loopback listen socket on \p Port (0 = ephemeral). Returns
-/// the fd or -1; \p BoundPort receives the actual port.
-int bindLoopback(int Port, int &BoundPort) {
-  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (Fd < 0)
-    return -1;
-  int One = 1;
-  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
-  sockaddr_in Addr{};
-  Addr.sin_family = AF_INET;
-  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
-  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
-      ::listen(Fd, 8) != 0) {
-    ::close(Fd);
-    return -1;
-  }
-  socklen_t Len = sizeof(Addr);
-  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
-    BoundPort = ntohs(Addr.sin_port);
-  return Fd;
-}
-
-void writeAll(int Fd, const char *Data, std::size_t Len) {
-  while (Len > 0) {
-    ssize_t N = ::write(Fd, Data, Len);
-    if (N <= 0)
-      return;
-    Data += N;
-    Len -= static_cast<std::size_t>(N);
-  }
-}
-
-} // namespace
 
 bool MetricsSampler::start(MetricsRegistry &Registry, SamplerOptions O) {
   if (running())
@@ -62,7 +21,7 @@ bool MetricsSampler::start(MetricsRegistry &Registry, SamplerOptions O) {
   if (Opts.PeriodMs < 1)
     Opts.PeriodMs = 1;
   if (Opts.HttpPort >= 0) {
-    ListenFd = bindLoopback(Opts.HttpPort, Port);
+    ListenFd = bindLoopbackListener(Opts.HttpPort, Port);
     if (ListenFd < 0)
       return false;
   }
@@ -83,7 +42,7 @@ void MetricsSampler::stop() {
     Thread.join();
   tick(); // Final sample: the exact post-join state.
   if (ListenFd >= 0) {
-    ::close(ListenFd);
+    closeFd(ListenFd);
     ListenFd = -1;
     Port = -1;
   }
@@ -102,27 +61,17 @@ void MetricsSampler::tick() {
 }
 
 void MetricsSampler::serveOnce(int TimeoutMs) {
-  pollfd Pfd{ListenFd, POLLIN, 0};
-  if (::poll(&Pfd, 1, TimeoutMs) <= 0 || !(Pfd.revents & POLLIN))
-    return;
-  int Client = ::accept(ListenFd, nullptr, nullptr);
+  int Client = acceptOne(ListenFd, TimeoutMs);
   if (Client < 0)
     return;
-  // Read (and ignore) whatever request line arrived; any GET serves the
-  // latest exposition, which is all a scraper needs.
-  char Buf[1024];
-  (void)::read(Client, Buf, sizeof(Buf));
-  std::string Body = latestText();
-  char Header[160];
-  int HeaderLen = std::snprintf(
-      Header, sizeof(Header),
-      "HTTP/1.0 200 OK\r\n"
-      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-      "Content-Length: %zu\r\nConnection: close\r\n\r\n",
-      Body.size());
-  writeAll(Client, Header, static_cast<std::size_t>(HeaderLen));
-  writeAll(Client, Body.data(), Body.size());
-  ::close(Client);
+  // Read (and discard) the request; any GET serves the latest
+  // exposition, which is all a scraper needs.
+  HttpRequest Req;
+  (void)readHttpRequest(Client, Req);
+  writeHttpResponse(Client, 200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    latestText());
+  closeFd(Client);
 }
 
 void MetricsSampler::loop() {

@@ -1,0 +1,158 @@
+//===- problems/ProblemRegistry.cpp - Name-keyed problem factory ----------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "problems/ProblemRegistry.h"
+
+#include "problems/FibComp.h"
+#include "problems/KnightsTour.h"
+#include "problems/NQueens.h"
+#include "problems/Pentomino.h"
+#include "problems/Strimko.h"
+#include "problems/Sudoku.h"
+
+#include <cctype>
+#include <memory>
+
+using namespace atc;
+
+namespace {
+
+/// Canonicalizes a kind name: lower-case, '_' → '-'.
+std::string canonicalKind(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name)
+    Out += C == '_'
+               ? '-'
+               : static_cast<char>(
+                     std::tolower(static_cast<unsigned char>(C)));
+  return Out;
+}
+
+/// Fills the two closures of \p R from a shared problem object and a
+/// root state: the one type-erasure point for every kind below.
+template <typename ProbT>
+void bindRunner(ProblemRunner &R, std::shared_ptr<ProbT> Prob,
+                typename ProbT::State Root) {
+  R.Run = [Prob, Root](const SchedulerConfig &Cfg) {
+    return runProblem(*Prob, Root, Cfg);
+  };
+  R.RunSequential = [Prob, Root]() {
+    auto S = Root;
+    return static_cast<long long>(runSequential(*Prob, S));
+  };
+}
+
+struct KindDef {
+  const char *Name;
+  int DefaultSize;
+  int MinSize;
+  int MaxSize;
+  void (*Build)(ProblemRunner &, int Size);
+};
+
+// Scaled defaults match bench/common/BenchCommon.cpp off paper scale, so
+// a default-size job stream exercises the same tree shapes CI already
+// times.
+const KindDef Kinds[] = {
+    {"nqueens-array", 11, 1, NQueensArray::MaxN,
+     [](ProblemRunner &R, int Size) {
+       bindRunner(R, std::make_shared<NQueensArray>(),
+                  NQueensArray::makeRoot(Size));
+     }},
+    {"nqueens-compute", 11, 1, NQueensCompute::MaxN,
+     [](ProblemRunner &R, int Size) {
+       bindRunner(R, std::make_shared<NQueensCompute>(),
+                  NQueensCompute::makeRoot(Size));
+     }},
+    {"fib", 27, 1, 45,
+     [](ProblemRunner &R, int Size) {
+       bindRunner(R, std::make_shared<FibProblem>(),
+                  FibProblem::makeRoot(Size));
+     }},
+    {"comp", 6000, 1, 60000,
+     [](ProblemRunner &R, int Size) {
+       auto Prob = std::make_shared<CompProblem>(Size);
+       auto Root = Prob->makeRoot();
+       bindRunner(R, std::move(Prob), Root);
+     }},
+    {"knights", 5, 1, KnightsTour::MaxN,
+     [](ProblemRunner &R, int Size) {
+       bindRunner(R, std::make_shared<KnightsTour>(),
+                  KnightsTour::makeRoot(Size, 0, 0));
+     }},
+    {"strimko", 5, 1, Strimko::MaxN,
+     [](ProblemRunner &R, int Size) {
+       bindRunner(R, std::make_shared<Strimko>(), Strimko::makeRoot(Size));
+     }},
+    // Sudoku instances are named, not sized: 1 = input1, 2 = input2,
+    // anything else = the balanced paper instance.
+    {"sudoku", 0, 0, 2,
+     [](ProblemRunner &R, int Size) {
+       const char *Inst =
+           Size == 1 ? "input1" : Size == 2 ? "input2" : "balance";
+       bindRunner(R, std::make_shared<Sudoku>(), Sudoku::makeInstance(Inst));
+     }},
+    // Size = piece count on a Size x 5 board (Width * Height == 5 *
+    // Pieces holds by construction; 13 is the paper's expanded setup).
+    {"pentomino", 6, 3, 13,
+     [](ProblemRunner &R, int Size) {
+       auto Prob = std::make_shared<Pentomino>(Size, 5, Size);
+       auto Root = Prob->makeRoot();
+       bindRunner(R, std::move(Prob), Root);
+     }},
+};
+
+const KindDef *findKind(const std::string &Name) {
+  std::string Canon = canonicalKind(Name);
+  for (const KindDef &K : Kinds)
+    if (Canon == K.Name)
+      return &K;
+  return nullptr;
+}
+
+} // namespace
+
+bool atc::makeProblemRunner(const std::string &Kind, int Size,
+                            ProblemRunner &Out, std::string &Error) {
+  const KindDef *K = findKind(Kind);
+  if (!K) {
+    Error = "unknown problem kind '" + Kind + "' (known:";
+    for (const std::string &Name : problemRegistryKinds())
+      Error += " " + Name;
+    Error += ")";
+    return false;
+  }
+  if (Size == 0)
+    Size = K->DefaultSize;
+  if (Size < K->MinSize || Size > K->MaxSize) {
+    Error = "size " + std::to_string(Size) + " out of range [" +
+            std::to_string(K->MinSize) + ", " + std::to_string(K->MaxSize) +
+            "] for problem kind '" + K->Name + "'";
+    return false;
+  }
+  Out = ProblemRunner();
+  Out.Kind = K->Name;
+  Out.Size = Size;
+  Out.Workload = std::string(K->Name) + "-" + std::to_string(Size);
+  K->Build(Out, Size);
+  return true;
+}
+
+const std::vector<std::string> &atc::problemRegistryKinds() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> V;
+    for (const KindDef &K : Kinds)
+      V.push_back(K.Name);
+    return V;
+  }();
+  return Names;
+}
+
+int atc::problemDefaultSize(const std::string &Kind) {
+  const KindDef *K = findKind(Kind);
+  return K ? K->DefaultSize : -1;
+}

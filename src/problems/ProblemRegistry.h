@@ -1,0 +1,73 @@
+//===- problems/ProblemRegistry.h - Name-keyed problem factory --*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A name → factory registry over every search problem in the tree, so
+/// tools that pick workloads at runtime (the job server, atc_loadgen,
+/// atc_top --demo) share one wiring instead of each hard-coding its own
+/// switch over problem types. The registry type-erases the heterogeneous
+/// problem classes behind two closures: run-under-a-config and the
+/// sequential oracle.
+///
+/// \code
+///   atc::ProblemRunner Runner;
+///   std::string Err;
+///   if (!atc::makeProblemRunner("nqueens-array", 11, Runner, Err))
+///     atc::reportFatalError(Err);
+///   auto R = Runner.Run(Cfg);              // RunResult<long long>
+///   assert(R.Value == Runner.RunSequential());
+/// \endcode
+///
+/// Size semantics are per kind (board size, fib index, array length,
+/// piece count — see kind list in ProblemRegistry.cpp); 0 selects the
+/// kind's scaled default, the same sizes the benchmark suite uses off
+/// paper scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_PROBLEMS_PROBLEMREGISTRY_H
+#define ATC_PROBLEMS_PROBLEMREGISTRY_H
+
+#include "core/Runtime.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace atc {
+
+/// A ready-to-run, type-erased problem instance. The closures share
+/// ownership of the underlying problem object, so a ProblemRunner is
+/// freely copyable and outlives the registry call that built it.
+struct ProblemRunner {
+  std::string Kind;     ///< Canonical kind name ("nqueens-array", ...).
+  int Size = 0;         ///< Effective size after defaulting.
+  std::string Workload; ///< Label for metrics/trace meta ("fib-27", ...).
+
+  /// Runs the problem under \p Cfg through the full scheduler stack.
+  std::function<RunResult<long long>(const SchedulerConfig &Cfg)> Run;
+
+  /// The sequential oracle: the value every scheduled run must equal.
+  std::function<long long()> RunSequential;
+};
+
+/// Builds a runner for \p Kind at \p Size (0 = the kind's default).
+/// Returns false and sets \p Error for an unknown kind or out-of-range
+/// size. Kind parsing is case-insensitive and "-"/"_" interchangeable,
+/// like the scheduler-kind parsers.
+bool makeProblemRunner(const std::string &Kind, int Size, ProblemRunner &Out,
+                       std::string &Error);
+
+/// Canonical kind names, in registry order.
+const std::vector<std::string> &problemRegistryKinds();
+
+/// The scaled default size for \p Kind (what Size = 0 resolves to), or
+/// -1 for an unknown kind.
+int problemDefaultSize(const std::string &Kind);
+
+} // namespace atc
+
+#endif // ATC_PROBLEMS_PROBLEMREGISTRY_H

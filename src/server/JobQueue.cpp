@@ -1,0 +1,61 @@
+//===- server/JobQueue.cpp - Bounded fair job queue -----------------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/JobQueue.h"
+
+using namespace atc;
+
+bool JobQueue::push(const std::string &Tenant, std::uint64_t Id) {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    if (Closed || Count >= MaxQueued)
+      return false;
+    Lanes[Tenant].push_back(Id);
+    ++Count;
+  }
+  NotEmpty.notify_one();
+  return true;
+}
+
+bool JobQueue::pop(std::uint64_t &Id) {
+  std::unique_lock<std::mutex> Guard(Lock);
+  NotEmpty.wait(Guard, [&] { return Count > 0 || Closed; });
+  if (Count == 0)
+    return false;
+
+  // Round-robin: serve the first non-empty lane strictly after the
+  // cursor, wrapping; empty lanes are erased so the scan is over live
+  // tenants only.
+  auto It = Lanes.upper_bound(Cursor);
+  if (It == Lanes.end())
+    It = Lanes.begin();
+  // All remaining lanes are non-empty by invariant (erased when drained).
+  Id = It->second.front();
+  It->second.pop_front();
+  --Count;
+  Cursor = It->first;
+  if (It->second.empty())
+    Lanes.erase(It);
+  return true;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Closed = true;
+  }
+  NotEmpty.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Count;
+}
+
+std::size_t JobQueue::activeTenants() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Lanes.size();
+}

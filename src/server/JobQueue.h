@@ -1,0 +1,76 @@
+//===- server/JobQueue.h - Bounded fair job queue ---------------*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The job server's front-end queue: bounded admission plus per-tenant
+/// fair dispatch. Each tenant gets its own FIFO lane; pop() round-robins
+/// across the non-empty lanes, so one tenant flooding the server cannot
+/// starve another — a tenant submitting 1000 jobs and a tenant
+/// submitting 10 interleave 1:1 until the small lane drains. Within a
+/// lane, order is strict FIFO.
+///
+/// Admission here is only the hard capacity cap; the softer
+/// backpressure decision (deque-depth watermark) lives in the server,
+/// which can see the live metrics registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_SERVER_JOBQUEUE_H
+#define ATC_SERVER_JOBQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace atc {
+
+/// Bounded multi-tenant FIFO of job ids; see the file comment. The queue
+/// holds ids, not records — record storage and state transitions belong
+/// to the server's results table.
+class JobQueue {
+public:
+  /// \p MaxQueued is the hard admission cap across all tenants.
+  explicit JobQueue(std::size_t MaxQueued) : MaxQueued(MaxQueued) {}
+
+  /// Enqueues \p Id on \p Tenant's lane. Returns false (and drops
+  /// nothing) when the queue is at capacity or already closed.
+  bool push(const std::string &Tenant, std::uint64_t Id);
+
+  /// Blocks until a job is available or the queue is closed. Returns
+  /// false on close-and-drained; otherwise fills \p Id with the next job
+  /// in round-robin tenant order.
+  bool pop(std::uint64_t &Id);
+
+  /// Wakes all poppers; pop() keeps draining queued jobs, then starts
+  /// returning false. push() refuses new work immediately.
+  void close();
+
+  /// Jobs currently queued (all tenants).
+  std::size_t size() const;
+
+  /// Tenants with a non-empty lane right now.
+  std::size_t activeTenants() const;
+
+private:
+  const std::size_t MaxQueued;
+
+  mutable std::mutex Lock;
+  std::condition_variable NotEmpty;
+  /// Tenant lanes. std::map keeps tenant iteration order stable so the
+  /// round-robin cursor (the tenant name last served) is well-defined.
+  std::map<std::string, std::deque<std::uint64_t>> Lanes;
+  std::string Cursor; ///< Tenant served last; pop starts after it.
+  std::size_t Count = 0;
+  bool Closed = false;
+};
+
+} // namespace atc
+
+#endif // ATC_SERVER_JOBQUEUE_H

@@ -1,0 +1,198 @@
+//===- server/Server.h - The scheduler-as-a-service job server --*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JobServer ties the service layer together: a persistent SchedulerPool
+/// (core/SchedulerPool.h) executes jobs back-to-back on the same OS
+/// threads, a JobQueue admits and fair-orders them, a long-lived
+/// MetricsRegistry (history kept across jobs, epoch ticking once per
+/// job) feeds the /metrics exposition, and an optional loopback HTTP
+/// front end serves the wire API:
+///
+///   POST /job          submit a JobSpec (server/Job.h); 200 = accepted
+///                      {"id": N}, 429 = shed, 400 = malformed
+///   GET  /result/<id>  fetch a record; ?wait=<ms> long-polls until the
+///                      job reaches a terminal state
+///   GET  /healthz      liveness: {"ok": true, ...}
+///   GET  /metrics      Prometheus exposition: worker registry + job
+///                      counters + job latency histograms
+///   GET  /stats        JSON totals incl. p50/p99 job latency
+///   POST /shutdown     request a graceful stop (drain, then exit)
+///
+/// Admission control is two-layered: the queue's hard capacity cap
+/// (shed reason "queue-full"), and a deque-depth watermark — when the
+/// queue is already past its soft watermark AND the live per-worker
+/// deque depth (read from the metrics registry, no extra plumbing)
+/// exceeds DequeDepthWatermark, new jobs are shed as "backpressure"
+/// before they ever queue. Shed jobs still get a record, so no
+/// submission is ever silently lost.
+///
+/// Everything HTTP does goes through the in-process API (submit /
+/// waitResult / totals), which tests and embedders call directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_SERVER_SERVER_H
+#define ATC_SERVER_SERVER_H
+
+#include "core/SchedulerPool.h"
+#include "metrics/Metrics.h"
+#include "metrics/MetricsRegistry.h"
+#include "server/Job.h"
+#include "server/JobQueue.h"
+#include "support/LoopbackHttp.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace atc {
+
+/// Server sizing and policy knobs.
+struct JobServerOptions {
+  int PoolThreads = 4; ///< Width of the persistent worker pool.
+
+  /// HTTP port: -1 = in-process API only, 0 = pick an ephemeral port
+  /// (read it back with httpPort()), else bind exactly this port.
+  int HttpPort = -1;
+
+  /// HTTP serving threads. More than one because GET /result?wait=ms
+  /// long-polls hold a connection open; a single serving thread would
+  /// serialize every waiting client behind the slowest job.
+  int HttpThreads = 8;
+
+  std::size_t MaxQueuedJobs = 256; ///< Hard admission cap ("queue-full").
+
+  /// Soft queue watermark: at or past this depth the deque-depth check
+  /// below starts applying.
+  std::size_t QueueSoftWatermark = 64;
+
+  /// Live deque-depth watermark for backpressure shedding; 0 disables
+  /// the check. See the file comment.
+  std::int64_t DequeDepthWatermark = 0;
+
+  /// Terminal job records retained before FIFO eviction.
+  std::size_t ResultCap = 8192;
+};
+
+/// The job server; see the file comment.
+class JobServer {
+public:
+  explicit JobServer(JobServerOptions Opts);
+
+  /// Stops (drains) if still running.
+  ~JobServer();
+
+  JobServer(const JobServer &) = delete;
+  JobServer &operator=(const JobServer &) = delete;
+
+  /// Starts the dispatcher (and the HTTP listener when configured).
+  /// Returns false if the HTTP port cannot be bound.
+  bool start();
+
+  /// Graceful drain: stops admitting, runs every already-queued job to
+  /// completion, then joins the dispatcher and HTTP threads. Idempotent.
+  void stop();
+
+  /// The bound HTTP port, or -1 when HTTP is off / not started.
+  int httpPort() const { return Port; }
+
+  /// True once a client POSTed /shutdown (the serving tool's exit cue).
+  bool shutdownRequested() const {
+    return ShutdownFlag.load(std::memory_order_acquire);
+  }
+
+  /// Outcome of submit(): accepted with an id, or shed with a reason
+  /// ("queue-full" / "backpressure"). Shed submissions also get an id
+  /// and a terminal record.
+  struct SubmitResult {
+    bool Accepted = false;
+    std::uint64_t Id = 0;
+    std::string Reason;
+  };
+
+  /// In-process submission (what POST /job calls).
+  SubmitResult submit(const JobSpec &Spec);
+
+  /// Copies out job \p Id's record as it is right now. False = unknown
+  /// id (never assigned or evicted).
+  bool getResult(std::uint64_t Id, JobRecord &Out) const;
+
+  /// Blocks until job \p Id reaches a terminal state, up to
+  /// \p TimeoutMs. Returns false on unknown id or timeout.
+  bool waitResult(std::uint64_t Id, JobRecord &Out, int TimeoutMs);
+
+  /// Monotonic service totals.
+  struct Totals {
+    std::uint64_t Submitted = 0; ///< All submissions, shed included.
+    std::uint64_t Completed = 0;
+    std::uint64_t Failed = 0;
+    std::uint64_t Shed = 0;
+    std::uint64_t Expired = 0;
+    std::size_t Queued = 0;  ///< Currently waiting.
+    std::size_t Running = 0; ///< 0 or 1 (one pool, one team).
+  };
+  Totals totals() const;
+
+  /// Latency quantile over completed jobs, in nanoseconds (Q in [0,1]).
+  double latencyQuantileNs(double Q) const;
+
+  /// The full Prometheus exposition (what GET /metrics serves).
+  std::string metricsText() const;
+
+  /// The JSON totals document (what GET /stats serves).
+  std::string statsJson() const;
+
+  SchedulerPool &pool() { return Pool; }
+  MetricsRegistry &registry() { return Registry; }
+
+private:
+  void dispatcherMain();
+  void httpMain();
+  void runJob(std::uint64_t Id);
+  void finishJob(std::uint64_t Id, const JobRecord &Terminal);
+  std::string handleRequest(const HttpRequest &Req, int &Status,
+                            std::string &ContentType);
+
+  JobServerOptions Opts;
+  SchedulerPool Pool;
+  MetricsRegistry Registry;
+  JobQueue Queue;
+
+  std::thread Dispatcher;
+  std::vector<std::thread> HttpWorkers;
+  mutable std::mutex MetaLock; ///< Guards Registry.Meta (dispatcher writes
+                               ///  per job, /metrics reads).
+  int ListenFd = -1;
+  int Port = -1;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<bool> ShutdownFlag{false};
+  bool Started = false;
+
+  mutable std::mutex ResultsLock;
+  std::condition_variable ResultChanged;
+  std::uint64_t NextId = 1;
+  std::map<std::uint64_t, JobRecord> Results;
+  std::deque<std::uint64_t> EvictFifo; ///< Terminal ids, oldest first.
+  std::size_t RunningCount = 0;
+
+  mutable std::mutex JobStatsLock;
+  std::uint64_t Submitted = 0, Completed = 0, Failed = 0, Shed = 0,
+                Expired = 0;
+  HistogramCounts JobLatencyNs; ///< Submit → done, completed jobs only.
+  HistogramCounts JobQueueNs;   ///< Submit → dispatch.
+  HistogramCounts JobRunNs;     ///< Dispatch → done.
+};
+
+} // namespace atc
+
+#endif // ATC_SERVER_SERVER_H

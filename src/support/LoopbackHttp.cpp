@@ -1,0 +1,224 @@
+//===- support/LoopbackHttp.cpp - Minimal loopback HTTP plumbing ----------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LoopbackHttp.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace atc;
+
+namespace {
+
+constexpr std::size_t MaxBodyBytes = 1 << 20;
+
+void writeAll(int Fd, const char *Data, std::size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N <= 0)
+      return;
+    Data += N;
+    Len -= static_cast<std::size_t>(N);
+  }
+}
+
+const char *reasonPhrase(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 202:
+    return "Accepted";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 429:
+    return "Too Many Requests";
+  case 503:
+    return "Service Unavailable";
+  default:
+    return "Response";
+  }
+}
+
+/// Reads from \p Fd into \p Buf until \p Pred says the accumulated text
+/// is complete, the peer closes, or the cap is hit.
+template <typename PredT> bool readUntil(int Fd, std::string &Buf, PredT Pred) {
+  char Chunk[4096];
+  while (!Pred(Buf)) {
+    if (Buf.size() > MaxBodyBytes + 8192)
+      return false;
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0)
+      return Pred(Buf);
+    Buf.append(Chunk, static_cast<std::size_t>(N));
+  }
+  return true;
+}
+
+/// Parses "Content-Length: N" out of a header block (case-insensitive
+/// key, per RFC). Returns 0 when absent.
+std::size_t contentLength(const std::string &Headers) {
+  std::size_t Pos = 0;
+  while (Pos < Headers.size()) {
+    std::size_t End = Headers.find("\r\n", Pos);
+    if (End == std::string::npos)
+      End = Headers.size();
+    std::string Line = Headers.substr(Pos, End - Pos);
+    Pos = End + 2;
+    std::size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    std::string Key = Line.substr(0, Colon);
+    for (char &C : Key)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    if (Key != "content-length")
+      continue;
+    return static_cast<std::size_t>(
+        std::strtoull(Line.c_str() + Colon + 1, nullptr, 10));
+  }
+  return 0;
+}
+
+/// Splits raw request/response text at the header/body boundary and
+/// reads the rest of the body if Content-Length says more is coming.
+bool finishMessage(int Fd, std::string &Raw, std::string &HeadText,
+                   std::string &Body) {
+  if (!readUntil(Fd, Raw, [](const std::string &B) {
+        return B.find("\r\n\r\n") != std::string::npos;
+      }))
+    return false;
+  std::size_t HeaderEnd = Raw.find("\r\n\r\n");
+  if (HeaderEnd == std::string::npos)
+    return false;
+  HeadText = Raw.substr(0, HeaderEnd);
+  std::size_t Len = contentLength(HeadText);
+  if (Len > MaxBodyBytes)
+    return false;
+  std::size_t BodyStart = HeaderEnd + 4;
+  if (!readUntil(Fd, Raw, [&](const std::string &B) {
+        return B.size() >= BodyStart + Len;
+      }))
+    return false;
+  Body = Raw.substr(BodyStart, Len);
+  return true;
+}
+
+} // namespace
+
+int atc::bindLoopbackListener(int Port, int &BoundPort) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 64) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  return Fd;
+}
+
+int atc::acceptOne(int ListenFd, int TimeoutMs) {
+  pollfd Pfd{ListenFd, POLLIN, 0};
+  if (::poll(&Pfd, 1, TimeoutMs) <= 0 || !(Pfd.revents & POLLIN))
+    return -1;
+  return ::accept(ListenFd, nullptr, nullptr);
+}
+
+bool atc::readHttpRequest(int Fd, HttpRequest &Out) {
+  std::string Raw, Head;
+  if (!finishMessage(Fd, Raw, Head, Out.Body))
+    return false;
+  // Request line: METHOD SP target SP version.
+  std::size_t LineEnd = Head.find("\r\n");
+  std::string Line =
+      LineEnd == std::string::npos ? Head : Head.substr(0, LineEnd);
+  std::size_t Sp1 = Line.find(' ');
+  if (Sp1 == std::string::npos)
+    return false;
+  std::size_t Sp2 = Line.find(' ', Sp1 + 1);
+  Out.Method = Line.substr(0, Sp1);
+  Out.Path = Sp2 == std::string::npos ? Line.substr(Sp1 + 1)
+                                      : Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  return !Out.Method.empty() && !Out.Path.empty();
+}
+
+void atc::writeHttpResponse(int Fd, int Status, const std::string &ContentType,
+                            const std::string &Body) {
+  char Header[256];
+  int HeaderLen = std::snprintf(Header, sizeof(Header),
+                                "HTTP/1.0 %d %s\r\n"
+                                "Content-Type: %s\r\n"
+                                "Content-Length: %zu\r\n"
+                                "Connection: close\r\n\r\n",
+                                Status, reasonPhrase(Status),
+                                ContentType.c_str(), Body.size());
+  writeAll(Fd, Header, static_cast<std::size_t>(HeaderLen));
+  writeAll(Fd, Body.data(), Body.size());
+}
+
+void atc::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool atc::httpRequest(int Port, const std::string &Method,
+                      const std::string &Path, const std::string &Body,
+                      int &Status, std::string &ResponseBody) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return false;
+  }
+  char Header[256];
+  int HeaderLen = std::snprintf(Header, sizeof(Header),
+                                "%s %s HTTP/1.0\r\n"
+                                "Content-Length: %zu\r\n"
+                                "Connection: close\r\n\r\n",
+                                Method.c_str(), Path.c_str(), Body.size());
+  writeAll(Fd, Header, static_cast<std::size_t>(HeaderLen));
+  if (!Body.empty())
+    writeAll(Fd, Body.data(), Body.size());
+
+  std::string Raw, Head;
+  bool Ok = finishMessage(Fd, Raw, Head, ResponseBody);
+  ::close(Fd);
+  if (!Ok)
+    return false;
+  // Status line: HTTP/x.y SP code SP phrase.
+  std::size_t Sp = Head.find(' ');
+  if (Sp == std::string::npos)
+    return false;
+  Status = std::atoi(Head.c_str() + Sp + 1);
+  return Status != 0;
+}

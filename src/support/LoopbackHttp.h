@@ -1,0 +1,69 @@
+//===- support/LoopbackHttp.h - Minimal loopback HTTP plumbing --*- C++ -*-===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiny HTTP/1.0 plumbing shared by every loopback endpoint in the
+/// tree: the metrics sampler's /metrics scrape port (metrics/Sampler.h),
+/// the job server's API (server/Server.h), and the client sides in
+/// atc_loadgen and atc_top. Deliberately minimal — loopback only, one
+/// request per connection, Connection: close — because every consumer is
+/// a local tool talking to a local process; this is not a general web
+/// server.
+///
+/// Server side: bindLoopbackListener() + acceptOne() + readHttpRequest()
+/// + writeHttpResponse(). Client side: httpRequest() does one whole
+/// round trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATC_SUPPORT_LOOPBACKHTTP_H
+#define ATC_SUPPORT_LOOPBACKHTTP_H
+
+#include <string>
+
+namespace atc {
+
+/// One parsed (or to-be-sent) HTTP request: just the triplet every
+/// endpoint in the tree cares about.
+struct HttpRequest {
+  std::string Method; ///< "GET", "POST", ...
+  std::string Path;   ///< Request target, e.g. "/job" or "/result/7".
+  std::string Body;   ///< Raw body (Content-Length bytes).
+};
+
+/// Binds a loopback (127.0.0.1) listen socket on \p Port (0 = pick an
+/// ephemeral port). Returns the listening fd, or -1 on failure;
+/// \p BoundPort receives the actual port.
+int bindLoopbackListener(int Port, int &BoundPort);
+
+/// Waits up to \p TimeoutMs for a connection on \p ListenFd and accepts
+/// it. Returns the client fd, or -1 on timeout/error.
+int acceptOne(int ListenFd, int TimeoutMs);
+
+/// Reads one HTTP request from \p Fd: request line, headers (only
+/// Content-Length is interpreted), then the body. Returns false on a
+/// malformed request or closed connection. Bodies are capped at 1 MiB.
+bool readHttpRequest(int Fd, HttpRequest &Out);
+
+/// Writes a complete HTTP/1.0 response (status line, Content-Type,
+/// Content-Length, Connection: close, body) to \p Fd. \p Status is the
+/// numeric code (200, 404, 429, ...); the reason phrase is derived.
+void writeHttpResponse(int Fd, int Status, const std::string &ContentType,
+                       const std::string &Body);
+
+/// Closes \p Fd (thin wrapper so headers above stay socket-API-free).
+void closeFd(int Fd);
+
+/// Client side: one whole round trip against 127.0.0.1:\p Port. Sends
+/// \p Method \p Path with \p Body (empty = no body), fills \p Status and
+/// \p ResponseBody from the reply. Returns false on connect/IO failure.
+bool httpRequest(int Port, const std::string &Method, const std::string &Path,
+                 const std::string &Body, int &Status,
+                 std::string &ResponseBody);
+
+} // namespace atc
+
+#endif // ATC_SUPPORT_LOOPBACKHTTP_H

@@ -1,0 +1,391 @@
+//===- tests/ServerTest.cpp - scheduler-as-a-service layer tests ----------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service layer above the pool: JobQueue fairness and capacity, the
+/// JobSpec JSON round trip (canonical spellings, validation errors), the
+/// in-process JobServer lifecycle (submit / wait / totals, admission
+/// shedding, deadline expiry), and an HTTP smoke test over the loopback
+/// wire API.
+///
+//===----------------------------------------------------------------------===//
+
+#include "problems/ProblemRegistry.h"
+#include "server/Server.h"
+#include "support/LoopbackHttp.h"
+#include "trace/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace atc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JobQueue
+//===----------------------------------------------------------------------===//
+
+TEST(JobQueue, CapacityIsAHardCap) {
+  JobQueue Q(2);
+  EXPECT_TRUE(Q.push("a", 1));
+  EXPECT_TRUE(Q.push("a", 2));
+  EXPECT_FALSE(Q.push("a", 3)) << "push past capacity must refuse";
+  EXPECT_EQ(Q.size(), 2u);
+  std::uint64_t Id = 0;
+  ASSERT_TRUE(Q.pop(Id));
+  EXPECT_EQ(Id, 1u);
+  EXPECT_TRUE(Q.push("a", 3)) << "pop frees capacity";
+}
+
+TEST(JobQueue, RoundRobinAcrossTenantsFifoWithin) {
+  JobQueue Q(16);
+  // Tenant a floods, tenant b trickles: dispatch interleaves 1:1 until
+  // b's lane drains, and each lane stays FIFO.
+  for (std::uint64_t I = 1; I <= 4; ++I)
+    ASSERT_TRUE(Q.push("a", I));
+  ASSERT_TRUE(Q.push("b", 10));
+  ASSERT_TRUE(Q.push("b", 11));
+  EXPECT_EQ(Q.activeTenants(), 2u);
+  std::vector<std::uint64_t> Order;
+  std::uint64_t Id = 0;
+  for (int I = 0; I != 6; ++I) {
+    ASSERT_TRUE(Q.pop(Id));
+    Order.push_back(Id);
+  }
+  EXPECT_EQ(Order, (std::vector<std::uint64_t>{1, 10, 2, 11, 3, 4}));
+  EXPECT_EQ(Q.size(), 0u);
+  EXPECT_EQ(Q.activeTenants(), 0u);
+}
+
+TEST(JobQueue, CloseDrainsThenRefuses) {
+  JobQueue Q(8);
+  ASSERT_TRUE(Q.push("a", 1));
+  Q.close();
+  EXPECT_FALSE(Q.push("a", 2)) << "push after close must refuse";
+  std::uint64_t Id = 0;
+  EXPECT_TRUE(Q.pop(Id)) << "pop drains queued work after close";
+  EXPECT_EQ(Id, 1u);
+  EXPECT_FALSE(Q.pop(Id)) << "then reports closed";
+}
+
+TEST(JobQueue, PopBlocksUntilPush) {
+  JobQueue Q(8);
+  std::uint64_t Got = 0;
+  std::thread Popper([&] {
+    std::uint64_t Id = 0;
+    if (Q.pop(Id))
+      Got = Id;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(Q.push("a", 42));
+  Popper.join();
+  EXPECT_EQ(Got, 42u);
+}
+
+//===----------------------------------------------------------------------===//
+// JobSpec JSON round trip
+//===----------------------------------------------------------------------===//
+
+TEST(JobSpecJson, MinimalSpecGetsDefaults) {
+  JobSpec S;
+  std::string Err;
+  ASSERT_TRUE(parseJobSpec(R"({"problem": "fib"})", S, Err)) << Err;
+  EXPECT_EQ(S.Problem, "fib");
+  EXPECT_EQ(S.Size, problemDefaultSize("fib")) << "0 resolves the default";
+  EXPECT_EQ(S.Tenant, "default");
+  EXPECT_EQ(S.Kind, SchedulerKind::AdaptiveTC);
+  EXPECT_EQ(S.Workers, 0);
+  EXPECT_EQ(S.DeadlineMs, 0);
+}
+
+TEST(JobSpecJson, FullSpecRoundTrips) {
+  const std::string Text =
+      R"({"problem": "nqueens-array", "size": 9, "tenant": "alice",)"
+      R"( "scheduler": "cilk-synched", "workers": 2, "deque": "chaselev",)"
+      R"( "steal": "half", "victim": "random", "cutoff": 5,)"
+      R"( "deadline_ms": 2000})";
+  JobSpec S;
+  std::string Err;
+  ASSERT_TRUE(parseJobSpec(Text, S, Err)) << Err;
+  EXPECT_EQ(S.Problem, "nqueens-array");
+  EXPECT_EQ(S.Size, 9);
+  EXPECT_EQ(S.Tenant, "alice");
+  EXPECT_EQ(S.Kind, SchedulerKind::CilkSynched);
+  EXPECT_EQ(S.Workers, 2);
+  EXPECT_EQ(S.Deque, DequeKind::ChaseLev);
+  EXPECT_EQ(S.Steal, StealPolicy::Half);
+  EXPECT_EQ(S.Victim, VictimPolicy::Random);
+  EXPECT_EQ(S.Cutoff, 5);
+  EXPECT_EQ(S.DeadlineMs, 2000);
+
+  // Render and re-parse: the wire form is its own fixed point.
+  JobSpec S2;
+  ASSERT_TRUE(parseJobSpec(jobSpecJson(S), S2, Err)) << Err;
+  EXPECT_EQ(S2.Problem, S.Problem);
+  EXPECT_EQ(S2.Size, S.Size);
+  EXPECT_EQ(S2.Tenant, S.Tenant);
+  EXPECT_EQ(S2.Kind, S.Kind);
+  EXPECT_EQ(S2.Workers, S.Workers);
+  EXPECT_EQ(S2.Deque, S.Deque);
+  EXPECT_EQ(S2.Steal, S.Steal);
+  EXPECT_EQ(S2.Victim, S.Victim);
+  EXPECT_EQ(S2.Cutoff, S.Cutoff);
+  EXPECT_EQ(S2.DeadlineMs, S.DeadlineMs);
+}
+
+TEST(JobSpecJson, KindSpellingsCanonicalize) {
+  // Like the scheduler-kind parsers: case-insensitive, "-"/"_"
+  // interchangeable; the parsed spec carries the canonical spelling.
+  JobSpec S;
+  std::string Err;
+  ASSERT_TRUE(parseJobSpec(
+      R"({"problem": "NQueens_Array", "scheduler": "Cilk-SYNCHED"})", S, Err))
+      << Err;
+  EXPECT_EQ(S.Problem, "nqueens-array");
+  EXPECT_EQ(S.Kind, SchedulerKind::CilkSynched);
+}
+
+TEST(JobSpecJson, RejectsBadSpecs) {
+  JobSpec S;
+  std::string Err;
+  EXPECT_FALSE(parseJobSpec("{}", S, Err)) << "missing problem";
+  EXPECT_FALSE(parseJobSpec(R"({"problem": "no-such-kind"})", S, Err));
+  EXPECT_FALSE(parseJobSpec(R"({"problem": "fib", "size": 99})", S, Err))
+      << "size out of the kind's range";
+  EXPECT_FALSE(parseJobSpec(R"({"problem": "fib", "size": 1.5})", S, Err))
+      << "non-integer size";
+  EXPECT_FALSE(
+      parseJobSpec(R"({"problem": "fib", "scheduler": "magic"})", S, Err));
+  EXPECT_FALSE(parseJobSpec("not json at all", S, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// JobServer, in-process API
+//===----------------------------------------------------------------------===//
+
+JobServerOptions inProcessOptions() {
+  JobServerOptions O;
+  O.PoolThreads = 2;
+  O.HttpPort = -1; // In-process only.
+  return O;
+}
+
+TEST(JobServer, SubmitRunWaitMatchesOracle) {
+  JobServer Server(inProcessOptions());
+  ASSERT_TRUE(Server.start());
+
+  ProblemRunner Oracle;
+  std::string Err;
+  ASSERT_TRUE(makeProblemRunner("nqueens-array", 9, Oracle, Err)) << Err;
+  const long long Expected = Oracle.RunSequential();
+
+  std::vector<std::uint64_t> Ids;
+  for (int I = 0; I != 8; ++I) {
+    JobSpec Spec;
+    Spec.Problem = "nqueens-array";
+    Spec.Size = 9;
+    Spec.Tenant = I % 2 ? "alice" : "bob";
+    JobServer::SubmitResult R = Server.submit(Spec);
+    ASSERT_TRUE(R.Accepted) << R.Reason;
+    Ids.push_back(R.Id);
+  }
+  for (std::uint64_t Id : Ids) {
+    JobRecord Rec;
+    ASSERT_TRUE(Server.waitResult(Id, Rec, 30000)) << "id " << Id;
+    EXPECT_EQ(Rec.State, JobState::Done) << Rec.Error;
+    EXPECT_EQ(Rec.Value, Expected);
+    EXPECT_GT(Rec.latencyNs(), 0u);
+    EXPECT_GT(Rec.Stats.TasksCreated + Rec.Stats.FakeTasks, 0u);
+  }
+  JobServer::Totals T = Server.totals();
+  EXPECT_EQ(T.Submitted, 8u);
+  EXPECT_EQ(T.Completed, 8u);
+  EXPECT_EQ(T.Shed, 0u);
+  EXPECT_EQ(T.Failed, 0u);
+  EXPECT_GT(Server.latencyQuantileNs(0.5), 0.0);
+  Server.stop();
+}
+
+TEST(JobServer, QueueFullShedsWithRecord) {
+  JobServerOptions O = inProcessOptions();
+  O.MaxQueuedJobs = 2;
+  // Never started: nothing drains the queue, so admission is exact.
+  JobServer Server(O);
+  JobSpec Spec;
+  Spec.Problem = "fib";
+  Spec.Size = 10;
+  EXPECT_TRUE(Server.submit(Spec).Accepted);
+  EXPECT_TRUE(Server.submit(Spec).Accepted);
+  JobServer::SubmitResult Third = Server.submit(Spec);
+  EXPECT_FALSE(Third.Accepted);
+  EXPECT_EQ(Third.Reason, "queue-full");
+  // Shed submissions are never silently lost: the id resolves to a
+  // terminal record carrying the reason.
+  JobRecord Rec;
+  ASSERT_TRUE(Server.getResult(Third.Id, Rec));
+  EXPECT_EQ(Rec.State, JobState::Shed);
+  EXPECT_EQ(Rec.Error, "queue-full");
+  JobServer::Totals T = Server.totals();
+  EXPECT_EQ(T.Submitted, 3u);
+  EXPECT_EQ(T.Shed, 1u);
+  EXPECT_EQ(T.Queued, 2u);
+}
+
+TEST(JobServer, BackpressureShedsPastBothWatermarks) {
+  JobServerOptions O = inProcessOptions();
+  O.QueueSoftWatermark = 1;
+  O.DequeDepthWatermark = 4;
+  JobServer Server(O); // Not started: queue depth stays where we put it.
+  JobSpec Spec;
+  Spec.Problem = "fib";
+  Spec.Size = 10;
+  // Below the soft watermark the depth check never applies.
+  EXPECT_TRUE(Server.submit(Spec).Accepted);
+  // Past the soft watermark but with shallow deques: still admitted.
+  EXPECT_TRUE(Server.submit(Spec).Accepted);
+  // Deep live deques + queue past the watermark: shed as backpressure.
+  Server.registry().cell(0).dequeDepthGauge().store(
+      5, std::memory_order_relaxed);
+  JobServer::SubmitResult R = Server.submit(Spec);
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.Reason, "backpressure");
+  // Depth back under the watermark: admission recovers.
+  Server.registry().cell(0).dequeDepthGauge().store(
+      0, std::memory_order_relaxed);
+  EXPECT_TRUE(Server.submit(Spec).Accepted);
+}
+
+TEST(JobServer, DeadlineExpiresWhileQueued) {
+  JobServer Server(inProcessOptions());
+  JobSpec Spec;
+  Spec.Problem = "nqueens-array";
+  Spec.Size = 8;
+  Spec.DeadlineMs = 1;
+  // Submit before the dispatcher exists, let the deadline lapse, then
+  // start: the dispatcher must expire it instead of running it.
+  JobServer::SubmitResult R = Server.submit(Spec);
+  ASSERT_TRUE(R.Accepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(Server.start());
+  JobRecord Rec;
+  ASSERT_TRUE(Server.waitResult(R.Id, Rec, 10000));
+  EXPECT_EQ(Rec.State, JobState::Expired);
+  EXPECT_EQ(Server.totals().Expired, 1u);
+  Server.stop();
+}
+
+TEST(JobServer, BadSpecFailsAtDispatchNotSilently) {
+  JobServer Server(inProcessOptions());
+  ASSERT_TRUE(Server.start());
+  // parseJobSpec would catch this on the wire; the in-process API takes
+  // the spec verbatim, so the dispatcher's own validation must fire.
+  JobSpec Spec;
+  Spec.Problem = "no-such-problem";
+  JobServer::SubmitResult R = Server.submit(Spec);
+  ASSERT_TRUE(R.Accepted);
+  JobRecord Rec;
+  ASSERT_TRUE(Server.waitResult(R.Id, Rec, 10000));
+  EXPECT_EQ(Rec.State, JobState::Failed);
+  EXPECT_FALSE(Rec.Error.empty());
+  EXPECT_EQ(Server.totals().Failed, 1u);
+  Server.stop();
+}
+
+TEST(JobServer, StopDrainsQueuedJobs) {
+  JobServer Server(inProcessOptions());
+  ASSERT_TRUE(Server.start());
+  std::vector<std::uint64_t> Ids;
+  for (int I = 0; I != 4; ++I) {
+    JobSpec Spec;
+    Spec.Problem = "fib";
+    Spec.Size = 15;
+    JobServer::SubmitResult R = Server.submit(Spec);
+    ASSERT_TRUE(R.Accepted);
+    Ids.push_back(R.Id);
+  }
+  Server.stop(); // Graceful: every queued job still runs.
+  for (std::uint64_t Id : Ids) {
+    JobRecord Rec;
+    ASSERT_TRUE(Server.getResult(Id, Rec));
+    EXPECT_EQ(Rec.State, JobState::Done) << "id " << Id;
+  }
+  EXPECT_EQ(Server.totals().Completed, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// HTTP smoke
+//===----------------------------------------------------------------------===//
+
+TEST(JobServerHttp, WireApiSmoke) {
+  JobServerOptions O;
+  O.PoolThreads = 2;
+  O.HttpPort = 0; // Ephemeral.
+  O.HttpThreads = 2;
+  JobServer Server(O);
+  ASSERT_TRUE(Server.start());
+  const int Port = Server.httpPort();
+  ASSERT_GT(Port, 0);
+
+  int Status = 0;
+  std::string Body;
+
+  ASSERT_TRUE(httpRequest(Port, "GET", "/healthz", "", Status, Body));
+  EXPECT_EQ(Status, 200);
+  EXPECT_NE(Body.find("\"ok\""), std::string::npos);
+
+  ASSERT_TRUE(httpRequest(Port, "POST", "/job",
+                          R"({"problem": "nqueens-array", "size": 8})",
+                          Status, Body));
+  ASSERT_EQ(Status, 200) << Body;
+  json::Value Resp;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Body, Resp, Err)) << Body;
+  const auto Id = static_cast<std::uint64_t>(Resp["id"].numberOr(0));
+  ASSERT_GT(Id, 0u);
+
+  ASSERT_TRUE(httpRequest(Port, "GET",
+                          "/result/" + std::to_string(Id) + "?wait=20000", "",
+                          Status, Body));
+  ASSERT_EQ(Status, 200) << Body;
+  json::Value Rec;
+  ASSERT_TRUE(json::parse(Body, Rec, Err)) << Body;
+  EXPECT_EQ(Rec["state"].stringOr(""), "done") << Body;
+  ProblemRunner Oracle;
+  ASSERT_TRUE(makeProblemRunner("nqueens-array", 8, Oracle, Err)) << Err;
+  EXPECT_EQ(static_cast<long long>(Rec["value"].numberOr(-1)),
+            Oracle.RunSequential());
+
+  ASSERT_TRUE(httpRequest(Port, "GET", "/result/999999", "", Status, Body));
+  EXPECT_EQ(Status, 404);
+
+  ASSERT_TRUE(httpRequest(Port, "POST", "/job", "{broken", Status, Body));
+  EXPECT_EQ(Status, 400);
+
+  ASSERT_TRUE(httpRequest(Port, "GET", "/metrics", "", Status, Body));
+  EXPECT_EQ(Status, 200);
+  EXPECT_NE(Body.find("atc_jobs_submitted_total"), std::string::npos);
+  EXPECT_NE(Body.find("atc_job_latency_ns_bucket"), std::string::npos);
+  EXPECT_NE(Body.find("atc_epoch"), std::string::npos);
+
+  ASSERT_TRUE(httpRequest(Port, "GET", "/stats", "", Status, Body));
+  EXPECT_EQ(Status, 200);
+  json::Value Stats;
+  ASSERT_TRUE(json::parse(Body, Stats, Err)) << Body;
+  EXPECT_EQ(static_cast<int>(Stats["completed"].numberOr(-1)), 1);
+
+  EXPECT_FALSE(Server.shutdownRequested());
+  ASSERT_TRUE(httpRequest(Port, "POST", "/shutdown", "", Status, Body));
+  EXPECT_EQ(Status, 200);
+  EXPECT_TRUE(Server.shutdownRequested());
+  Server.stop();
+}
+
+} // namespace

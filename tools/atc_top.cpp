@@ -10,7 +10,7 @@
 /// deque depth, need_task flag, steal/spawn rates, histogram medians,
 /// and a mode-residency sparkline, refreshed every --period-ms.
 ///
-/// Two data sources:
+/// Three data sources:
 ///
 ///  * File tailing (the usual pairing with --metrics-file): point it at
 ///    the Prometheus snapshot any metrics-aware CLI rewrites periodically.
@@ -18,19 +18,27 @@
 ///      ./build/examples/nqueens --workers 4 --metrics-file m.prom &
 ///      ./build/tools/atc_top m.prom
 ///
-///  * --demo: runs n-queens in-process in a loop with an armed registry
-///    and polls the worker cells directly — a self-contained way to watch
-///    the five-version FSM breathe without any file plumbing.
+///  * HTTP scraping: point it at a /metrics endpoint — a MetricsSampler
+///    --metrics-port, or atc_server, whose exposition additionally
+///    carries the job-layer series rendered as a jobs strip
+///    (queued/running/completed/shed plus p50/p99 job latency).
 ///
-///      ./build/tools/atc_top --demo --workers 4 --n 13
+///      ./build/tools/atc_top http://127.0.0.1:9900/metrics
+///
+///  * --demo: runs a registry problem in-process in a loop with an armed
+///    registry and polls the worker cells directly — a self-contained
+///    way to watch the five-version FSM breathe without any plumbing.
+///
+///      ./build/tools/atc_top --demo --workers 4 --problem fib --n 32
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Runtime.h"
 #include "metrics/Exposition.h"
 #include "metrics/MetricsRegistry.h"
-#include "problems/NQueens.h"
+#include "problems/ProblemRegistry.h"
 #include "support/Error.h"
+#include "support/LoopbackHttp.h"
 #include "support/Options.h"
 #include "support/Timer.h"
 
@@ -117,12 +125,22 @@ std::string sparkline(const WorkerSample &W, int Width) {
   return Bar;
 }
 
+/// Job-layer series scraped from an atc_server /metrics exposition;
+/// absent (Present == false) for plain per-run snapshots.
+struct JobsStrip {
+  bool Present = false;
+  std::uint64_t Submitted = 0, Completed = 0, Shed = 0, Expired = 0;
+  std::uint64_t Queued = 0, Running = 0;
+  HistogramCounts LatencyNs;
+};
+
 /// Renders one dashboard frame. \p Prev (may be null) supplies the
 /// previous snapshot for per-second rates; with no usable time delta the
-/// rate columns show cumulative totals instead.
+/// rate columns show cumulative totals instead. \p Jobs (may be null)
+/// adds the server jobs strip.
 std::string renderFrame(const MetricsSnapshot &Cur,
-                        const MetricsSnapshot *Prev,
-                        const MetricsMeta &Meta) {
+                        const MetricsSnapshot *Prev, const MetricsMeta &Meta,
+                        const JobsStrip *Jobs = nullptr) {
   double Dt = 0;
   if (Prev && Cur.TimeNs > Prev->TimeNs)
     Dt = static_cast<double>(Cur.TimeNs - Prev->TimeNs) * 1e-9;
@@ -143,6 +161,17 @@ std::string renderFrame(const MetricsSnapshot &Cur,
           static_cast<unsigned long long>(Cur.total(StatField::StealFails)),
           static_cast<unsigned long long>(
               Cur.total(StatField::DequeHighWater)));
+  if (Jobs && Jobs->Present)
+    appendf(Out,
+            "jobs:   queued=%llu running=%llu done=%llu shed=%llu "
+            "expired=%llu  latency p50=%s p99=%s\n",
+            static_cast<unsigned long long>(Jobs->Queued),
+            static_cast<unsigned long long>(Jobs->Running),
+            static_cast<unsigned long long>(Jobs->Completed),
+            static_cast<unsigned long long>(Jobs->Shed),
+            static_cast<unsigned long long>(Jobs->Expired),
+            fmtNs(Jobs->LatencyNs.quantile(0.50)).c_str(),
+            fmtNs(Jobs->LatencyNs.quantile(0.99)).c_str());
   appendf(Out, "%3s %-9s %4s %2s %10s %10s %10s %10s  %s\n", "w", "mode",
           "dq", "nt", "steals/s", "spawns/s", "steal p50", "spawn p50",
           "residency (f=fast c=check 2=fast_2 q=seq s=slow y=sync "
@@ -174,19 +203,12 @@ std::string renderFrame(const MetricsSnapshot &Cur,
   return Out;
 }
 
-/// Rebuilds a MetricsSnapshot (and meta) from a Prometheus snapshot file
-/// written by renderPrometheus — the file-tailing source. Tolerates the
-/// transient empty read that can race the writer's rename.
-bool frameFromPromFile(const std::string &Path, MetricsSnapshot &Snap,
-                       MetricsMeta &Meta, std::string &Err) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In) {
-    Err = "cannot open file";
-    return false;
-  }
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  std::vector<PromSample> Samples = parsePrometheus(SS.str());
+/// Rebuilds a MetricsSnapshot (plus meta and, when the exposition came
+/// from atc_server, the jobs strip) from Prometheus exposition text — the
+/// shared back half of the file-tailing and HTTP-scraping sources.
+bool frameFromPromText(const std::string &Text, MetricsSnapshot &Snap,
+                       MetricsMeta &Meta, JobsStrip &Jobs, std::string &Err) {
+  std::vector<PromSample> Samples = parsePrometheus(Text);
 
   int NumWorkers = 0;
   for (const PromSample &S : Samples)
@@ -242,7 +264,50 @@ bool frameFromPromFile(const std::string &Path, MetricsSnapshot &Snap,
   for (HistDef &H : Hists)
     H.PrevCum.assign(static_cast<std::size_t>(NumWorkers), 0);
 
+  // Job-latency buckets are unlabelled (one series per server, not per
+  // worker), so their cumulative-to-bucket state is a single scalar.
+  std::uint64_t JobLatPrevCum = 0;
+
   for (const PromSample &S : Samples) {
+    if (S.Name.compare(0, 9, "atc_jobs_") == 0) {
+      Jobs.Present = true;
+      if (S.Name == "atc_jobs_submitted_total")
+        Jobs.Submitted = S.asU64();
+      else if (S.Name == "atc_jobs_completed_total")
+        Jobs.Completed = S.asU64();
+      else if (S.Name == "atc_jobs_shed_total")
+        Jobs.Shed = S.asU64();
+      else if (S.Name == "atc_jobs_expired_total")
+        Jobs.Expired = S.asU64();
+      else if (S.Name == "atc_jobs_queued")
+        Jobs.Queued = S.asU64();
+      else if (S.Name == "atc_jobs_running")
+        Jobs.Running = S.asU64();
+      continue;
+    }
+    if (S.Name.compare(0, 18, "atc_job_latency_ns") == 0) {
+      Jobs.Present = true;
+      std::string Suffix = S.Name.substr(18);
+      if (Suffix == "_sum") {
+        Jobs.LatencyNs.Sum = S.asU64();
+      } else if (Suffix == "_count") {
+        Jobs.LatencyNs.Count = S.asU64();
+      } else if (Suffix == "_bucket") {
+        auto It = S.Labels.find("le");
+        if (It == S.Labels.end() || It->second == "+Inf")
+          continue;
+        std::uint64_t Ub = std::strtoull(It->second.c_str(), nullptr, 10);
+        for (unsigned B = 0; B != NumLog2Buckets; ++B)
+          if (log2BucketUpperBound(B) == Ub) {
+            std::uint64_t Cum = S.asU64();
+            Jobs.LatencyNs.Buckets[B] =
+                Cum >= JobLatPrevCum ? Cum - JobLatPrevCum : 0;
+            JobLatPrevCum = Cum;
+            break;
+          }
+      }
+      continue;
+    }
     if (S.Name == "atc_run_info") {
       auto Get = [&](const char *K) {
         auto It = S.Labels.find(K);
@@ -322,25 +387,82 @@ bool frameFromPromFile(const std::string &Path, MetricsSnapshot &Snap,
   return true;
 }
 
+/// The file-tailing source: reads the Prometheus snapshot any
+/// metrics-aware CLI rewrites periodically. Tolerates the transient
+/// empty read that can race the writer's rename.
+bool frameFromPromFile(const std::string &Path, MetricsSnapshot &Snap,
+                       MetricsMeta &Meta, JobsStrip &Jobs, std::string &Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Err = "cannot open file";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return frameFromPromText(SS.str(), Snap, Meta, Jobs, Err);
+}
+
+/// The HTTP-scraping source: one GET per frame against a loopback
+/// /metrics endpoint (MetricsSampler or atc_server).
+bool frameFromHttp(int Port, const std::string &Path, MetricsSnapshot &Snap,
+                   MetricsMeta &Meta, JobsStrip &Jobs, std::string &Err) {
+  int Status = 0;
+  std::string Body;
+  if (!httpRequest(Port, "GET", Path, "", Status, Body)) {
+    Err = "cannot reach 127.0.0.1:" + std::to_string(Port);
+    return false;
+  }
+  if (Status != 200) {
+    Err = "HTTP " + std::to_string(Status) + " from " + Path;
+    return false;
+  }
+  return frameFromPromText(Body, Snap, Meta, Jobs, Err);
+}
+
+/// Accepts "http://127.0.0.1:PORT[/path]" (or localhost); anything else
+/// is treated as a file path by the caller. The path defaults to
+/// /metrics when absent.
+bool parseHttpSource(const std::string &Url, int &Port, std::string &Path) {
+  if (Url.compare(0, 7, "http://") != 0)
+    return false;
+  std::string Rest = Url.substr(7);
+  std::size_t Slash = Rest.find('/');
+  std::string HostPort = Rest.substr(0, Slash);
+  Path = Slash == std::string::npos ? "/metrics" : Rest.substr(Slash);
+  std::size_t Colon = HostPort.rfind(':');
+  std::string Host =
+      Colon == std::string::npos ? HostPort : HostPort.substr(0, Colon);
+  if (Host != "127.0.0.1" && Host != "localhost")
+    return false;
+  Port = Colon == std::string::npos
+             ? 80
+             : std::atoi(HostPort.c_str() + Colon + 1);
+  return Port > 0 && Port < 65536;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   bool Demo = false;
   long long Workers = 4;
-  long long BoardSize = 13;
+  long long ProblemSize = 0;
+  std::string Problem = "nqueens-array";
   std::string Scheduler = "adaptivetc";
   long long PeriodMs = 500;
   long long Frames = 0;
   bool Once = false;
   bool NoClear = false;
   OptionSet Opts("Live per-worker scheduler metrics dashboard: tail a "
-                 "--metrics-file Prometheus snapshot, or --demo to watch "
-                 "an in-process n-queens run");
+                 "--metrics-file Prometheus snapshot, scrape an http:// "
+                 "metrics endpoint, or --demo to watch an in-process run");
   Opts.addFlag("demo", &Demo,
-               "run n-queens in-process in a loop and poll its registry "
-               "directly (no file needed)");
+               "run a registry problem in-process in a loop and poll its "
+               "registry directly (no file needed)");
   Opts.addInt("workers", &Workers, "worker threads for --demo (default 4)");
-  Opts.addInt("n", &BoardSize, "board size for --demo (default 13)");
+  Opts.addString("problem", &Problem,
+                 "registry problem for --demo (default nqueens-array)");
+  Opts.addInt("n", &ProblemSize,
+              "problem size for --demo (default 0: the kind's default)");
   Opts.addString("sched", &Scheduler,
                  "scheduler for --demo (default adaptivetc)");
   Opts.addInt("period-ms", &PeriodMs, "refresh period (default 500)");
@@ -357,7 +479,20 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "usage: atc_top <metrics.prom>   (file written by "
                  "--metrics-file)\n"
-                 "       atc_top --demo [--workers N] [--n N]\n");
+                 "       atc_top http://127.0.0.1:<port>/metrics\n"
+                 "       atc_top --demo [--workers N] [--problem K] "
+                 "[--n N]\n");
+    return 2;
+  }
+  int HttpPort = 0;
+  std::string HttpPath;
+  bool Http = !Demo && parseHttpSource(Opts.positionalArgs()[0], HttpPort,
+                                       HttpPath);
+  if (!Demo && !Http &&
+      Opts.positionalArgs()[0].compare(0, 7, "http://") == 0) {
+    std::fprintf(stderr,
+                 "atc_top: only loopback URLs are supported "
+                 "(http://127.0.0.1:<port>[/path])\n");
     return 2;
   }
 #if !ATC_METRICS_ENABLED
@@ -383,14 +518,16 @@ int main(int argc, char **argv) {
     Cfg.NumWorkers = static_cast<int>(Workers);
     Cfg.Metrics = true;
     Cfg.MetricsSink = &Reg;
+    ProblemRunner Prob;
+    std::string Err;
+    if (!makeProblemRunner(Problem, static_cast<int>(ProblemSize), Prob, Err))
+      reportFatalError(Err);
     Reg.reset(Cfg.NumWorkers);
-    Reg.Meta.Workload = std::to_string(BoardSize) + "-queens (looping)";
-    Runner = std::thread([Cfg, BoardSize, &StopRunner] {
-      NQueensArray Prob;
-      auto Root = NQueensArray::makeRoot(static_cast<int>(BoardSize));
+    Reg.Meta.Workload = Prob.Workload + " (looping)";
+    Runner = std::thread([Cfg, Prob, &StopRunner] {
       while (!StopRunner.load(std::memory_order_relaxed) &&
              !Interrupted.load(std::memory_order_relaxed))
-        runProblem(Prob, Root, Cfg);
+        Prob.Run(Cfg);
     });
   }
 
@@ -401,6 +538,7 @@ int main(int argc, char **argv) {
   while (!Interrupted.load(std::memory_order_relaxed)) {
     MetricsSnapshot Cur;
     MetricsMeta Meta;
+    JobsStrip Jobs;
     bool Ok;
     if (Demo) {
       // Each loop iteration re-arms the registry (run metadata included),
@@ -410,7 +548,9 @@ int main(int argc, char **argv) {
       Ok = true;
     } else {
       std::string Err;
-      Ok = frameFromPromFile(Opts.positionalArgs()[0], Cur, Meta, Err);
+      Ok = Http ? frameFromHttp(HttpPort, HttpPath, Cur, Meta, Jobs, Err)
+                : frameFromPromFile(Opts.positionalArgs()[0], Cur, Meta,
+                                    Jobs, Err);
       if (!Ok) {
         if (++ConsecutiveErrors > 20) {
           std::fprintf(stderr, "atc_top: %s: %s\n",
@@ -421,7 +561,8 @@ int main(int argc, char **argv) {
     }
     if (Ok) {
       ConsecutiveErrors = 0;
-      std::string Frame = renderFrame(Cur, HavePrev ? &Prev : nullptr, Meta);
+      std::string Frame = renderFrame(Cur, HavePrev ? &Prev : nullptr, Meta,
+                                      Jobs.Present ? &Jobs : nullptr);
       if (Clear)
         std::fputs("\x1b[H\x1b[2J", stdout);
       std::fputs(Frame.c_str(), stdout);

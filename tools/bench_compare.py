@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Compare fresh micro_spawn / micro_deque runs against the committed
-baselines (BENCH_spawn.json / BENCH_deque.json) with noise tolerance.
+"""Compare fresh micro_spawn / micro_deque / atc_loadgen runs against the
+committed baselines (BENCH_spawn.json / BENCH_deque.json /
+BENCH_server.json) with noise tolerance.
 
 The committed baselines were recorded on one specific machine; a fresh
 run on different hardware is uniformly faster or slower. To compare
@@ -18,6 +19,9 @@ Usage (from the repo root, after a Release build):
 
     # or compare pre-recorded --benchmark_format=json outputs:
     python3 tools/bench_compare.py --spawn-json fresh_spawn.json
+
+    # or compare an atc_loadgen --json report against the server baseline:
+    python3 tools/bench_compare.py --server-json fresh_load.json
 
 Exit status: 0 when every compared benchmark is within tolerance,
 1 on regression, 2 on usage/run errors.
@@ -136,6 +140,47 @@ def deque_pairs(fresh, baseline):
     return pairs, missing, skipped
 
 
+def server_pairs(fresh, baseline):
+    """Pairs for an atc_loadgen --json report vs BENCH_server.json: the
+    JobLatency/JobQueue quantile families (time) and JobThroughput
+    (jobs/s, higher is better)."""
+    runs = baseline.get("runs", {})
+    base_runs = runs.get("current") or runs.get("after", {})
+    pairs, missing = [], []
+    families = (
+        ("JobLatency", fresh.get("latency_ns", {}), ("p50", "p90", "p99")),
+        ("JobQueue", fresh.get("queue_ns", {}), ("p50", "p99")),
+    )
+    for family, quantiles, keys in families:
+        for q in keys:
+            name = "{}/{}".format(family, q)
+            base_ns = base_runs.get(name, {}).get("real_time_ns")
+            fresh_ns = quantiles.get(q)
+            if base_ns is None or fresh_ns is None:
+                missing.append(name)
+            else:
+                pairs.append((name, float(fresh_ns), float(base_ns), "time"))
+    base_tp = base_runs.get("JobThroughput", {}).get("jobs_per_second")
+    fresh_tp = fresh.get("throughput_jobs_s")
+    if base_tp is None or fresh_tp is None:
+        missing.append("JobThroughput")
+    else:
+        pairs.append(
+            ("JobThroughput", float(fresh_tp), float(base_tp), "throughput")
+        )
+    return pairs, missing
+
+
+def server_health(fresh):
+    """Hard correctness gates on a loadgen report, independent of any
+    timing tolerance: nothing lost, nothing failed, no wrong answers."""
+    bad = []
+    for key in ("lost", "failed", "value_mismatches", "submit_errors"):
+        if fresh.get(key, 0):
+            bad.append("{}={}".format(key, fresh[key]))
+    return bad
+
+
 def compare(pairs, tolerance):
     """Returns (rows, regressions). ratio > 1 always means 'fresh is
     slower than baseline'; normalization divides out the pack's median."""
@@ -193,10 +238,18 @@ def main():
         "--deque-json", help="pre-recorded micro_deque --benchmark_format=json output"
     )
     ap.add_argument(
+        "--server-json", help="atc_loadgen --json report to compare"
+    )
+    ap.add_argument(
         "--spawn-baseline", default="BENCH_spawn.json", help="committed spawn baseline"
     )
     ap.add_argument(
         "--deque-baseline", default="BENCH_deque.json", help="committed deque baseline"
+    )
+    ap.add_argument(
+        "--server-baseline",
+        default="BENCH_server.json",
+        help="committed server-layer baseline",
     )
     ap.add_argument(
         "--tolerance",
@@ -244,9 +297,24 @@ def main():
         failed += regressions
         any_compared = any_compared or bool(pairs)
 
+    if args.server_json:
+        with open(args.server_json) as f:
+            fresh = json.load(f)
+        with open(args.server_baseline) as f:
+            baseline = json.load(f)
+        health = server_health(fresh)
+        if health:
+            print("FAILED: loadgen report is unhealthy: " + ", ".join(health))
+            return 1
+        pairs, missing = server_pairs(fresh, baseline)
+        rows, regressions, speed = compare(pairs, args.tolerance)
+        report("atc_loadgen vs " + args.server_baseline, rows, speed, missing, [])
+        failed += regressions
+        any_compared = any_compared or bool(pairs)
+
     if not any_compared:
         sys.exit("error: nothing compared; pass --spawn-bench/--deque-bench "
-                 "(or --spawn-json/--deque-json)")
+                 "(or --spawn-json/--deque-json/--server-json)")
     if failed:
         print("FAILED: {} benchmark(s) regressed: {}".format(
             len(failed), ", ".join(failed)))
