@@ -18,6 +18,13 @@ SchedulerPool::SchedulerPool(int NumThreads) {
 }
 
 SchedulerPool::~SchedulerPool() {
+  // Serialize behind any in-flight dispatch() (which holds DispatchLock
+  // until its whole epoch completes): otherwise a worker that has not
+  // yet consumed a pending epoch would see ShuttingDown first and exit
+  // without running its body, leaving the dispatcher blocked on JobDone
+  // forever. This is what makes the "outstanding dispatch() calls
+  // complete first" contract in the header true.
+  std::lock_guard<std::mutex> Serial(DispatchLock);
   {
     std::lock_guard<std::mutex> Guard(Lock);
     ShuttingDown = true;

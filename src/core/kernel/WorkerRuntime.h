@@ -121,16 +121,22 @@ public:
     Reg.reset();
 #if ATC_METRICS_ENABLED
     if (Cfg.Metrics || Cfg.MetricsSink != nullptr) {
-      if (Cfg.MetricsSink != nullptr)
-        // Non-owning alias: the CLI owns the sink (and any sampler
-        // watching it); RunResult still carries a handle to it.
+      if (Cfg.MetricsSink != nullptr) {
+        // Non-owning alias: the owner (a CLI session or a job server)
+        // keeps the sink alive and may be reading it concurrently from
+        // a sampler or /metrics thread, so re-arm cells in place (no
+        // reallocation — rearm() never shrinks) and leave Meta alone:
+        // Meta is unsynchronized strings, and the owner already labels
+        // its own registry. RunResult still carries a handle to it.
         Reg = std::shared_ptr<MetricsRegistry>(Cfg.MetricsSink,
                                                [](MetricsRegistry *) {});
-      else
+        Reg->rearm(Cfg.NumWorkers);
+      } else {
         Reg = std::make_shared<MetricsRegistry>();
-      Reg->reset(Cfg.NumWorkers);
-      Reg->Meta.Scheduler = schedulerKindName(Cfg.Kind);
-      Reg->Meta.Source = "runtime";
+        Reg->reset(Cfg.NumWorkers);
+        Reg->Meta.Scheduler = schedulerKindName(Cfg.Kind);
+        Reg->Meta.Source = "runtime";
+      }
       std::uint64_t ArmNs = nowNanos();
       for (int I = 0; I < Cfg.NumWorkers; ++I) {
         WorkerMetricsCell &Cell = Reg->cell(I);

@@ -97,7 +97,10 @@ public:
                          "flags will produce empty snapshots\n");
 #endif
     Reg.reset(Cfg.NumWorkers);
+    // Meta belongs to the registry's owner: the runtime never touches an
+    // external sink's Meta (a sampler may be reading it concurrently).
     Reg.Meta.Scheduler = schedulerKindName(Cfg.Kind);
+    Reg.Meta.Source = "runtime";
     Reg.Meta.Workload = Workload;
     Cfg.Metrics = true;
     Cfg.MetricsSink = &Reg;

@@ -102,13 +102,15 @@ public:
 
   /// (Re)sizes to \p NumWorkers cells and zeroes them, opening a new
   /// epoch. Not safe against a concurrent sampler when the size changes
-  /// (cells are reallocated); pre-size the registry before starting one.
+  /// (cells are reallocated); pre-size the registry before starting one,
+  /// and prefer rearm() below once a reader may be live.
   ///
-  /// This is the per-run reset boundary the runtime calls at the top of
-  /// every run(): cells always start a run from zero, so back-to-back
-  /// runs against one registry (a server's SchedulerPool) aggregate
-  /// exactly — no stats carry over from job to job. The epoch counter
-  /// makes each reset observable to long-lived consumers.
+  /// This is the per-run reset boundary (the runtime calls it — or
+  /// rearm() for an external sink — at the top of every run()): cells
+  /// always start a run from zero, so back-to-back runs against one
+  /// registry (a server's SchedulerPool) aggregate exactly — no stats
+  /// carry over from job to job. The epoch counter makes each reset
+  /// observable to long-lived consumers.
   void reset(int NumWorkers) {
     assert(NumWorkers >= 1 && "metrics registry needs at least one worker");
     auto N = static_cast<std::size_t>(NumWorkers);
@@ -121,6 +123,27 @@ public:
       for (auto &C : Cells)
         C->reset();
     }
+    EpochCounter.fetch_add(1, std::memory_order_relaxed);
+    if (ClearHistoryOnReset) {
+      std::lock_guard<std::mutex> Lock(HistoryMutex);
+      History.clear();
+    }
+  }
+
+  /// Per-run re-arm for an externally owned registry that may have a
+  /// concurrent reader (a server's /metrics threads, a CLI sampler):
+  /// zeroes every cell IN PLACE — never shrinks, so cell storage stays
+  /// stable and sample()/cell() on another thread can never touch freed
+  /// memory. Grows (reallocating, exactly like reset()) only when \p
+  /// NumWorkers exceeds the current size, so owners with live readers
+  /// must pre-size to their widest run before starting one. Opens a new
+  /// epoch and applies ClearHistoryOnReset like reset().
+  void rearm(int NumWorkers) {
+    assert(NumWorkers >= 1 && "metrics registry needs at least one worker");
+    if (static_cast<std::size_t>(NumWorkers) > Cells.size())
+      return reset(NumWorkers);
+    for (auto &C : Cells)
+      C->reset();
     EpochCounter.fetch_add(1, std::memory_order_relaxed);
     if (ClearHistoryOnReset) {
       std::lock_guard<std::mutex> Lock(HistoryMutex);

@@ -48,7 +48,9 @@ bool intField(const json::Value &Obj, const char *Key, long long &Out,
   return true;
 }
 
-std::string escapeJson(const std::string &S) {
+} // namespace
+
+std::string atc::escapeJson(const std::string &S) {
   std::string Out;
   Out.reserve(S.size());
   for (char C : S) {
@@ -71,8 +73,6 @@ std::string escapeJson(const std::string &S) {
   }
   return Out;
 }
-
-} // namespace
 
 bool atc::parseJobSpec(const std::string &JsonText, JobSpec &Out,
                        std::string &Error) {

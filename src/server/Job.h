@@ -90,6 +90,11 @@ struct JobRecord {
   }
 };
 
+/// Escapes \p S for embedding inside a JSON string literal (backslash,
+/// quote, newline, tab). Shared by the record renderers below and by
+/// the server's error responses, which echo client-controlled text.
+std::string escapeJson(const std::string &S);
+
 /// Parses a JSON job body into \p Out. Validates the problem kind /
 /// size against the registry and every enum against its parser; returns
 /// false with a message in \p Error on any violation.

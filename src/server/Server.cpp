@@ -394,7 +394,8 @@ std::string JobServer::handleRequest(const HttpRequest &Req, int &Status,
     std::string Err;
     if (!parseJobSpec(Req.Body, Spec, Err)) {
       Status = 400;
-      return "{\"error\": \"" + Err + "\"}";
+      // Err can echo client input (unknown problem/scheduler names).
+      return "{\"error\": \"" + escapeJson(Err) + "\"}";
     }
     SubmitResult R = submit(Spec);
     char Buf[160];

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -123,6 +124,12 @@ int atc::bindLoopbackListener(int Port, int &BoundPort) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
     return -1;
+  // Non-blocking listener: several serving threads may poll() the same
+  // fd, and one connection wakes them all. Only the ::accept() winner
+  // gets a client; the losers must get EAGAIN back instead of blocking
+  // inside accept() where they could never observe a stop flag.
+  // (Accepted client fds do not inherit the flag.)
+  ::fcntl(Fd, F_SETFL, ::fcntl(Fd, F_GETFL, 0) | O_NONBLOCK);
   int One = 1;
   ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
   sockaddr_in Addr{};

@@ -36,11 +36,16 @@ struct HttpRequest {
 
 /// Binds a loopback (127.0.0.1) listen socket on \p Port (0 = pick an
 /// ephemeral port). Returns the listening fd, or -1 on failure;
-/// \p BoundPort receives the actual port.
+/// \p BoundPort receives the actual port. The fd is non-blocking so
+/// several threads can poll()+accept() it without any of them wedging
+/// in accept() after losing the race for a connection; accepted client
+/// fds are blocking as usual.
 int bindLoopbackListener(int Port, int &BoundPort);
 
 /// Waits up to \p TimeoutMs for a connection on \p ListenFd and accepts
-/// it. Returns the client fd, or -1 on timeout/error.
+/// it. Returns the client fd, or -1 on timeout/error — including losing
+/// the accept race to another thread serving the same fd; callers just
+/// loop.
 int acceptOne(int ListenFd, int TimeoutMs);
 
 /// Reads one HTTP request from \p Fd: request line, headers (only

@@ -238,6 +238,23 @@ TEST(SchedulerStatsReset, EveryFieldReturnsToZero) {
         << statFieldName(static_cast<StatField>(F));
 }
 
+TEST(MetricsEpoch, RearmZeroesInPlaceAndNeverShrinks) {
+  MetricsRegistry Reg;
+  Reg.reset(4);
+  const std::uint64_t E = Reg.epoch();
+  Reg.cell(3).dequeDepthGauge().store(7, std::memory_order_relaxed);
+  // Narrower re-arm: cells are zeroed in place (concurrent-reader safe:
+  // no reallocation), the width stays, the epoch still ticks.
+  Reg.rearm(2);
+  EXPECT_EQ(Reg.numWorkers(), 4);
+  EXPECT_EQ(Reg.epoch(), E + 1);
+  EXPECT_EQ(Reg.cell(3).dequeDepth(), 0) << "stale cells must be zeroed";
+  // Wider re-arm grows exactly like reset().
+  Reg.rearm(6);
+  EXPECT_EQ(Reg.numWorkers(), 6);
+  EXPECT_EQ(Reg.epoch(), E + 2);
+}
+
 TEST(MetricsEpoch, ResetBumpsEpochAndStampsSnapshots) {
   MetricsRegistry Reg;
   EXPECT_EQ(Reg.epoch(), 0u);

@@ -263,6 +263,32 @@ TEST(JobServer, BackpressureShedsPastBothWatermarks) {
   EXPECT_TRUE(Server.submit(Spec).Accepted);
 }
 
+TEST(JobServer, NarrowJobsNeverShrinkTheSharedRegistry) {
+  // Regression: a spec with workers < pool width used to make the
+  // runtime reset (reallocate) the server's shared registry down to the
+  // job's width, a use-after-free for HTTP threads iterating the cells
+  // concurrently. The registry must stay permanently sized to the pool.
+  JobServer Server(inProcessOptions()); // PoolThreads = 2.
+  ASSERT_TRUE(Server.start());
+  ASSERT_EQ(Server.registry().numWorkers(), 2);
+  JobSpec Spec;
+  Spec.Problem = "fib";
+  Spec.Size = 15;
+  Spec.Workers = 1; // Narrower than the pool.
+  JobServer::SubmitResult R = Server.submit(Spec);
+  ASSERT_TRUE(R.Accepted) << R.Reason;
+  JobRecord Rec;
+  ASSERT_TRUE(Server.waitResult(R.Id, Rec, 30000));
+  EXPECT_EQ(Rec.State, JobState::Done) << Rec.Error;
+  EXPECT_EQ(Server.registry().numWorkers(), 2)
+      << "narrow job must re-arm cells in place, not resize";
+#if ATC_METRICS_ENABLED
+  EXPECT_EQ(Server.registry().Meta.Source, "server")
+      << "the runtime must not stomp the owner's Meta";
+#endif
+  Server.stop();
+}
+
 TEST(JobServer, DeadlineExpiresWhileQueued) {
   JobServer Server(inProcessOptions());
   JobSpec Spec;
@@ -368,6 +394,14 @@ TEST(JobServerHttp, WireApiSmoke) {
 
   ASSERT_TRUE(httpRequest(Port, "POST", "/job", "{broken", Status, Body));
   EXPECT_EQ(Status, 400);
+
+  // Parse errors echo client input; the 400 body must stay valid JSON
+  // even when that input contains a quote.
+  ASSERT_TRUE(httpRequest(Port, "POST", "/job",
+                          R"({"problem": "no\"such\"kind"})", Status, Body));
+  EXPECT_EQ(Status, 400);
+  json::Value ErrDoc;
+  EXPECT_TRUE(json::parse(Body, ErrDoc, Err)) << Body;
 
   ASSERT_TRUE(httpRequest(Port, "GET", "/metrics", "", Status, Body));
   EXPECT_EQ(Status, 200);

@@ -523,6 +523,9 @@ int main(int argc, char **argv) {
     if (!makeProblemRunner(Problem, static_cast<int>(ProblemSize), Prob, Err))
       reportFatalError(Err);
     Reg.reset(Cfg.NumWorkers);
+    // The runtime leaves an external sink's Meta to its owner.
+    Reg.Meta.Scheduler = schedulerKindName(Cfg.Kind);
+    Reg.Meta.Source = "runtime";
     Reg.Meta.Workload = Prob.Workload + " (looping)";
     Runner = std::thread([Cfg, Prob, &StopRunner] {
       while (!StopRunner.load(std::memory_order_relaxed) &&
