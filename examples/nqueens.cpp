@@ -52,7 +52,7 @@ int main(int argc, char **argv) {
                                "0 = the kind's registry default)");
   Opts.addString("problem", &Problem,
                  "workload from the problem registry (default "
-                 "nqueens-array; see SERVING.md for the kind list)");
+                 "nqueens-array; see docs/SERVING.md for the kind list)");
   Opts.addString("sched", &Scheduler,
                  "sequential, cilk, cilk-synched, tascell, cutoff, or "
                  "adaptivetc");
@@ -66,6 +66,11 @@ int main(int argc, char **argv) {
   Opts.addString("victim", &Victim,
                  "victim ordering: affinity (retry last success), random, "
                  "or partitioned (group-first)");
+  bool Tuning = false;
+  Opts.addFlag("tuning", &Tuning,
+               "arm the online tuning layer (docs/TUNING.md): per-worker "
+               "controllers adapt the cut-off, max_stolen_num and steal "
+               "backoff from live metrics");
   Opts.addString("trace", &TracePath,
                  "record a scheduler event trace to this file "
                  "(Chrome/Perfetto trace.json)");
@@ -88,10 +93,16 @@ int main(int argc, char **argv) {
   Cfg.NumWorkers = static_cast<int>(Workers);
   Cfg.Trace = !TracePath.empty();
   Cfg.TraceCap = static_cast<int>(TraceCap);
+  Cfg.Tuning = Tuning;
 #if !ATC_TRACE_ENABLED
   if (Cfg.Trace)
     std::fprintf(stderr, "nqueens: warning: built with ATC_TRACE=OFF; "
                          "--trace will produce no events\n");
+#endif
+#if !defined(ATC_TUNING_ENABLED) || !ATC_TUNING_ENABLED
+  if (Tuning)
+    std::fprintf(stderr, "nqueens: warning: built with ATC_TUNING=OFF; "
+                         "--tuning has no effect\n");
 #endif
 
   ProblemRunner Prob;

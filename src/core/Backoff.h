@@ -23,15 +23,18 @@ namespace atc {
 
 /// Truncated-exponential backoff after \p FailStreak consecutive failed
 /// steal attempts: a few plain yields, then sleeps doubling from 1us up to
-/// a 128us cap. Compared to a fixed yield/linear-sleep ladder this backs
-/// off contended deque lines faster under heavy contention while still
-/// reaching freshly published work quickly after short droughts.
-inline void stealBackoff(int FailStreak) {
+/// a (1us << MaxShift) cap — 128us at the default. Compared to a fixed
+/// yield/linear-sleep ladder this backs off contended deque lines faster
+/// under heavy contention while still reaching freshly published work
+/// quickly after short droughts. \p MaxShift is the online tuning layer's
+/// backoff knob (liveBackoffShift in core/tuning/TuningController.h);
+/// untuned callers get the historical 128us cap.
+inline void stealBackoff(int FailStreak, int MaxShift = 7) {
   if (FailStreak <= 4) {
     std::this_thread::yield();
     return;
   }
-  int Shift = std::min(FailStreak - 5, 7); // 1us << {0..7} = 1..128us
+  int Shift = std::min(FailStreak - 5, MaxShift); // 1us << {0..MaxShift}
   std::this_thread::sleep_for(std::chrono::microseconds(1 << Shift));
 }
 

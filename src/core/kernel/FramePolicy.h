@@ -210,7 +210,10 @@ public:
   /// mutex round with TheDeque) per frame.
   void stealExtra(Worker &W, Worker &Victim) {
     int Extra = static_cast<int>(Victim.Deque.size()) / 2;
-    const int Cap = (Cfg.MaxStolenNum > 1 ? Cfg.MaxStolenNum : 1) - 1;
+    // The batch bound caps how much *this thief* carries off, so a tuned
+    // thief's live knob (not the victim's) replaces the run constant.
+    const int MaxStolen = liveMaxStolen(W.Tune, Cfg.MaxStolenNum);
+    const int Cap = (MaxStolen > 1 ? MaxStolen : 1) - 1;
     if (Extra > Cap)
       Extra = Cap;
     for (int I = 0; I < Extra; ++I) {
@@ -271,6 +274,22 @@ private:
     // may already have freed) would be a use-after-free; the owner
     // observes each child steal 1:1 through the popSpecial failure and
     // does the bookkeeping on its own frame.
+  }
+
+  /// Figure 2 dispatch with the online tuning layer folded in: a tuned
+  /// worker re-reads its controller's live cut-off depth on every child
+  /// (TcPol is an int-sized wrapper, so constructing one per dispatch is
+  /// free); untuned workers take the shared Tc member untouched. The
+  /// check version's edge ignores the cut-off entirely, so checkBodyImpl
+  /// keeps calling Tc directly.
+  FsmTransition dispatchChild(const Worker &W, CodeVersion Cur, int Dp,
+                              bool NeedTask) const {
+#if ATC_TUNING_ENABLED
+    if (ATC_UNLIKELY(W.Tune != nullptr))
+      return TcPol(W.Tune->cutoff()).child(Cur, Dp, NeedTask);
+#endif
+    (void)W;
+    return Tc.child(Cur, Dp, NeedTask);
   }
 
   ExecResult<Result> taskBody(Worker &W, State &S, int Depth, Frame *Parent,
@@ -436,7 +455,7 @@ FramePolicy<P, DequeT, TcPol>::taskBody(Worker &W, State &S, int Depth,
     // Figure 2 dispatch: the task-creation policy decides how this child
     // executes (need_task is consulted only by the check version, i.e.
     // inside checkBody — never here).
-    const FsmTransition T = Tc.child(Cur, Dp, /*NeedTask=*/false);
+    const FsmTransition T = dispatchChild(W, Cur, Dp, /*NeedTask=*/false);
     if (T.SpawnTask) {
       // Spawn as a real task: give the child a private workspace copy
       // (the taskprivate copy), then expose our continuation. The copy
@@ -598,6 +617,9 @@ FramePolicy<P, DequeT, TcPol>::checkBodyImpl(Worker &W, State &S, int Depth) {
     // fake-task loop ever touching the cell.
     ATC_METRIC(W.Metrics, recordReseed(nowNanos()));
     ATC_METRIC(W.Metrics, publishStats(W.Stats));
+    // Owner-side tune opportunity: the reseed it just recorded is exactly
+    // the signal the cut-off rule feeds on, and the cell is fresh.
+    ATC_TUNE(W.Tune, maybeTune(nowNanos(), *W.Metrics));
     ATC_TRACE_EVENT(W.Trace, TraceEventKind::SpecialPush, 0,
                     static_cast<std::uint16_t>(Depth));
     ATC_TRACE_EVENT(W.Trace, TraceEventKind::FsmTransition,
@@ -710,7 +732,7 @@ void FramePolicy<P, DequeT, TcPol>::runContinuation(Worker &W, Frame *F) {
     // fast/check rule regardless of which version originally spawned it
     // (CodeVersion::Slow mirrors Fast in every policy).
     const FsmTransition T =
-        Tc.child(CodeVersion::Slow, Dp, /*NeedTask=*/false);
+        dispatchChild(W, CodeVersion::Slow, Dp, /*NeedTask=*/false);
     if (T.SpawnTask) {
       // As in taskBody: copy the child workspace (live prefix only)
       // before the push makes our continuation (and S) stealable.

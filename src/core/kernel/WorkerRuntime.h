@@ -60,6 +60,7 @@
 #include "core/Scheduler.h"
 #include "core/SchedulerStats.h"
 #include "core/kernel/KernelWorker.h"
+#include "core/tuning/TuningController.h"
 #include "metrics/MetricsRegistry.h"
 #include "support/Compiler.h"
 #include "support/Timer.h"
@@ -120,7 +121,13 @@ public:
 #endif
     Reg.reset();
 #if ATC_METRICS_ENABLED
-    if (Cfg.Metrics || Cfg.MetricsSink != nullptr) {
+    // Tuning implies metrics: the controllers' only inputs are the
+    // cells, so an armed Cfg.Tuning arms the registry too.
+    bool WantTuning = false;
+#if ATC_TUNING_ENABLED
+    WantTuning = Cfg.Tuning;
+#endif
+    if (Cfg.Metrics || Cfg.MetricsSink != nullptr || WantTuning) {
       if (Cfg.MetricsSink != nullptr) {
         // Non-owning alias: the owner (a CLI session or a job server)
         // keeps the sink alive and may be reading it concurrently from
@@ -143,6 +150,21 @@ public:
         Cell.begin(ArmNs);
         Workers[static_cast<std::size_t>(I)]->Metrics = &Cell;
       }
+#if ATC_TUNING_ENABLED
+      Tuners.clear();
+      if (WantTuning) {
+        // One controller per worker, knobs seeded from the run config;
+        // publish immediately so the atc_tune_* gauges show the armed
+        // initial values before the first rule window closes.
+        for (int I = 0; I < Cfg.NumWorkers; ++I) {
+          auto T = std::make_unique<TuningController>();
+          T->arm(Cfg.effectiveCutoff(), Cfg.MaxStolenNum);
+          T->publishTo(Reg->cell(I));
+          Workers[static_cast<std::size_t>(I)]->Tune = T.get();
+          Tuners.push_back(std::move(T));
+        }
+      }
+#endif
     }
 #endif
     Pol.beginRun(*this);
@@ -244,7 +266,7 @@ public:
         }
       }
       ++FailStreak;
-      stealBackoff(FailStreak);
+      stealBackoff(FailStreak, liveBackoffShift(W.Tune));
     }
   }
 
@@ -282,6 +304,9 @@ private:
         // flush here is the thief's bounded-frequency publication point.
         ATC_METRIC(W.Metrics, StealLatencyNs.record(Waited));
         ATC_METRIC(W.Metrics, publishStats(W.Stats));
+        // Thief-side tune opportunity: the cell was just made fresh and
+        // the clock already read — the cheapest place to close a window.
+        ATC_TUNE(W.Tune, maybeTune(nowNanos(), *W.Metrics));
         Pol.execute(W, T);
         IdleBegin = nowNanos();
         continue;
@@ -289,7 +314,17 @@ private:
       if (O == AcquireOutcome::Terminated)
         break;
       ++FailStreak;
-      stealBackoff(FailStreak);
+#if ATC_TUNING_ENABLED
+      if (ATC_UNLIKELY(W.Tune != nullptr) && (FailStreak & 15) == 0) {
+        // Starving thief: flush the failure counters so the controller
+        // sees them, then evaluate — the max_stolen/backoff rules must
+        // fire even when no steal ever succeeds. Off the hot path (the
+        // worker is idle and about to back off anyway).
+        ATC_METRIC(W.Metrics, publishStats(W.Stats));
+        W.Tune->maybeTune(nowNanos(), *W.Metrics);
+      }
+#endif
+      stealBackoff(FailStreak, liveBackoffShift(W.Tune));
     }
     W.Stats.StealWaitNs += nowNanos() - IdleBegin;
   }
@@ -403,13 +438,17 @@ private:
     ATC_TRACE_EVENT(W.Trace, TraceEventKind::StealFail,
                     static_cast<std::uint32_t>(V));
     W.LastVictim = -1;
+    // The failed-steal threshold protects the *victim* (how hard thieves
+    // may press before interrupting it), so a tuned victim's live knob
+    // takes over from the run constant.
+    const int Threshold = liveMaxStolen(Victim.Tune, Cfg.MaxStolenNum);
     int SN = Victim.StolenNum.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (SN > Cfg.MaxStolenNum) {
+    if (SN > Threshold) {
       Victim.NeedTask.store(true, std::memory_order_relaxed);
       ATC_METRIC(Victim.Metrics, setNeedTask(true));
       // Record only the crossing, not every attempt past it — this is
       // the thief's record, on the thief's own ring (single-writer).
-      if (SN == Cfg.MaxStolenNum + 1)
+      if (SN == Threshold + 1)
         ATC_TRACE_EVENT(W.Trace, TraceEventKind::NeedTaskRaise,
                         static_cast<std::uint32_t>(V));
     }
@@ -419,6 +458,11 @@ private:
   Policy &Pol;
   SchedulerConfig Cfg;
   std::vector<std::unique_ptr<Worker>> Workers;
+#if ATC_TUNING_ENABLED
+  /// Per-worker tuning controllers when Cfg.Tuning armed the run
+  /// (rebuilt per run, like Workers; workers hold raw pointers).
+  std::vector<std::unique_ptr<TuningController>> Tuners;
+#endif
   std::shared_ptr<TraceLog> Log;
   std::shared_ptr<MetricsRegistry> Reg;
   std::atomic<bool> Done{false};

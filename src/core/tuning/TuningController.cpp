@@ -1,0 +1,169 @@
+//===- core/tuning/TuningController.cpp - Online knob tuning --------------===//
+//
+// Part of the AdaptiveTC project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/tuning/TuningController.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace atc;
+
+void TuningController::arm(int InitCutoff, int InitMaxStolen,
+                           const TuningLimits &L) {
+  Limits = L;
+  MinCutoff = std::max(1, InitCutoff - 1);
+  MaxCutoff = InitCutoff + L.MaxCutoffRaise;
+  Cutoff.store(std::max(InitCutoff, MinCutoff), std::memory_order_relaxed);
+  MaxStolen.store(
+      std::clamp(InitMaxStolen, L.MinMaxStolen, L.MaxMaxStolen),
+      std::memory_order_relaxed);
+  BackoffShift.store(
+      std::clamp(DefaultBackoffShift, L.MinBackoffShift, L.MaxBackoffShift),
+      std::memory_order_relaxed);
+  CutoffKnob = KnobState();
+  MaxStolenKnob = KnobState();
+  BackoffKnob = KnobState();
+  WindowCount = 0;
+  AdjustCount = 0;
+  QuietWindows = 0;
+  LastTuneNs = 0;
+  LastSteals = 0;
+  LastStealFails = 0;
+  LastReseedCount = 0;
+  LastReseedSum = 0;
+}
+
+bool TuningController::stepKnob(std::atomic<int> &Knob, KnobState &S,
+                                int Dir, int Step, int Lo, int Hi) {
+  // Reversal hysteresis: a knob that just moved one way must sit out
+  // HoldWindows windows before moving the other way. Same-direction
+  // steps are free — convergence toward a far target stays fast.
+  if (S.LastDir != 0 && Dir != S.LastDir &&
+      WindowCount < S.LastMoveWindow +
+                        static_cast<std::uint64_t>(Limits.HoldWindows))
+    return false;
+  int Cur = Knob.load(std::memory_order_relaxed);
+  int Next = std::clamp(Cur + Dir * Step, Lo, Hi);
+  if (Next == Cur)
+    return false;
+  Knob.store(Next, std::memory_order_relaxed);
+  S.LastDir = Dir;
+  S.LastMoveWindow = WindowCount;
+  ++AdjustCount;
+  return true;
+}
+
+void TuningController::applyWindow(const TuneWindow &Win) {
+  ++WindowCount;
+
+  // Steal-success rule: thieves succeeding means the neighbourhood has
+  // work to give — let them press the victim harder (higher threshold
+  // before need_task interrupts it) and retry faster. Thieves mostly
+  // failing means the opposite: interrupt busy workers sooner and stop
+  // hammering their deque lines. The dead band between the two keeps
+  // mid-ratio runs still.
+  const std::uint64_t Attempts = Win.Steals + Win.StealFails;
+  if (Attempts >= Limits.MinStealAttempts) {
+    const double Succ =
+        static_cast<double>(Win.Steals) / static_cast<double>(Attempts);
+    if (Succ >= Limits.StealSuccHigh) {
+      stepKnob(MaxStolen, MaxStolenKnob, +1, Limits.MaxStolenStep,
+               Limits.MinMaxStolen, Limits.MaxMaxStolen);
+      stepKnob(BackoffShift, BackoffKnob, -1, 1, Limits.MinBackoffShift,
+               Limits.MaxBackoffShift);
+    } else if (Succ <= Limits.StealSuccLow) {
+      stepKnob(MaxStolen, MaxStolenKnob, -1, Limits.MaxStolenStep,
+               Limits.MinMaxStolen, Limits.MaxMaxStolen);
+      stepKnob(BackoffShift, BackoffKnob, +1, 1, Limits.MinBackoffShift,
+               Limits.MaxBackoffShift);
+    }
+  }
+
+  // Cut-off rule: frequent cheap reseeds mean this worker keeps getting
+  // need_task interrupts it must answer by publishing from the check
+  // region — strictly costlier than having exposed real tasks up front,
+  // so deepen the cut-off. Decay back toward the initial depth only
+  // after a long reseed-quiet spell (over-deep cut-offs pay spawn
+  // overhead for tasks nobody steals).
+  //
+  // The same signal also lowers this worker's own max_stolen_num: the
+  // threshold is the number of failed steals against *this* worker
+  // before need_task interrupts it, and a reseed-hot window is the
+  // victim-side proof that thieves are starving on its watch. Answering
+  // the next need_task sooner (lower threshold) shortens the starvation
+  // gap the thieves' own windows can't fix — they only see their side
+  // of the fail counter.
+  if (Win.Reseeds >= Limits.ReseedHotCount &&
+      Win.ReseedMeanNs <= static_cast<double>(Limits.ReseedCheapNs)) {
+    QuietWindows = 0;
+    stepKnob(Cutoff, CutoffKnob, +1, 1, MinCutoff, MaxCutoff);
+    stepKnob(MaxStolen, MaxStolenKnob, -1, Limits.MaxStolenStep,
+             Limits.MinMaxStolen, Limits.MaxMaxStolen);
+  } else if (Win.Reseeds == 0) {
+    if (++QuietWindows >= Limits.ReseedQuietWindows) {
+      QuietWindows = 0;
+      stepKnob(Cutoff, CutoffKnob, -1, 1, MinCutoff, MaxCutoff);
+    }
+  } else {
+    QuietWindows = 0;
+  }
+}
+
+void TuningController::publishTo(WorkerMetricsCell &Cell) const {
+  Cell.publishTuning(static_cast<std::uint32_t>(cutoff()),
+                     static_cast<std::uint32_t>(maxStolenNum()),
+                     static_cast<std::uint32_t>(backoffShift()),
+                     AdjustCount, WindowCount);
+}
+
+void TuningController::tune(std::uint64_t NowNs, WorkerMetricsCell &Cell) {
+  // First call only anchors the window (knob gauges become visible
+  // immediately; rules need a full window of deltas).
+  if (LastTuneNs == 0) {
+    LastTuneNs = NowNs;
+    LastSteals = Cell.stat(StatField::Steals);
+    LastStealFails = Cell.stat(StatField::StealFails);
+    HistogramCounts R = Cell.ReseedIntervalNs.snapshot();
+    LastReseedCount = R.Count;
+    LastReseedSum = R.Sum;
+    publishTo(Cell);
+    return;
+  }
+  LastTuneNs = NowNs;
+
+  TuneWindow Win;
+  std::uint64_t Steals = Cell.stat(StatField::Steals);
+  std::uint64_t Fails = Cell.stat(StatField::StealFails);
+  Win.Steals = Steals - LastSteals;
+  Win.StealFails = Fails - LastStealFails;
+  LastSteals = Steals;
+  LastStealFails = Fails;
+
+  HistogramCounts R = Cell.ReseedIntervalNs.snapshot();
+  std::uint64_t NewReseeds = R.Count - LastReseedCount;
+  std::uint64_t NewSum = R.Sum - LastReseedSum;
+  LastReseedCount = R.Count;
+  LastReseedSum = R.Sum;
+  Win.Reseeds = NewReseeds;
+  Win.ReseedMeanNs = NewReseeds == 0 ? 0.0
+                                     : static_cast<double>(NewSum) /
+                                           static_cast<double>(NewReseeds);
+
+  static const bool Debug = std::getenv("ATC_TUNE_DEBUG") != nullptr;
+  if (Debug)
+    std::fprintf(stderr,
+                 "[tune %p] t=%.3fms steals=%llu fails=%llu reseeds=%llu "
+                 "mean=%.0fns -> c=%d m=%d b=%d\n",
+                 static_cast<const void *>(this), NowNs / 1e6,
+                 static_cast<unsigned long long>(Win.Steals),
+                 static_cast<unsigned long long>(Win.StealFails),
+                 static_cast<unsigned long long>(Win.Reseeds),
+                 Win.ReseedMeanNs, cutoff(), maxStolenNum(), backoffShift());
+
+  applyWindow(Win);
+  publishTo(Cell);
+}

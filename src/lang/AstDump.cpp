@@ -18,10 +18,17 @@ public:
     for (const StructDecl &S : P.Structs) {
       line("StructDecl " + S.Name);
       ++Depth;
-      for (const FieldDecl &F : S.Fields)
-        line("Field " + F.Ty.str() + " " + F.Name +
-             (F.ArraySize >= 0 ? "[" + std::to_string(F.ArraySize) + "]"
-                               : ""));
+      for (const FieldDecl &F : S.Fields) {
+        // Built with += (not one operator+ chain): the chained form trips
+        // a GCC 12 -Werror=restrict false positive (PR 105651) at -O2.
+        std::string L = "Field " + F.Ty.str() + " " + F.Name;
+        if (F.ArraySize >= 0) {
+          L += '[';
+          L += std::to_string(F.ArraySize);
+          L += ']';
+        }
+        line(L);
+      }
       --Depth;
     }
     for (const auto &F : P.Funcs) {
@@ -64,9 +71,14 @@ private:
     }
     case Stmt::Kind::Decl: {
       const auto *D = S.as<DeclStmt>();
-      line("Decl " + D->Ty.str() + " " + D->Name +
-           (D->ArraySize >= 0 ? "[" + std::to_string(D->ArraySize) + "]"
-                              : ""));
+      // += form for the same -Werror=restrict reason as the field dump.
+      std::string L = "Decl " + D->Ty.str() + " " + D->Name;
+      if (D->ArraySize >= 0) {
+        L += '[';
+        L += std::to_string(D->ArraySize);
+        L += ']';
+      }
+      line(L);
       if (D->Init) {
         ++Depth;
         expr(*D->Init);

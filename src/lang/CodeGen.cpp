@@ -227,8 +227,13 @@ private:
     case Stmt::Kind::Decl: {
       const auto *D = S.as<DeclStmt>();
       std::string Decl = typeStr(D->Ty) + " " + D->Name;
-      if (D->ArraySize >= 0)
-        Decl += "[" + std::to_string(D->ArraySize) + "]";
+      if (D->ArraySize >= 0) {
+        // += chain rather than one operator+ expression: the chained form
+        // trips a GCC 12 -Werror=restrict false positive (PR 105651).
+        Decl += '[';
+        Decl += std::to_string(D->ArraySize);
+        Decl += ']';
+      }
       if (D->Init)
         Decl += " = " + expr(*D->Init, Rename);
       line(Decl + ";");
@@ -849,8 +854,12 @@ std::string Emitter::run() {
     ++Indent;
     for (const FieldDecl &F : S.Fields) {
       std::string Decl = typeStr(F.Ty) + " " + F.Name;
-      if (F.ArraySize >= 0)
-        Decl += "[" + std::to_string(F.ArraySize) + "]";
+      if (F.ArraySize >= 0) {
+        // += chain for the same -Werror=restrict reason as the decl case.
+        Decl += '[';
+        Decl += std::to_string(F.ArraySize);
+        Decl += ']';
+      }
       line(Decl + ";");
     }
     --Indent;

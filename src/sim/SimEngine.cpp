@@ -6,6 +6,7 @@
 
 #include "sim/SimEngine.h"
 #include "core/kernel/TaskCreationPolicy.h"
+#include "core/tuning/TuningController.h"
 #include "metrics/MetricsRegistry.h"
 #include "support/Compiler.h"
 #include "support/Prng.h"
@@ -14,6 +15,7 @@
 #include <cassert>
 #include <deque>
 #include <limits>
+#include <memory>
 
 using namespace atc;
 
@@ -62,6 +64,11 @@ struct SimWorker {
 
   /// Virtual-time metrics cell, or null when the sim run is unmetered.
   WorkerMetricsCell *MC = nullptr;
+
+  /// Online tuning controller, or null when the sim run is untuned —
+  /// the exact controller the real runtime uses, driven on this worker's
+  /// virtual clock (SimOptions::Tuning).
+  TuningController *Tune = nullptr;
 
   /// Per-worker counter mirror, kept in the runtime's SchedulerStats
   /// vocabulary so the metrics snapshot of a sim run carries the same
@@ -115,6 +122,14 @@ public:
     (void)Log;
 #endif
 #if ATC_METRICS_ENABLED
+#if ATC_TUNING_ENABLED
+    // The controllers' only inputs are the metrics cells, so a tuned sim
+    // with no caller-provided registry arms a private one.
+    if (Opts.Tuning && !Metrics) {
+      OwnReg = std::make_unique<MetricsRegistry>();
+      Metrics = OwnReg.get();
+    }
+#endif
     if (Metrics) {
       Metrics->reset(Opts.NumWorkers);
       Metrics->Meta.Scheduler = schedulerKindName(Opts.Kind);
@@ -124,6 +139,17 @@ public:
         Cell.begin(0); // virtual clocks start at t = 0
         Workers[static_cast<std::size_t>(I)].MC = &Cell;
       }
+#if ATC_TUNING_ENABLED
+      if (Opts.Tuning) {
+        for (int I = 0; I < Opts.NumWorkers; ++I) {
+          auto T = std::make_unique<TuningController>();
+          T->arm(CutoffDepth, Opts.MaxStolenNum, Opts.Tune);
+          T->publishTo(Metrics->cell(I));
+          Workers[static_cast<std::size_t>(I)].Tune = T.get();
+          Tuners.push_back(std::move(T));
+        }
+      }
+#endif
     }
 #else
     (void)Metrics;
@@ -220,6 +246,12 @@ private:
   const int CutoffDepth;
 
   std::vector<SimWorker> Workers;
+#if ATC_TUNING_ENABLED
+  /// Per-worker controllers when Opts.Tuning armed the run; OwnReg backs
+  /// them with cells when the caller passed no registry.
+  std::vector<std::unique_ptr<TuningController>> Tuners;
+  std::unique_ptr<MetricsRegistry> OwnReg;
+#endif
   std::deque<Job> JobArena;
   std::vector<SimTreeNode> KidsScratch;
 
@@ -371,6 +403,18 @@ SimReport Simulator::run() {
     // SchedulerStats).
     syncTraceMode(W);
     ATC_METRIC(W.MC, publishStats(W.Stats));
+#if ATC_TUNING_ENABLED
+    if (W.Tune) {
+      W.Tune->publishTo(*W.MC); // final knob gauges match the report
+      R.TuneAdjustments += W.Tune->adjustments();
+      R.TuneWindows += W.Tune->windowsEvaluated();
+      if (I == 0) {
+        R.FinalCutoff = W.Tune->cutoff();
+        R.FinalMaxStolen = W.Tune->maxStolenNum();
+        R.FinalBackoffShift = W.Tune->backoffShift();
+      }
+    }
+#endif
   }
   R.NodesProcessed = Processed;
   return R;
@@ -391,6 +435,9 @@ void Simulator::step(int Wi) {
       ATC_METRIC(W.MC, StealLatencyNs.record(
                            static_cast<std::uint64_t>(Waited)));
       ATC_METRIC(W.MC, publishStats(W.Stats));
+      // Thief-side tune point, mirroring the kernel steal loop's.
+      ATC_TUNE(W.Tune,
+               maybeTune(static_cast<std::uint64_t>(W.Now), *W.MC));
     }
     syncTraceMode(W);
     return;
@@ -412,8 +459,10 @@ void Simulator::visitChild(SimWorker &W) {
   // Determine the child's dispatch (edge) from the parent frame's mode
   // via the shared FSM/policy table, then translate the transition into
   // the simulator's cost charges.
-  const FsmTransition T =
-      dispatchChild(Opts.Kind, CutoffDepth, F.Mode, F.Dp, W.NeedTask);
+  // A tuned worker dispatches against its controller's live cut-off, the
+  // exact analogue of FramePolicy::dispatchChild re-reading the knob.
+  const FsmTransition T = dispatchChild(
+      Opts.Kind, liveCutoff(W.Tune, CutoffDepth), F.Mode, F.Dp, W.NeedTask);
   const CodeVersion ChildMode = T.Child;
   const int ChildDp = T.ChildDp;
   const bool Spawned = T.SpawnTask;  // real task: frame + deque + copy
@@ -441,6 +490,12 @@ void Simulator::visitChild(SimWorker &W) {
       ++R.SpecialTasks;
       ++W.Stats.SpecialTasks;
       ATC_METRIC(W.MC, recordReseed(static_cast<std::uint64_t>(W.Now)));
+      // Owner-side tune point, mirroring FramePolicy's reseed branch:
+      // flush the mirror so the window the controller closes sees the
+      // reseed it just recorded.
+      ATC_METRIC(W.MC, publishStats(W.Stats));
+      ATC_TUNE(W.Tune,
+               maybeTune(static_cast<std::uint64_t>(W.Now), *W.MC));
       emit(W, TraceEventKind::NeedTaskObserve, 0,
            static_cast<std::uint16_t>(W.Stack.size()));
     }
@@ -590,18 +645,34 @@ void Simulator::dequeStealAttempt(int Wi) {
     W.LastVictim = -1;
     // Light backoff only: Cilk-style thieves retry at memory-latency
     // timescales; aggressive sleeping would starve the need_task
-    // signalling path (stolen_num accumulates per failed attempt).
+    // signalling path (stolen_num accumulates per failed attempt). The
+    // linear ramp's cap maps the runtime's backoff-shift knob onto the
+    // sim's scale — (1 << shift) * 20 / 128 reproduces the historical
+    // cap of 20 at the default shift of 7 exactly.
     double Ns = C.StealFailNs;
-    if (W.FailStreak > 8)
-      Ns += 100.0 * std::min(W.FailStreak - 8, 20);
+    if (W.FailStreak > 8) {
+      const int RampCap =
+          std::max(1, (1 << liveBackoffShift(W.Tune)) * 20 / 128);
+      Ns += 100.0 * std::min(W.FailStreak - 8, RampCap);
+    }
     W.Now += Ns;
     W.B.IdleNs += Ns;
     emit(W, TraceEventKind::StealFail, static_cast<std::uint32_t>(Vi));
+#if ATC_TUNING_ENABLED
+    if (W.Tune && (W.FailStreak & 15) == 0) {
+      // Starving-thief tune point, mirroring the kernel steal loop's.
+      ATC_METRIC(W.MC, publishStats(W.Stats));
+      W.Tune->maybeTune(static_cast<std::uint64_t>(W.Now), *W.MC);
+    }
+#endif
+    // The failed-steal threshold guards the *victim*, so a tuned
+    // victim's live knob replaces the run constant (as in acquireOnce).
+    const int Threshold = liveMaxStolen(V.Tune, Opts.MaxStolenNum);
     if (Opts.Kind == SchedulerKind::AdaptiveTC &&
-        ++V.StolenNum > Opts.MaxStolenNum) {
+        ++V.StolenNum > Threshold) {
       V.NeedTask = true;
       ATC_METRIC(V.MC, setNeedTask(true));
-      if (V.StolenNum == Opts.MaxStolenNum + 1)
+      if (V.StolenNum == Threshold + 1)
         emit(W, TraceEventKind::NeedTaskRaise,
              static_cast<std::uint32_t>(Vi));
     }
@@ -663,7 +734,9 @@ void Simulator::dequeStealAttempt(int Wi) {
         Later.push_back(I);
     }
     int Extra = static_cast<int>(Later.size()) / 2;
-    const int Cap = (Opts.MaxStolenNum > 1 ? Opts.MaxStolenNum : 1) - 1;
+    // Thief's live knob bounds its own batch, as in stealExtra.
+    const int MaxStolen = liveMaxStolen(W.Tune, Opts.MaxStolenNum);
+    const int Cap = (MaxStolen > 1 ? MaxStolen : 1) - 1;
     if (Extra > Cap)
       Extra = Cap;
     // Youngest extras first so older continuations sit higher on the

@@ -480,6 +480,50 @@ TEST(PolicyMatrix, TaskAccountingPartitionsTheTree) {
       }
 }
 
+// Online tuning moves the cut-off, max_stolen_num and backoff knobs
+// mid-run, but it must stay result- and accounting-invisible: every tree
+// node still runs under exactly one code version (a dispatch reads one
+// cut-off value, whichever it is), so real + fake tasks must still
+// partition the tree and every steal attempt must still resolve — across
+// scheduler kinds and deque kinds. In an ATC_TUNING=OFF build the flag
+// is inert and this leg degenerates to the static matrix, which must
+// also pass.
+TEST(PolicyMatrix, TuningPreservesNodeAccounting) {
+  const SchedulerKind Kinds[] = {SchedulerKind::Cilk,
+                                 SchedulerKind::Cutoff,
+                                 SchedulerKind::AdaptiveTC};
+  const DequeKind Deques[] = {DequeKind::The, DequeKind::Atomic,
+                              DequeKind::ChaseLev};
+
+  NQueensArray NQ;
+  auto NQRoot = NQueensArray::makeRoot(9);
+  long long Expected = runSequential(NQ, NQRoot);
+  TreeProfile Profile;
+  {
+    auto S = NQueensArray::makeRoot(9);
+    profileTree(NQ, S, Profile);
+  }
+
+  for (SchedulerKind Kind : Kinds)
+    for (DequeKind DQ : Deques) {
+      SchedulerConfig Cfg;
+      Cfg.Kind = Kind;
+      Cfg.Deque = DQ;
+      Cfg.NumWorkers = 4;
+      Cfg.Tuning = true;
+      const std::string What = std::string(schedulerKindName(Kind)) + "/" +
+                               dequeKindName(DQ) + "/tuned";
+
+      auto R = runProblem(NQ, NQueensArray::makeRoot(9), Cfg);
+      EXPECT_EQ(R.Value, Expected) << What;
+      EXPECT_EQ(R.Stats.TasksCreated + R.Stats.FakeTasks,
+                static_cast<std::uint64_t>(Profile.Nodes))
+          << What << ": node accounting does not partition the tree";
+      EXPECT_EQ(R.Stats.StealAttempts, R.Stats.Steals + R.Stats.StealFails)
+          << What;
+    }
+}
+
 // Victim ordering is kernel-owned, so every scheduler kind — Tascell's
 // mailbox engine included — must accept every VictimPolicy and produce
 // the same result. Partitioned runs with a group smaller than the worker

@@ -275,7 +275,12 @@ int main(int argc, char **argv) {
     JobSpec Spec;
     Spec.Problem = Pick->Kind;
     Spec.Size = Pick->Size;
-    Spec.Tenant = "t" + std::to_string(I % Tenants);
+    // snprintf rather than string concatenation: the concat forms trip
+    // a GCC 12 -Werror=restrict false positive (PR 105651) at -O2.
+    char TenantBuf[32];
+    std::snprintf(TenantBuf, sizeof(TenantBuf), "t%lld",
+                  static_cast<long long>(I % Tenants));
+    Spec.Tenant = TenantBuf;
     Spec.Kind = Kind;
     Spec.Deque = DQ;
     Spec.Workers = static_cast<int>(Workers);

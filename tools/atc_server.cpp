@@ -7,7 +7,7 @@
 /// \file
 /// The scheduler service daemon: one persistent worker pool, a fair job
 /// queue with admission control, and the loopback HTTP API from
-/// server/Server.h. See SERVING.md for the walkthrough.
+/// server/Server.h. See docs/SERVING.md for the walkthrough.
 ///
 ///   atc_server --threads=4 --port=9900
 ///   curl -d '{"problem": "nqueens-array"}' http://127.0.0.1:9900/job
@@ -44,7 +44,7 @@ int main(int argc, char **argv) {
   long long MaxQueued = 256;
   long long SoftWatermark = 64;
   long long DepthWatermark = 0;
-  OptionSet Opts("Scheduler-as-a-service daemon (see SERVING.md)");
+  OptionSet Opts("Scheduler-as-a-service daemon (see docs/SERVING.md)");
   Opts.addInt("threads", &Threads,
               "persistent worker-pool width (default 4)");
   Opts.addInt("port", &Port,

@@ -23,6 +23,15 @@ Usage (from the repo root, after a Release build):
     # or compare an atc_loadgen --json report against the server baseline:
     python3 tools/bench_compare.py --server-json fresh_load.json
 
+    # or gate an ablation_tuning --json report against BENCH_tuning.json:
+    python3 tools/bench_compare.py --tuning-json fresh_tuning.json
+
+The tuning family is special: ablation_tuning runs on the simulator's
+virtual clock, so its numbers are deterministic and machine-independent.
+It is gated on absolute acceptance criteria (settled_over_best <= 1.05,
+controller actually adjusted) plus a tight drift check against the
+committed baseline (--tuning-tolerance, default 1.01).
+
 Exit status: 0 when every compared benchmark is within tolerance,
 1 on regression, 2 on usage/run errors.
 """
@@ -171,6 +180,51 @@ def server_pairs(fresh, baseline):
     return pairs, missing
 
 
+def tuning_check(fresh, baseline, tolerance):
+    """Gates on an ablation_tuning --json report (BENCH_tuning.json
+    schema). The simulator runs on virtual clocks, so the record is
+    deterministic: unlike the host-timed families there is no machine-
+    speed normalization, and the baseline comparison can be tight.
+
+    Hard gates (per family): settled_over_best <= 1.05 (the acceptance
+    bar: the settled controller reaches within 5% of the best static
+    grid point) and tuned_adjustments > 0 (the controller actually
+    acted). The baseline comparison then flags any settled makespan
+    drifting past --tuning-tolerance of the committed record — a rule
+    change that moves the numbers must re-record the baseline."""
+    bad, rows = [], []
+    base_fams = baseline.get("families", {}) if baseline else {}
+    scale_match = not baseline or fresh.get("scale") == baseline.get("scale")
+    for name, fam in sorted(fresh.get("families", {}).items()):
+        ratio = fam.get("settled_over_best")
+        adjusts = fam.get("tuned_adjustments", 0)
+        if ratio is None or ratio > 1.05:
+            bad.append("{}: settled_over_best={} exceeds 1.05".format(name, ratio))
+        if not adjusts:
+            bad.append("{}: controller made no adjustments".format(name))
+        verdict = "ok"
+        base_ns = base_fams.get(name, {}).get("tuned_settled_ns")
+        fresh_ns = fam.get("tuned_settled_ns")
+        drift = None
+        if base_ns and fresh_ns and scale_match:
+            drift = float(fresh_ns) / float(base_ns)
+            if drift > tolerance:
+                verdict = "REGRESSION"
+                bad.append(
+                    "{}: settled {:.1f}ns vs baseline {:.1f}ns "
+                    "({:.3f}x > {:.3f}x)".format(
+                        name, fresh_ns, base_ns, drift, tolerance
+                    )
+                )
+            elif drift < 1.0 / tolerance:
+                verdict = "improved"
+        rows.append((name, ratio, adjusts, fam.get("final", {}), drift, verdict))
+    if not scale_match:
+        rows.append(("(scale mismatch: baseline comparison skipped)",
+                     None, None, {}, None, ""))
+    return rows, bad
+
+
 def server_health(fresh):
     """Hard correctness gates on a loadgen report, independent of any
     timing tolerance: nothing lost, nothing failed, no wrong answers."""
@@ -225,6 +279,35 @@ def report(title, rows, speed, missing, skipped):
     print()
 
 
+def tuning_report(title, rows):
+    print("== {} (virtual-time, no machine normalization) ==".format(title))
+    print(
+        "{:<10} {:>14} {:>8} {:>7} {:>14}  {}".format(
+            "family", "settled/best", "adjusts", "drift", "final c/m/b", "verdict"
+        )
+    )
+    for name, ratio, adjusts, final, drift, verdict in rows:
+        if ratio is None and adjusts is None:
+            print(name)
+            continue
+        knobs = "{}/{}/{}".format(
+            final.get("cutoff", "?"),
+            final.get("max_stolen_num", "?"),
+            final.get("backoff_shift", "?"),
+        )
+        print(
+            "{:<10} {:>13.4f}x {:>8} {:>7} {:>14}  {}".format(
+                name,
+                ratio if ratio is not None else float("nan"),
+                adjusts,
+                "{:.3f}x".format(drift) if drift is not None else "-",
+                knobs,
+                verdict,
+            )
+        )
+    print()
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -250,6 +333,23 @@ def main():
         "--server-baseline",
         default="BENCH_server.json",
         help="committed server-layer baseline",
+    )
+    ap.add_argument(
+        "--tuning-json", help="ablation_tuning --json report to gate"
+    )
+    ap.add_argument(
+        "--tuning-baseline",
+        default="BENCH_tuning.json",
+        help="committed tuning-ablation baseline",
+    )
+    ap.add_argument(
+        "--tuning-tolerance",
+        type=float,
+        default=1.01,
+        help="max allowed settled-makespan drift vs the tuning baseline "
+        "(default 1.01; the simulator is deterministic, so any drift "
+        "means the rules or the model changed and the baseline should "
+        "be re-recorded)",
     )
     ap.add_argument(
         "--tolerance",
@@ -312,9 +412,24 @@ def main():
         failed += regressions
         any_compared = any_compared or bool(pairs)
 
+    if args.tuning_json:
+        with open(args.tuning_json) as f:
+            fresh = json.load(f)
+        try:
+            with open(args.tuning_baseline) as f:
+                baseline = json.load(f)
+        except OSError:
+            baseline = None
+        rows, bad = tuning_check(fresh, baseline, args.tuning_tolerance)
+        tuning_report("ablation_tuning vs " + args.tuning_baseline, rows)
+        if bad:
+            print("FAILED: tuning gate: " + "; ".join(bad))
+            return 1
+        any_compared = any_compared or bool(rows)
+
     if not any_compared:
         sys.exit("error: nothing compared; pass --spawn-bench/--deque-bench "
-                 "(or --spawn-json/--deque-json/--server-json)")
+                 "(or --spawn-json/--deque-json/--server-json/--tuning-json)")
     if failed:
         print("FAILED: {} benchmark(s) regressed: {}".format(
             len(failed), ", ".join(failed)))
